@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers: experiment tables printed past pytest capture."""
+
+import pytest
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table so it survives pytest's capture.
+
+    Usage: ``report(title, headers, rows)`` — also returns the formatted
+    text so callers can assert on it.
+    """
+
+    def _report(title, headers, rows):
+        widths = [
+            max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        lines = ["", "=" * 72, title, "=" * 72]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in rows:
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+        text = "\n".join(lines)
+        with capsys.disabled():
+            print(text)
+        return text
+
+    return _report

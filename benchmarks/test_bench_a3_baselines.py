@@ -1,0 +1,90 @@
+"""Experiment A3: tree protocol vs ring baseline vs centralized allocator.
+
+Same processes, same mixed k-out-of-l workload.  Reported: throughput,
+message overhead per CS entry, waiting times, and what happens when the
+coordinator-equivalent state is corrupted (the self-stabilization
+story).  Expected shape: central wins messages/CS on shallow trees but
+is fragile; tree and ring are comparable, with the tree's virtual ring
+(length 2(n-1) vs n) costing a constant factor.
+"""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import collect_metrics, stabilize
+from repro.baselines.central import build_central_engine
+from repro.baselines.ring import build_ring_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.faults import scramble_configuration
+from repro.topology import balanced_tree
+
+N = 9  # 2-ary height-2 balanced tree missing nothing: 1+2+4 = 7... use random
+TREE = balanced_tree(2, 2)  # 7 nodes
+NN = TREE.n
+
+
+def make_apps(params):
+    return [SaturatedWorkload(1 + p % params.k, cs_duration=2, think_time=2)
+            for p in range(NN)]
+
+
+def run_system(system, seed=1, steps=80_000, fault=False):
+    params = KLParams(k=2, l=3, n=NN, cmax=2)
+    apps = make_apps(params)
+    if system == "tree":
+        eng = build_selfstab_engine(TREE, params, apps,
+                                    RandomScheduler(NN, seed=seed), init="tokens")
+        assert stabilize(eng, params)
+    elif system == "ring":
+        eng = build_ring_engine(NN, params, apps,
+                                RandomScheduler(NN, seed=seed), init="tokens")
+        assert stabilize(eng, params)
+    else:
+        eng = build_central_engine(TREE, params, apps, RandomScheduler(NN, seed=seed))
+        eng.run(2_000)  # warm
+    if fault:
+        scramble_configuration(eng, params, seed=seed + 100)
+    t0 = eng.now
+    eng.run(steps)
+    m = collect_metrics(eng, apps, since_step=t0)
+    return eng, m, params
+
+
+def test_bench_a3_comparison(benchmark, report):
+    rows = []
+    for system in ("tree", "ring", "central"):
+        eng, m, params = run_system(system)
+        rows.append((
+            system, m.satisfied, round(m.messages_per_cs, 2),
+            round(m.mean_waiting_time or 0, 1), m.max_waiting_time,
+        ))
+    report(
+        f"A3 — allocators on the same workload (n={NN}, k=2, l=3, 80k steps)",
+        ["system", "grants", "msgs/CS", "mean wait", "max wait"],
+        rows,
+    )
+    grants = {r[0]: r[1] for r in rows}
+    assert min(grants.values()) > 0
+    benchmark.pedantic(run_system, args=("tree",), kwargs={"steps": 20_000},
+                       rounds=3, iterations=1)
+
+
+def test_bench_a3_fault_tolerance(report):
+    rows = []
+    for system in ("tree", "ring", "central"):
+        eng, m, params = run_system(system, fault=True, steps=150_000)
+        served_all = all(c > 0 for c in eng.counters["enter_cs"])
+        rows.append((
+            system, m.satisfied,
+            "all served" if served_all else "STRANDED processes",
+        ))
+    report(
+        "A3 — the same systems after a full state corruption",
+        ["system", "grants after fault", "verdict"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    assert by["tree"][2] == "all served"
+    assert by["ring"][2] == "all served"
+    # central *may* survive some scrambles; no assertion on fragility here
+    # (tests/baselines/test_central.py pins a deterministic stranding case)

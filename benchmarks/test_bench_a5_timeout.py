@@ -1,0 +1,91 @@
+"""Experiment A5: root-timeout sensitivity.
+
+The paper (footnote 4) assumes the timeout interval is "sufficiently
+large to prevent congestion".  This ablation measures what happens when
+it is not: an aggressive timeout floods the virtual ring with duplicate
+controllers — the protocol still converges (counter flushing absorbs
+duplicates) but pays in control messages; an over-long timeout slows
+recovery from a *lost* controller.  Expected shape: a U-curve in total
+cost with a wide flat optimum around the auto-sized interval.
+"""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import stabilize
+from repro.core.messages import Ctrl
+from repro.core.selfstab import build_selfstab_engine
+from repro.topology import paper_example_tree
+
+
+def run_with_interval(interval, seed=1, steps=60_000):
+    tree = paper_example_tree()
+    params = KLParams(k=2, l=3, n=tree.n, cmax=2)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(tree.n)]
+    eng = build_selfstab_engine(
+        tree, params, apps, RandomScheduler(tree.n, seed=seed),
+        timeout_interval=interval,
+    )
+    ok = stabilize(eng, params, max_steps=3_000_000)
+    t0 = eng.now
+    ctrl0 = eng.sent_by_type["Ctrl"]
+    cs0 = eng.total_cs_entries
+    eng.run(steps)
+    return {
+        "ok": ok,
+        "stab_steps": t0,
+        "ctrl_per_cs": (eng.sent_by_type["Ctrl"] - ctrl0)
+        / max(eng.total_cs_entries - cs0, 1),
+        "timeouts": sum(eng.counters["timeout"]),
+        "engine": eng,
+    }
+
+
+def recovery_after_ctrl_loss(interval, seed=2):
+    """Steps to complete a new circulation after the controller vanishes."""
+    tree = paper_example_tree()
+    params = KLParams(k=2, l=3, n=tree.n, cmax=2)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(tree.n)]
+    eng = build_selfstab_engine(
+        tree, params, apps, RandomScheduler(tree.n, seed=seed),
+        timeout_interval=interval,
+    )
+    assert stabilize(eng, params, max_steps=3_000_000)
+    for ch in eng.network.all_channels():
+        kept = [m for m in ch if not isinstance(m, Ctrl)]
+        ch.clear()
+        for m in kept:
+            ch.queue.append(m)
+    root = eng.process(0)
+    circ, t0 = root.circulations, eng.now
+    eng.run_until(lambda e: root.circulations > circ, interval * 40 + 500_000,
+                  check_every=64)
+    return eng.now - t0
+
+
+def test_bench_a5_timeout_sensitivity(benchmark, report):
+    tree = paper_example_tree()
+    auto = 4 * 2 * (tree.n - 1) * tree.n + 64  # the engine's auto-sizing
+    rows = []
+    for label, interval in (
+        ("aggressive (auto/8)", auto // 8),
+        ("auto", auto),
+        ("lazy (auto*8)", auto * 8),
+    ):
+        r = run_with_interval(interval)
+        assert r["ok"], label
+        rec = recovery_after_ctrl_loss(interval)
+        rows.append((label, interval, r["stab_steps"],
+                     round(r["ctrl_per_cs"], 2), r["timeouts"], rec))
+    report(
+        "A5 — root-timeout sensitivity (paper footnote 4), paper tree",
+        ["setting", "interval", "stab steps", "ctrl msgs/CS",
+         "timeouts fired", "recovery after ctrl loss"],
+        rows,
+    )
+    by = {r[0].split()[0]: r for r in rows}
+    # aggressive: more control traffic; lazy: slower loss recovery
+    assert by["aggressive"][3] >= by["auto"][3]
+    assert by["lazy"][5] >= by["auto"][5]
+    benchmark.pedantic(run_with_interval, args=(auto,),
+                       kwargs={"steps": 10_000}, rounds=3, iterations=1)

@@ -1,0 +1,65 @@
+"""Experiment A6: process crashes — the paper's open problem, executed.
+
+The paper (§5): "Possible extension to networks where processes are
+subject to other failure patterns, such as process crashes, remains
+open."  This bench demonstrates *why*: crash any process on the virtual
+ring and liveness halts (tokens pile up at the dead stop) even though
+safety persists; service resumes only when the process recovers, at
+which point the crash retroactively looks like a transient fault.
+"""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import safety_ok, stabilize
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.crashes import CrashController
+from repro.topology import paper_example_tree
+
+NAMES = dict(enumerate("r a b c d e f g".split()))
+
+
+def crash_run(victim, seed=3, window=120_000):
+    tree = paper_example_tree()
+    params = KLParams(k=2, l=3, n=tree.n, cmax=2)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(tree.n)]
+    sched = CrashController(RandomScheduler(tree.n, seed=seed))
+    eng = build_selfstab_engine(tree, params, apps, sched)
+    assert stabilize(eng, params)
+    rate_before = None
+    t0, c0 = eng.now, eng.total_cs_entries
+    eng.run(window)
+    rate_before = (eng.total_cs_entries - c0) / window
+    if victim is not None:
+        sched.crash(victim)
+    eng.run(eng.timeout_interval * 4)  # drain in-flight service
+    t1, c1 = eng.now, eng.total_cs_entries
+    eng.run(window)
+    rate_after = (eng.total_cs_entries - c1) / window
+    return rate_before, rate_after, safety_ok(eng, params)
+
+
+def test_bench_a6_crash_halts_liveness(benchmark, report):
+    rows = []
+    for victim, label in ((None, "no crash"), (0, "root r"),
+                          (1, "internal a"), (7, "leaf g")):
+        before, after, safe = crash_run(victim)
+        rows.append((
+            label,
+            round(before * 1000, 2),
+            round(after * 1000, 2),
+            "yes" if safe else "NO",
+        ))
+    report(
+        "A6 / Sec.5 open problem — service rate before/after a crash "
+        "(CS entries per 1000 steps, paper tree)",
+        ["crashed process", "rate before", "rate after", "safety holds"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    assert by["no crash"][2] > 1.0          # healthy baseline keeps serving
+    for label in ("root r", "internal a", "leaf g"):
+        assert by[label][2] < 0.1            # any ring stop severs service
+        assert by[label][3] == "yes"         # ... but never breaks safety
+    benchmark.pedantic(crash_run, args=(1,), kwargs={"window": 20_000},
+                       rounds=2, iterations=1)

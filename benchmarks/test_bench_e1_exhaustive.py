@@ -1,0 +1,75 @@
+"""Experiment E1: bounded exhaustive verification of small instances.
+
+Beyond seeded sampling, the analysis layer can enumerate *every*
+schedule of a small instance (full daemon power: any process, any
+channel, silent steps) and check invariants at each distinct reachable
+configuration.  This bench reports the verified state-space sizes for
+the protocol variants' core invariants — safety and token conservation
+under ALL schedules.
+"""
+
+import pytest
+
+from repro import KLParams
+from repro.analysis import safety_ok, take_census
+from repro.analysis.explore import explore
+from repro.apps.workloads import HogWorkload, SaturatedWorkload
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.topology import paper_livelock_tree, path_tree
+
+
+def naive_instance():
+    tree = path_tree(3)
+    params = KLParams(k=2, l=2, n=3)
+    apps = [None,
+            SaturatedWorkload(2, cs_duration=0),
+            SaturatedWorkload(1, cs_duration=0)]
+    eng = build_naive_engine(tree, params, apps)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    return eng, params
+
+
+def priority_instance():
+    tree = paper_livelock_tree()
+    params = KLParams(k=1, l=2, n=3)
+    apps = [None, HogWorkload(1), HogWorkload(1)]
+    eng = build_priority_engine(tree, params, apps)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    return eng, params
+
+
+def verify(make, invariant, depth):
+    eng, params = make()
+    return explore(eng, lambda e: invariant(e, params), max_depth=depth,
+                   max_configurations=150_000)
+
+
+def test_bench_e1_exhaustive_verification(benchmark, report):
+    cases = [
+        ("naive: safety", naive_instance,
+         lambda e, p: safety_ok(e, p) or "safety violated", 16),
+        ("naive: conservation", naive_instance,
+         lambda e, p: take_census(e).res == p.l or "token minted/lost", 16),
+        ("priority: safety+census", priority_instance,
+         lambda e, p: (safety_ok(e, p) and take_census(e).as_tuple() == (2, 1, 1))
+         or "invariant broken", 14),
+    ]
+    rows = []
+    for label, make, inv, depth in cases:
+        res = verify(make, inv, depth)
+        assert res.ok, f"{label}: {res.violation}"
+        rows.append((label, depth, res.configurations, res.transitions,
+                     "closed" if res.exhausted else "depth-bounded"))
+    report(
+        "E1 — exhaustive schedule exploration (all daemons, small instances)",
+        ["invariant", "depth", "distinct configs", "transitions", "coverage"],
+        rows,
+    )
+    benchmark.pedantic(
+        verify, args=(naive_instance,
+                      lambda e, p: safety_ok(e, p) or "bad", 10),
+        rounds=2, iterations=1,
+    )

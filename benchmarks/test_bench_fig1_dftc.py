@@ -1,0 +1,29 @@
+"""Experiment F1 (paper Fig. 1): depth-first token circulation.
+
+Regenerates the token's channel-by-channel path on the 8-process example
+tree and checks it against the analytic Euler tour; benchmarks one full
+simulated circulation.
+"""
+
+import pytest
+
+from repro.scenarios import run_fig1_circulation
+from repro.topology import build_virtual_ring, paper_example_tree
+
+NAMES = dict(enumerate("r a b c d e f g".split()))
+
+
+def test_bench_fig1_circulation(benchmark, report):
+    res = benchmark.pedantic(run_fig1_circulation, rounds=5, iterations=1)
+    assert res["match"], "simulated path diverged from the Euler tour"
+    rows = [
+        (i, f"{NAMES[u]} -> {NAMES[v]}", s.out_label)
+        for i, ((u, v), s) in enumerate(zip(res["hops"], res["ring"].stops))
+    ]
+    report(
+        "F1 / Fig.1 — DFS token circulation on the example tree",
+        ["hop", "channel", "out-label"],
+        rows,
+    )
+    # the paper's visit order: r a b a c a r d e d f d g d
+    assert res["ring"].node_sequence() == [0, 1, 2, 1, 3, 1, 0, 4, 5, 4, 6, 4, 7, 4]

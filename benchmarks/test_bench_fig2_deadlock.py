@@ -1,0 +1,44 @@
+"""Experiment F2 (paper Fig. 2): deadlock of the naive protocol.
+
+Regenerates the deadlock configuration (RSet_a={0,0}, RSet_b/c/d={0})
+under the naive variant and shows every richer variant escaping it.
+"""
+
+import pytest
+
+from repro.scenarios import FIG2_NEEDS, run_fig2_deadlock
+
+NAMES = dict(enumerate("r a b c d e f g".split()))
+
+
+@pytest.mark.parametrize("variant,expect_deadlock", [
+    ("naive", True),
+    ("pusher", False),
+    ("priority", False),
+    ("selfstab", False),
+])
+def test_fig2_outcomes(variant, expect_deadlock):
+    res = run_fig2_deadlock(variant, steps=40_000)
+    assert res.deadlocked == expect_deadlock
+    if expect_deadlock:
+        assert res.rset_sizes == {1: 2, 2: 1, 3: 1, 4: 1}
+
+
+def test_bench_fig2_table(benchmark, report):
+    rows = []
+    for variant in ("naive", "pusher", "priority", "selfstab"):
+        res = run_fig2_deadlock(variant, steps=40_000)
+        rows.append((
+            variant,
+            "DEADLOCK" if res.deadlocked else "recovers",
+            "/".join(str(res.rset_sizes[p]) for p in sorted(FIG2_NEEDS)),
+            len(res.satisfied_pids),
+            res.cs_entries,
+        ))
+    report(
+        "F2 / Fig.2 — naive-protocol deadlock (l=5, k=3; needs a:3 b:2 c:2 d:2)",
+        ["variant", "outcome", "stuck RSets a/b/c/d", "satisfied", "CS entries"],
+        rows,
+    )
+    benchmark.pedantic(run_fig2_deadlock, args=("naive",),
+                       kwargs={"steps": 10_000}, rounds=3, iterations=1)

@@ -1,0 +1,37 @@
+"""Experiment F3 (paper Fig. 3): livelock of the pusher-only protocol.
+
+Replays the paper's adversarial cycle (i)->(viii): under pusher-only,
+process a starves forever while r and b complete once per cycle; with
+the priority token the same daemon is defeated.
+"""
+
+from repro.scenarios import run_fig3_livelock
+
+
+def test_fig3_pusher_starves():
+    res = run_fig3_livelock("pusher", cycles=400)
+    assert res.starved
+    assert res.cs_a == 0 and res.cs_r >= 400 and res.cs_b >= 400
+
+
+def test_fig3_priority_rescues():
+    res = run_fig3_livelock("priority", cycles=400)
+    assert not res.starved
+    assert res.cs_a >= 50
+
+
+def test_bench_fig3_table(benchmark, report):
+    rows = []
+    for variant in ("pusher", "priority"):
+        res = run_fig3_livelock(variant, cycles=400)
+        rows.append((
+            variant, res.cycles, res.cs_r, res.cs_a, res.cs_b,
+            "STARVED" if res.starved else "served",
+        ))
+    report(
+        "F3 / Fig.3 — pusher livelock under the paper's daemon (2-out-of-3)",
+        ["variant", "cycles", "CS r", "CS a", "CS b", "verdict for a"],
+        rows,
+    )
+    benchmark.pedantic(run_fig3_livelock, args=("pusher",),
+                       kwargs={"cycles": 100}, rounds=3, iterations=1)

@@ -1,0 +1,49 @@
+"""Experiment F4 (paper Fig. 4): the virtual ring.
+
+Regenerates the ring statistics (length 2(n-1), per-process occurrence =
+degree) across tree families and benchmarks ring construction.
+"""
+
+from repro.topology import (
+    balanced_tree,
+    build_virtual_ring,
+    paper_example_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.viz import render_ring
+
+NAMES = dict(enumerate("r a b c d e f g".split()))
+
+
+def test_bench_fig4_virtual_ring(benchmark, report):
+    trees = {
+        "paper(8)": paper_example_tree(),
+        "path(16)": path_tree(16),
+        "star(16)": star_tree(16),
+        "balanced(2,3)": balanced_tree(2, 3),
+        "random(24)": random_tree(24, seed=1),
+    }
+    rows = []
+    for name, tree in trees.items():
+        ring = build_virtual_ring(tree)
+        assert ring.length == 2 * (tree.n - 1)
+        assert all(ring.occurrences(p) == tree.degree(p) for p in range(tree.n))
+        rows.append((name, tree.n, ring.length, max(tree.degree(p) for p in range(tree.n))))
+    report(
+        "F4 / Fig.4 — virtual ring structure (length = 2(n-1))",
+        ["tree", "n", "ring length", "max degree"],
+        rows,
+    )
+    big = random_tree(256, seed=2)
+    ring = benchmark(build_virtual_ring, big)
+    assert ring.length == 2 * 255
+
+
+def test_fig4_example_matches_paper(report):
+    ring = build_virtual_ring(paper_example_tree())
+    text = render_ring(ring, NAMES)
+    report("F4 — the example tree's ring (paper caption order)",
+           ["ring"], [(text,)])
+    assert text.split(" -0-> ")[0] == "r"

@@ -1,0 +1,46 @@
+"""Engine throughput benchmarks (regression guards for the substrate).
+
+Not a paper experiment — these keep the simulator fast enough that the
+T1/T2 sweeps stay laptop-scale, per the project's performance guidance
+(profile first; the step loop and scheduler are the hot path).
+"""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.core.naive import build_naive_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.topology import random_tree
+
+
+def make_engine(n, variant="selfstab", seed=1):
+    tree = random_tree(n, seed=seed)
+    params = KLParams(k=2, l=4, n=n)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(n)]
+    build = build_selfstab_engine if variant == "selfstab" else build_naive_engine
+    kwargs = {"init": "tokens"} if variant == "selfstab" else {}
+    return build(tree, params, apps, RandomScheduler(n, seed=seed), **kwargs)
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_bench_selfstab_steps(benchmark, n):
+    eng = make_engine(n)
+    eng.run(5_000)  # warm: tokens in play
+    benchmark.pedantic(eng.run, args=(20_000,), rounds=5, iterations=1)
+    # coarse floor so a 10x regression fails loudly even on slow CI
+    assert benchmark.stats["mean"] < 5.0
+
+
+def test_bench_naive_steps(benchmark):
+    eng = make_engine(32, variant="naive")
+    eng.run(2_000)
+    benchmark.pedantic(eng.run, args=(20_000,), rounds=5, iterations=1)
+    assert benchmark.stats["mean"] < 5.0
+
+
+def test_bench_scheduler_draws(benchmark):
+    sched = RandomScheduler(64, seed=3)
+    def draw_many():
+        for t in range(10_000):
+            sched.next_pid(t)
+    benchmark.pedantic(draw_many, rounds=5, iterations=1)

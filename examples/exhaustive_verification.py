@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Beyond simulation: exhaustively verify small instances, fork futures.
+
+Two capabilities of the analysis layer that go past seeded runs:
+
+1. **Exhaustive exploration** — enumerate *every* schedule (the daemon
+   may pick any process, any channel, or a silent step) of a small
+   instance and check an invariant at each distinct reachable
+   configuration.  When the reachable set closes, the invariant is
+   verified outright for that instance.
+2. **Forking** — deep-copy a running engine and explore alternative
+   futures from the same configuration (what-if analysis).
+
+Run:  python examples/exhaustive_verification.py
+"""
+
+from repro import (
+    KLParams,
+    RandomScheduler,
+    SaturatedWorkload,
+    safety_ok,
+    stabilize,
+    take_census,
+)
+from repro.analysis.explore import explore
+from repro.apps.workloads import HogWorkload
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.faults import drop_random_token
+from repro.topology import paper_livelock_tree, path_tree, random_tree
+
+
+def exhaustive_naive() -> None:
+    print("=" * 60)
+    print("1a. Exhaustive: naive protocol, 3-path, k=2 l=2")
+    print("=" * 60)
+    tree = path_tree(3)
+    params = KLParams(k=2, l=2, n=3)
+    apps = [None, SaturatedWorkload(2, cs_duration=0),
+            SaturatedWorkload(1, cs_duration=0)]
+    eng = build_naive_engine(tree, params, apps)
+    for p in range(3):
+        eng.step_pid(p, -1)
+
+    def invariant(e):
+        if not safety_ok(e, params):
+            return "SAFETY VIOLATION"
+        if take_census(e).res != params.l:
+            return "TOKEN MINTED OR LOST"
+        return True
+
+    res = explore(eng, invariant, max_depth=16)
+    print(f"  reachable configurations : {res.configurations}")
+    print(f"  transitions expanded     : {res.transitions}")
+    print(f"  state space closed       : {res.exhausted}")
+    print(f"  invariant holds          : {res.ok}"
+          + ("  (verified for ALL schedules)" if res.exhausted else ""))
+
+
+def exhaustive_priority() -> None:
+    print()
+    print("=" * 60)
+    print("1b. Exhaustive: priority variant on the Fig. 3 tree with hogs")
+    print("=" * 60)
+    tree = paper_livelock_tree()
+    params = KLParams(k=1, l=2, n=3)
+    apps = [None, HogWorkload(1), HogWorkload(1)]
+    eng = build_priority_engine(tree, params, apps)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    res = explore(
+        eng,
+        lambda e: (safety_ok(e, params)
+                   and take_census(e).as_tuple() == (2, 1, 1)) or "broken",
+        max_depth=14,
+    )
+    print(f"  configurations={res.configurations} ok={res.ok} "
+          f"coverage={'closed' if res.exhausted else 'depth-bounded'}")
+
+
+def what_if_forking() -> None:
+    print()
+    print("=" * 60)
+    print("2. Forking: the same system, with and without a token loss")
+    print("=" * 60)
+    tree = random_tree(9, seed=2)
+    params = KLParams(k=2, l=4, n=9)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(9)]
+    eng = build_selfstab_engine(tree, params, apps, RandomScheduler(9, seed=3))
+    assert stabilize(eng, params)
+    eng.run(10_000)
+
+    healthy = eng.fork()
+    faulty = eng.fork()
+    drop_random_token(faulty, seed=1)
+    print(f"  forked at step {eng.now}; faulty fork lost one resource token")
+
+    healthy.run(40_000)
+    faulty.run(40_000)
+    h, f = healthy.total_cs_entries, faulty.total_cs_entries
+    print(f"  healthy future : {h - eng.total_cs_entries} CS entries, "
+          f"census {take_census(healthy).as_tuple()}")
+    print(f"  faulty future  : {f - eng.total_cs_entries} CS entries, "
+          f"census {take_census(faulty).as_tuple()} "
+          f"(controller recreated the token)")
+    print(f"  original is untouched at step {eng.now}")
+
+
+def main() -> None:
+    exhaustive_naive()
+    exhaustive_priority()
+    what_if_forking()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — Self-Stabilizing k-out-of-ℓ Exclusion on Tree Networks.
+
+A faithful, executable reproduction of Datta, Devismes, Horn & Larmore,
+*"Self-Stabilizing k-out-of-ℓ Exclusion on Tree Networks"* (IPPS 2009,
+arXiv:0812.1093): the protocol family (naive ℓ-token circulation, the
+pusher and priority tokens, and the full self-stabilizing protocol with
+a counter-flushing controller), a message-passing tree-network
+simulator, an analysis oracle, and baselines.
+
+Quickstart::
+
+    from repro import KLParams, SaturatedWorkload, build_selfstab_engine
+    from repro.topology import random_tree
+    from repro.analysis import stabilize, population_correct
+
+    tree = random_tree(12, seed=1)
+    params = KLParams(k=2, l=5, n=tree.n)
+    apps = [SaturatedWorkload(need=1 + p % 2) for p in range(tree.n)]
+    engine = build_selfstab_engine(tree, params, apps)
+    stabilize(engine, params)
+    engine.run(20_000)
+    print("CS entries:", engine.total_cs_entries)
+"""
+
+from .analysis import (
+    ConvergenceResult,
+    RunMetrics,
+    WaitingTimeResult,
+    check_safety,
+    collect_metrics,
+    domains_ok,
+    population_correct,
+    run_convergence,
+    run_waiting_time,
+    safety_ok,
+    stabilize,
+    take_census,
+    waiting_time_bound,
+)
+from .apps import (
+    Application,
+    HogWorkload,
+    IdleApplication,
+    OneShotWorkload,
+    SaturatedWorkload,
+    ScriptedWorkload,
+    StochasticWorkload,
+)
+from .core import (
+    KLParams,
+    build_naive_engine,
+    build_priority_engine,
+    build_pusher_engine,
+    build_selfstab_engine,
+)
+from .sim import (
+    Engine,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Trace,
+)
+from .topology import (
+    OrientedTree,
+    VirtualRing,
+    build_virtual_ring,
+    paper_example_tree,
+    paper_livelock_tree,
+    random_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "KLParams",
+    "build_naive_engine",
+    "build_pusher_engine",
+    "build_priority_engine",
+    "build_selfstab_engine",
+    # sim
+    "Engine",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "Trace",
+    # topology
+    "OrientedTree",
+    "VirtualRing",
+    "build_virtual_ring",
+    "paper_example_tree",
+    "paper_livelock_tree",
+    "random_tree",
+    # apps
+    "Application",
+    "IdleApplication",
+    "SaturatedWorkload",
+    "OneShotWorkload",
+    "StochasticWorkload",
+    "ScriptedWorkload",
+    "HogWorkload",
+    # analysis
+    "take_census",
+    "population_correct",
+    "safety_ok",
+    "check_safety",
+    "domains_ok",
+    "stabilize",
+    "run_convergence",
+    "run_waiting_time",
+    "collect_metrics",
+    "waiting_time_bound",
+    "ConvergenceResult",
+    "WaitingTimeResult",
+    "RunMetrics",
+]

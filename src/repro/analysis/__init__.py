@@ -1,0 +1,55 @@
+"""Oracle: token census, safety invariants, metrics, experiment harness."""
+
+from .census import TokenCensus, population_correct, take_census
+from .explore import ExplorationResult, canonical_digest, explore
+from .harness import (
+    ConvergenceResult,
+    WaitingTimeResult,
+    run_convergence,
+    run_waiting_time,
+    stabilize,
+)
+from .invariants import SafetyReport, check_safety, domains_ok, safety_ok, units_in_use
+from .metrics import (
+    RunMetrics,
+    collect_metrics,
+    priority_holder_bound,
+    waiting_time_bound,
+)
+from .stats import PowerLawFit, bootstrap_ci, fit_power_law, r_squared
+from .sweeps import SweepCell, SweepResult, run_sweep
+from .trajectories import TokenTrajectory, TokenVisit, lap_times, track_tokens
+
+__all__ = [
+    "ExplorationResult",
+    "canonical_digest",
+    "explore",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
+    "PowerLawFit",
+    "bootstrap_ci",
+    "fit_power_law",
+    "r_squared",
+    "TokenTrajectory",
+    "TokenVisit",
+    "lap_times",
+    "track_tokens",
+    "TokenCensus",
+    "population_correct",
+    "take_census",
+    "ConvergenceResult",
+    "WaitingTimeResult",
+    "run_convergence",
+    "run_waiting_time",
+    "stabilize",
+    "SafetyReport",
+    "check_safety",
+    "domains_ok",
+    "safety_ok",
+    "units_in_use",
+    "RunMetrics",
+    "collect_metrics",
+    "priority_holder_bound",
+    "waiting_time_bound",
+]

@@ -1,0 +1,68 @@
+"""Global token accounting (the oracle's view of a configuration).
+
+The paper's legitimacy argument revolves around the token *census*: at
+any instant the number of resource tokens equals the sum of the ``RSet``
+sizes plus the free resource tokens in channels; priority tokens equal
+the processes with ``Prio ≠ ⊥`` plus free ones; pusher tokens are always
+free.  A configuration has the *expected population* when the census is
+exactly ``(ℓ, 1, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.messages import PrioT, PushT, ResT
+from ..core.params import KLParams
+from ..sim.engine import Engine
+
+__all__ = ["TokenCensus", "take_census", "population_correct"]
+
+
+@dataclass(frozen=True, slots=True)
+class TokenCensus:
+    """Instantaneous token population."""
+
+    free_res: int
+    reserved_res: int
+    free_prio: int
+    held_prio: int
+    push: int
+
+    @property
+    def res(self) -> int:
+        """Total resource tokens (free + reserved)."""
+        return self.free_res + self.reserved_res
+
+    @property
+    def prio(self) -> int:
+        """Total priority tokens (free + held)."""
+        return self.free_prio + self.held_prio
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """``(resource, pusher, priority)`` totals."""
+        return (self.res, self.push, self.prio)
+
+
+def take_census(engine: Engine) -> TokenCensus:
+    """Count every token in the system right now."""
+    free = engine.network.free_token_counts()
+    reserved = 0
+    held_prio = 0
+    for proc in engine.processes:
+        reserved += len(proc.reserved_tokens())
+        if proc.holds_priority():
+            held_prio += 1
+    return TokenCensus(
+        free_res=free["ResT"],
+        reserved_res=reserved,
+        free_prio=free["PrioT"],
+        held_prio=held_prio,
+        push=free["PushT"],
+    )
+
+
+def population_correct(engine: Engine, params: KLParams) -> bool:
+    """True iff the census is exactly ℓ resource, 1 pusher, 1 priority token."""
+    c = take_census(engine)
+    return c.res == params.l and c.push == 1 and c.prio == 1

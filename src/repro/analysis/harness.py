@@ -1,0 +1,210 @@
+"""One-call experiment runners shared by tests, examples, and benchmarks.
+
+Two canonical experiment shapes:
+
+* :func:`run_convergence` — start the self-stabilizing protocol in a
+  seeded *arbitrary* configuration, run it, and locate the stabilization
+  point (when the token population becomes and stays ``(ℓ, 1, 1)`` and
+  safety stops being violated).
+* :func:`run_waiting_time` — start legitimate, warm up until the
+  controller has certified the population, then measure waiting times
+  under a saturated workload and compare against Theorem 2's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.interface import Application
+from ..apps.workloads import SaturatedWorkload
+from ..core.params import KLParams
+from ..core.selfstab import build_selfstab_engine
+from ..sim.engine import Engine
+from ..sim.faults import scramble_configuration
+from ..sim.rng import derive_seed
+from ..sim.scheduler import RandomScheduler, Scheduler
+from ..topology.tree import OrientedTree
+from .census import population_correct, take_census
+from .invariants import safety_ok
+from .metrics import RunMetrics, collect_metrics, waiting_time_bound
+
+__all__ = [
+    "ConvergenceResult",
+    "run_convergence",
+    "WaitingTimeResult",
+    "run_waiting_time",
+    "stabilize",
+]
+
+
+@dataclass(slots=True)
+class ConvergenceResult:
+    """Outcome of a convergence experiment."""
+
+    converged: bool
+    #: first sampled step from which the census stayed ``(ℓ, 1, 1)``
+    stabilization_step: int | None
+    #: first sampled step from which safety was never again violated
+    safety_clean_from: int | None
+    resets: int
+    circulations: int
+    steps: int
+    final_census: tuple[int, int, int]
+
+    @property
+    def stabilized_fraction(self) -> float | None:
+        """Fraction of the run spent stabilized (None if never)."""
+        if self.stabilization_step is None or self.steps == 0:
+            return None
+        return 1.0 - self.stabilization_step / self.steps
+
+
+def _first_suffix_true(samples: list[tuple[int, bool]]) -> int | None:
+    """Earliest sampled step such that the flag holds at it and ever after."""
+    start: int | None = None
+    for step, ok in samples:
+        if ok:
+            if start is None:
+                start = step
+        else:
+            start = None
+    return start
+
+
+def run_convergence(
+    tree: OrientedTree,
+    params: KLParams,
+    *,
+    seed: int = 0,
+    max_steps: int = 200_000,
+    sample_every: int | None = None,
+    apps: list[Application | None] | None = None,
+    scheduler: Scheduler | None = None,
+    timeout_interval: int | None = None,
+    scramble: bool = True,
+) -> ConvergenceResult:
+    """Run the self-stabilizing protocol from an arbitrary configuration.
+
+    Convergence is declared when the token population is correct at every
+    sample of the final quarter of the run (an empirical stand-in for
+    "forever"); the stabilization step is the earliest sample from which
+    correctness held through the end.
+    """
+    if apps is None:
+        apps = [
+            SaturatedWorkload(need=min(1 + p % params.k, params.k), cs_duration=2)
+            for p in range(tree.n)
+        ]
+    if scheduler is None:
+        scheduler = RandomScheduler(tree.n, seed=derive_seed(seed, "sched"))
+    engine = build_selfstab_engine(
+        tree, params, apps, scheduler, timeout_interval=timeout_interval
+    )
+    if scramble:
+        scramble_configuration(engine, params, derive_seed(seed, "faults"))
+    if sample_every is None:
+        sample_every = max(1, max_steps // 400)
+
+    census_samples: list[tuple[int, bool]] = []
+    safety_samples: list[tuple[int, bool]] = []
+    while engine.now < max_steps:
+        engine.run(min(sample_every, max_steps - engine.now))
+        census_samples.append((engine.now, population_correct(engine, params)))
+        safety_samples.append((engine.now, safety_ok(engine, params)))
+
+    stab = _first_suffix_true(census_samples)
+    clean = _first_suffix_true(safety_samples)
+    converged = stab is not None and stab <= max_steps * 3 // 4
+    root = engine.process(tree.root)
+    return ConvergenceResult(
+        converged=converged,
+        stabilization_step=stab,
+        safety_clean_from=clean,
+        resets=getattr(root, "resets", 0),
+        circulations=getattr(root, "circulations", 0),
+        steps=engine.now,
+        final_census=take_census(engine).as_tuple(),
+    )
+
+
+def stabilize(
+    engine: Engine,
+    params: KLParams,
+    *,
+    max_steps: int = 500_000,
+    extra_circulations: int = 2,
+) -> bool:
+    """Run ``engine`` until the population is correct and the controller
+    has completed ``extra_circulations`` more full circulations (so the
+    root has *verified* the census).  Returns success."""
+    root = next(p for p in engine.processes if getattr(p, "is_root", False))
+
+    def settled(e: Engine) -> bool:
+        return population_correct(e, params) and not getattr(root, "reset", False)
+
+    if not engine.run_until(settled, max_steps, check_every=64):
+        return False
+    target = getattr(root, "circulations", 0) + extra_circulations
+    return engine.run_until(
+        lambda e: getattr(root, "circulations", 0) >= target and settled(e),
+        max_steps,
+        check_every=64,
+    )
+
+
+@dataclass(slots=True)
+class WaitingTimeResult:
+    """Outcome of a waiting-time experiment."""
+
+    metrics: RunMetrics
+    bound: int
+    n: int
+
+    @property
+    def max_waiting(self) -> int | None:
+        """Worst observed waiting time (paper metric)."""
+        return self.metrics.max_waiting_time
+
+    @property
+    def within_bound(self) -> bool:
+        """True iff every observed waiting time respects Theorem 2."""
+        w = self.metrics.max_waiting_time
+        return w is None or w <= self.bound
+
+
+def run_waiting_time(
+    tree: OrientedTree,
+    params: KLParams,
+    *,
+    seed: int = 0,
+    measure_steps: int = 100_000,
+    needs: list[int] | None = None,
+    cs_duration: int = 1,
+    scheduler: Scheduler | None = None,
+    timeout_interval: int | None = None,
+) -> WaitingTimeResult:
+    """Measure waiting times of a stabilized system under saturation.
+
+    ``needs[p]`` is each process's per-request demand (default: everyone
+    requests 1 unit, the worst-case regime of the Theorem 2 proof).
+    """
+    if needs is None:
+        needs = [1] * tree.n
+    apps: list[Application | None] = [
+        SaturatedWorkload(need=needs[p], cs_duration=cs_duration)
+        for p in range(tree.n)
+    ]
+    if scheduler is None:
+        scheduler = RandomScheduler(tree.n, seed=derive_seed(seed, "sched"))
+    engine = build_selfstab_engine(
+        tree, params, apps, scheduler,
+        timeout_interval=timeout_interval, init="tokens",
+    )
+    if not stabilize(engine, params):
+        raise RuntimeError("system failed to stabilize during warmup")
+    warmup_end = engine.now
+    engine.run(measure_steps)
+    metrics = collect_metrics(engine, apps, since_step=warmup_end)
+    return WaitingTimeResult(
+        metrics=metrics, bound=waiting_time_bound(params, tree.n), n=tree.n
+    )

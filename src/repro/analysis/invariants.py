@@ -1,0 +1,122 @@
+"""Safety predicates and bounded-domain checks.
+
+The k-out-of-ℓ exclusion *safety* property (paper §2):
+
+1. each resource unit is used by at most one process at a time,
+2. each process uses at most ``k`` units,
+3. at most ``ℓ`` units are used overall.
+
+"Used" means reserved by a process that is executing its critical
+section.  Unit identity is the token uid (the protocol never reads it).
+Before stabilization these can all be violated — the convergence
+experiments measure exactly when violations stop.
+
+:func:`domains_ok` checks the bounded-memory claim: every protocol
+variable stays inside the finite domain declared in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.base import IN, OUT, REQ
+from ..core.params import KLParams
+from ..sim.engine import Engine
+
+__all__ = ["SafetyReport", "check_safety", "safety_ok", "domains_ok", "units_in_use"]
+
+
+@dataclass(slots=True)
+class SafetyReport:
+    """Outcome of one safety evaluation."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no violation was found."""
+        return not self.violations
+
+
+def units_in_use(engine: Engine) -> int:
+    """Total resource units held by processes currently in their CS."""
+    return sum(
+        len(p.reserved_tokens())
+        for p in engine.processes
+        if getattr(p, "state", None) == IN
+    )
+
+
+def check_safety(engine: Engine, params: KLParams) -> SafetyReport:
+    """Evaluate the three safety clauses on the current configuration."""
+    rep = SafetyReport()
+    in_use = 0
+    seen_uids: dict[int, int] = {}
+    for p in engine.processes:
+        state = getattr(p, "state", None)
+        reserved = p.reserved_tokens()
+        if state == IN:
+            in_use += len(reserved)
+            if len(reserved) > params.k:
+                rep.violations.append(
+                    f"process {p.pid} uses {len(reserved)} > k={params.k} units"
+                )
+        for _, uid in reserved:
+            if uid in seen_uids and state == IN:
+                rep.violations.append(
+                    f"unit {uid} used by both {seen_uids[uid]} and {p.pid}"
+                )
+            if state == IN:
+                seen_uids[uid] = p.pid
+    if in_use > params.l:
+        rep.violations.append(f"{in_use} > l={params.l} units in use")
+    return rep
+
+
+def safety_ok(engine: Engine, params: KLParams) -> bool:
+    """Shorthand: the current configuration satisfies safety."""
+    return check_safety(engine, params).ok
+
+
+def domains_ok(engine: Engine, params: KLParams) -> SafetyReport:
+    """Check every protocol variable against its paper-declared domain.
+
+    This is the executable form of the bounded-local-memory claim; the
+    hypothesis test suite drives arbitrary executions through it.
+    """
+    rep = SafetyReport()
+    for p in engine.processes:
+        pid = p.pid
+        state = getattr(p, "state", None)
+        if state is not None and state not in (OUT, REQ, IN):
+            rep.violations.append(f"{pid}: State={state!r}")
+        need = getattr(p, "need", None)
+        if need is not None and not (0 <= need <= params.k):
+            rep.violations.append(f"{pid}: Need={need}")
+        rset = getattr(p, "rset", None)
+        if rset is not None:
+            if len(rset) > params.k:
+                rep.violations.append(f"{pid}: |RSet|={len(rset)} > k")
+            for lbl, _ in rset:
+                if not (0 <= lbl < max(p.degree, 1)):
+                    rep.violations.append(f"{pid}: RSet label {lbl}")
+        prio = getattr(p, "prio", None)
+        if prio is not None and not (0 <= prio < max(p.degree, 1)):
+            rep.violations.append(f"{pid}: Prio={prio}")
+        myc = getattr(p, "myc", None)
+        if myc is not None and not (0 <= myc < params.myc_modulus):
+            rep.violations.append(f"{pid}: myC={myc}")
+        # (with params.unbounded_memory the modulus is the 2**63 sentinel,
+        # so this clause only checks non-negativity in that mode)
+        succ = getattr(p, "succ", None)
+        if succ is not None and not (0 <= succ < max(p.degree, 1)):
+            rep.violations.append(f"{pid}: Succ={succ}")
+        for name, cap in (
+            ("stoken", params.pt_cap),
+            ("sprio", params.small_cap),
+            ("spush", params.small_cap),
+        ):
+            v = getattr(p, name, None)
+            if v is not None and not (0 <= v <= cap):
+                rep.violations.append(f"{pid}: {name}={v}")
+    return rep

@@ -1,0 +1,107 @@
+"""Run-level metrics: waiting time, throughput, message overhead.
+
+The paper's *waiting time* (§2, after [14]) is the maximum number of
+critical-section entries by all processes between a request and its
+satisfaction.  Theorem 2 bounds it by ``ℓ·(2n−3)²`` after stabilization;
+:func:`waiting_time_bound` computes that bound and
+:func:`priority_holder_bound` the intermediate ``ℓ·(2n−3)`` bound for a
+requester already holding the priority token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from ..apps.interface import Application
+from ..core.params import KLParams
+from ..sim.engine import Engine
+
+__all__ = [
+    "RunMetrics",
+    "collect_metrics",
+    "waiting_time_bound",
+    "priority_holder_bound",
+]
+
+
+def waiting_time_bound(params: KLParams, n: int | None = None) -> int:
+    """Theorem 2: post-stabilization waiting time is at most ``ℓ·(2n−3)²``."""
+    n = params.n if n is None else n
+    return params.l * max(2 * n - 3, 0) ** 2
+
+
+def priority_holder_bound(params: KLParams, n: int | None = None) -> int:
+    """Intermediate bound: a requester holding the priority token waits
+    at most ``ℓ·(2n−3)`` CS entries (first half of the Theorem 2 proof)."""
+    n = params.n if n is None else n
+    return params.l * max(2 * n - 3, 0)
+
+
+@dataclass(slots=True)
+class RunMetrics:
+    """Aggregated outcome of one simulation run."""
+
+    steps: int
+    cs_entries: int
+    requests: int
+    satisfied: int
+    max_waiting_time: int | None
+    mean_waiting_time: float | None
+    max_waiting_steps: int | None
+    messages_by_type: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def messages_total(self) -> int:
+        """All protocol messages sent during the run."""
+        return sum(self.messages_by_type.values())
+
+    @property
+    def messages_per_cs(self) -> float:
+        """Message overhead per critical-section entry (inf if none)."""
+        if self.cs_entries == 0:
+            return float("inf")
+        return self.messages_total / self.cs_entries
+
+    @property
+    def unsatisfied(self) -> int:
+        """Requests still pending at the end of the run."""
+        return self.requests - self.satisfied
+
+
+def collect_metrics(
+    engine: Engine, apps: list[Application | None], *, since_step: int = 0
+) -> RunMetrics:
+    """Aggregate request/waiting statistics over all applications.
+
+    ``since_step`` restricts the request statistics to requests issued at
+    or after that step (used to exclude a warmup phase); message and CS
+    counters are cumulative for the whole engine lifetime.
+    """
+    waits: list[int] = []
+    wait_steps: list[int] = []
+    requests = 0
+    satisfied = 0
+    for app in apps:
+        if app is None:
+            continue
+        for rec in app.requests:
+            if rec.requested_at < since_step:
+                continue
+            requests += 1
+            if rec.satisfied:
+                satisfied += 1
+                if rec.waiting_time is not None:
+                    waits.append(rec.waiting_time)
+                if rec.waiting_steps is not None:
+                    wait_steps.append(rec.waiting_steps)
+    return RunMetrics(
+        steps=engine.now,
+        cs_entries=engine.total_cs_entries,
+        requests=requests,
+        satisfied=satisfied,
+        max_waiting_time=max(waits) if waits else None,
+        mean_waiting_time=float(mean(waits)) if waits else None,
+        max_waiting_steps=max(wait_steps) if wait_steps else None,
+        messages_by_type=dict(engine.sent_by_type),
+    )

@@ -1,0 +1,83 @@
+"""Statistics for experiment analysis: scaling fits and bootstrap CIs.
+
+The reproduction's claims are about *shapes* (waiting time quadratic in
+``n``, stabilization roughly linear in circulation length), so the
+benches fit power laws to measured series and report the exponent with
+goodness of fit, rather than comparing absolute values against a
+different machine's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sim.rng import make_rng
+
+__all__ = ["PowerLawFit", "fit_power_law", "bootstrap_ci", "r_squared"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """Result of fitting ``y ≈ c · x^alpha`` on log–log axes."""
+
+    alpha: float
+    coeff: float
+    r2: float
+
+    def predict(self, x: Sequence[float]) -> np.ndarray:
+        """Model predictions at ``x``."""
+        return self.coeff * np.asarray(x, dtype=float) ** self.alpha
+
+
+def r_squared(y: Sequence[float], yhat: Sequence[float]) -> float:
+    """Coefficient of determination (1 = perfect fit)."""
+    y = np.asarray(y, dtype=float)
+    yhat = np.asarray(yhat, dtype=float)
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``y = c · x^alpha`` via log–log regression.
+
+    Requires strictly positive data (both axes).  R² is computed in the
+    original (linear) space, which is stricter than log-space R².
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need >= 2 paired points")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fit needs positive data")
+    alpha, logc = np.polyfit(np.log(x), np.log(y), 1)
+    fit = PowerLawFit(alpha=float(alpha), coeff=float(np.exp(logc)), r2=0.0)
+    return PowerLawFit(alpha=fit.alpha, coeff=fit.coeff,
+                       r2=r_squared(y, fit.predict(x)))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    stat: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``stat(values)``."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("need at least one value")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    rng = make_rng(seed)
+    idx = rng.integers(0, v.size, size=(n_boot, v.size))
+    boots = np.apply_along_axis(stat, 1, v[idx])
+    lo = float(np.percentile(boots, 100 * (1 - confidence) / 2))
+    hi = float(np.percentile(boots, 100 * (1 + confidence) / 2))
+    return lo, hi

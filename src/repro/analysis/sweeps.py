@@ -1,0 +1,120 @@
+"""Parameter-sweep utilities with numpy aggregation.
+
+The benchmark harness and downstream users run the same experiment over
+grids of (tree, k, ℓ, seed).  These helpers structure that: a sweep is a
+list of cells, each repeated over seeds, aggregated into mean/std/min/max
+arrays — vectorized with numpy per the project's performance guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One grid point: a label plus keyword arguments for the runner."""
+
+    label: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Aggregated sweep outcome.
+
+    ``values[i, j]`` is metric value for cell ``i``, seed index ``j``;
+    aggregation properties reduce over the seed axis.
+    """
+
+    labels: list[str]
+    metrics: list[str]
+    #: raw values, shape (cells, seeds, metrics); NaN = missing
+    values: np.ndarray
+
+    def _axis(self, metric: str) -> int:
+        try:
+            return self.metrics.index(metric)
+        except ValueError:
+            raise KeyError(f"unknown metric {metric!r}") from None
+
+    def mean(self, metric: str) -> np.ndarray:
+        """Per-cell mean over seeds (NaN-aware)."""
+        return np.nanmean(self.values[:, :, self._axis(metric)], axis=1)
+
+    def std(self, metric: str) -> np.ndarray:
+        """Per-cell standard deviation over seeds."""
+        return np.nanstd(self.values[:, :, self._axis(metric)], axis=1)
+
+    def max(self, metric: str) -> np.ndarray:
+        """Per-cell maximum over seeds."""
+        return np.nanmax(self.values[:, :, self._axis(metric)], axis=1)
+
+    def min(self, metric: str) -> np.ndarray:
+        """Per-cell minimum over seeds."""
+        return np.nanmin(self.values[:, :, self._axis(metric)], axis=1)
+
+    def rows(self, *metrics: str, agg: str = "mean") -> list[tuple]:
+        """Table rows ``(label, value…)`` with the chosen aggregation."""
+        fn = {"mean": self.mean, "std": self.std, "max": self.max, "min": self.min}[agg]
+        cols = [fn(m) for m in metrics]
+        return [
+            (label, *(float(c[i]) for c in cols))
+            for i, label in enumerate(self.labels)
+        ]
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """``{label: {metric: mean}}`` convenience view."""
+        return {
+            label: {m: float(self.mean(m)[i]) for m in self.metrics}
+            for i, label in enumerate(self.labels)
+        }
+
+
+def run_sweep(
+    runner: Callable[..., Mapping[str, float] | None],
+    cells: Sequence[SweepCell],
+    seeds: Iterable[int],
+    *,
+    metrics: Sequence[str] | None = None,
+) -> SweepResult:
+    """Run ``runner(seed=…, **cell.kwargs)`` over the grid and aggregate.
+
+    The runner returns a mapping of metric name → value for one run (or
+    ``None`` to record a missing cell/seed).  ``metrics`` fixes the
+    metric order; by default it is inferred from the first non-``None``
+    result (later unknown keys are ignored, missing keys become NaN).
+    """
+    seeds = list(seeds)
+    if not cells:
+        raise ValueError("sweep needs at least one cell")
+    if not seeds:
+        raise ValueError("sweep needs at least one seed")
+    results: list[list[Mapping[str, float] | None]] = []
+    inferred: list[str] | None = list(metrics) if metrics is not None else None
+    for cell in cells:
+        row = []
+        for seed in seeds:
+            out = runner(seed=seed, **cell.kwargs)
+            if out is not None and inferred is None:
+                inferred = list(out.keys())
+            row.append(out)
+        results.append(row)
+    if inferred is None:
+        raise ValueError("every run returned None; no metrics to aggregate")
+    values = np.full((len(cells), len(seeds), len(inferred)), np.nan)
+    for i, row in enumerate(results):
+        for j, out in enumerate(row):
+            if out is None:
+                continue
+            for m, name in enumerate(inferred):
+                if name in out and out[name] is not None:
+                    values[i, j, m] = float(out[name])
+    return SweepResult(
+        labels=[c.label for c in cells], metrics=inferred, values=values
+    )

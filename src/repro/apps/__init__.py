@@ -1,0 +1,21 @@
+"""Application-side interface and workload drivers."""
+
+from .interface import Application, IdleApplication, RequestRecord
+from .workloads import (
+    HogWorkload,
+    OneShotWorkload,
+    SaturatedWorkload,
+    ScriptedWorkload,
+    StochasticWorkload,
+)
+
+__all__ = [
+    "Application",
+    "IdleApplication",
+    "RequestRecord",
+    "HogWorkload",
+    "OneShotWorkload",
+    "SaturatedWorkload",
+    "ScriptedWorkload",
+    "StochasticWorkload",
+]

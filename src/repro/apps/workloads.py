@@ -1,0 +1,175 @@
+"""Concrete application workloads.
+
+These drive the ``Out → Req`` transitions and critical-section durations
+for every experiment:
+
+* :class:`SaturatedWorkload` — re-requests immediately (after an optional
+  think time); the contention regime of the waiting-time analysis.
+* :class:`OneShotWorkload` — a single request at a given time.
+* :class:`StochasticWorkload` — Bernoulli request arrivals, random needs
+  and CS durations; the "realistic" regime.
+* :class:`ScriptedWorkload` — fully scripted request/duration sequence;
+  used to pin down the paper's figure scenarios exactly.
+* :class:`HogWorkload` — enters its CS and never leaves; builds the set
+  ``I`` of the (k,ℓ)-liveness definition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .interface import Application
+
+__all__ = [
+    "SaturatedWorkload",
+    "OneShotWorkload",
+    "StochasticWorkload",
+    "ScriptedWorkload",
+    "HogWorkload",
+]
+
+
+class SaturatedWorkload(Application):
+    """Always wants ``need`` units; holds the CS for ``cs_duration`` steps.
+
+    After leaving the CS it waits ``think_time`` steps before requesting
+    again (0 = immediately).
+    """
+
+    def __init__(self, need: int, cs_duration: int = 1, think_time: int = 0) -> None:
+        super().__init__()
+        if need < 0:
+            raise ValueError("need must be >= 0")
+        self.need = need
+        self.cs_duration = cs_duration
+        self.think_time = think_time
+        self._last_exit: int | None = None
+
+    def maybe_request(self, now: int) -> int | None:
+        if self._last_exit is not None and now - self._last_exit < self.think_time:
+            return None
+        return self.need
+
+    def release_cs(self, now: int) -> bool:
+        return self._done_after(self.cs_duration)
+
+    def on_exit_cs(self, now: int) -> None:
+        super().on_exit_cs(now)
+        self._last_exit = now
+
+
+class OneShotWorkload(Application):
+    """Requests ``need`` units once, at or after step ``at``."""
+
+    def __init__(self, need: int, at: int = 0, cs_duration: int = 1) -> None:
+        super().__init__()
+        self.need = need
+        self.at = at
+        self.cs_duration = cs_duration
+        self._done = False
+
+    def maybe_request(self, now: int) -> int | None:
+        if self._done or now < self.at:
+            return None
+        self._done = True
+        return self.need
+
+    def release_cs(self, now: int) -> bool:
+        return self._done_after(self.cs_duration)
+
+
+class StochasticWorkload(Application):
+    """Bernoulli arrivals: request with probability ``p`` per idle step.
+
+    ``need`` is drawn uniformly from ``[1, max_need]`` and the CS duration
+    uniformly from ``[1, max_cs]`` — a heterogeneous-demand stream like
+    the audio/video bandwidth mix the paper's introduction motivates.
+    """
+
+    def __init__(
+        self,
+        p: float,
+        max_need: int,
+        max_cs: int = 8,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__()
+        if not (0.0 <= p <= 1.0):
+            raise ValueError("p must be a probability")
+        if max_need < 1:
+            raise ValueError("max_need must be >= 1")
+        self.p = p
+        self.max_need = max_need
+        self.max_cs = max_cs
+        self.rng = make_rng(seed)
+        self._cs_len = 1
+
+    def maybe_request(self, now: int) -> int | None:
+        if self.rng.random() >= self.p:
+            return None
+        self._cs_len = int(self.rng.integers(1, self.max_cs + 1))
+        return int(self.rng.integers(1, self.max_need + 1))
+
+    def release_cs(self, now: int) -> bool:
+        return self._done_after(self._cs_len)
+
+
+class ScriptedWorkload(Application):
+    """Replays an explicit schedule of requests.
+
+    ``script`` is a sequence of ``(at, need, cs_duration)`` triples in
+    increasing ``at`` order; each fires the first time the process is
+    idle at or after step ``at``.
+    """
+
+    def __init__(self, script: Sequence[tuple[int, int, int]]) -> None:
+        super().__init__()
+        self.script = sorted(script)
+        self._i = 0
+        self._cs_len = 1
+
+    def maybe_request(self, now: int) -> int | None:
+        if self._i >= len(self.script):
+            return None
+        at, need, dur = self.script[self._i]
+        if now < at:
+            return None
+        self._i += 1
+        self._cs_len = dur
+        return need
+
+    def release_cs(self, now: int) -> bool:
+        return self._done_after(self._cs_len)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted request has been issued."""
+        return self._i >= len(self.script)
+
+
+class HogWorkload(Application):
+    """Requests ``need`` units once and never releases the CS.
+
+    Realizes the set ``I`` in the (k,ℓ)-liveness property: processes that
+    execute their critical section forever, pinning ``α`` units.
+    """
+
+    def __init__(self, need: int, at: int = 0) -> None:
+        super().__init__()
+        self.need = need
+        self.at = at
+        self._done = False
+
+    def maybe_request(self, now: int) -> int | None:
+        if self._done or now < self.at:
+            return None
+        self._done = True
+        return self.need
+
+    def release_cs(self, now: int) -> bool:
+        # Never release once genuinely inside the CS; if a fault put the
+        # protocol in state ``In`` without entry, ReleaseCS() holds.
+        return self.cs_elapsed is None

@@ -1,0 +1,24 @@
+"""Comparison baselines: ring k-out-of-ℓ exclusion and a centralized allocator."""
+
+from .central import (
+    CentralClient,
+    CentralCoordinator,
+    CGrant,
+    CRel,
+    CReq,
+    build_central_engine,
+)
+from .ring import RingProcess, RingRoot, build_ring_engine, ring_myc_modulus
+
+__all__ = [
+    "CentralClient",
+    "CentralCoordinator",
+    "CGrant",
+    "CRel",
+    "CReq",
+    "build_central_engine",
+    "RingProcess",
+    "RingRoot",
+    "build_ring_engine",
+    "ring_myc_modulus",
+]

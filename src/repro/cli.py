@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the self-stabilizing protocol on a chosen tree under a saturated
+    workload and print service statistics.
+``converge``
+    Start from a seeded arbitrary configuration and report the
+    stabilization point (experiment T1, one cell).
+``wait``
+    Measure waiting times against the Theorem 2 bound (experiment T2,
+    one cell).
+``figures``
+    Reproduce the paper's Figs. 1–4 in the terminal.
+
+Every command accepts ``--seed`` and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    collect_metrics,
+    run_convergence,
+    run_waiting_time,
+    stabilize,
+    take_census,
+)
+from .apps.workloads import SaturatedWorkload
+from .core.params import KLParams
+from .core.selfstab import build_selfstab_engine
+from .sim.scheduler import RandomScheduler
+from .topology import (
+    balanced_tree,
+    paper_example_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from .viz import render_tree
+
+__all__ = ["main", "build_parser"]
+
+
+def _tree_from_args(args: argparse.Namespace):
+    if args.tree == "paper":
+        return paper_example_tree()
+    if args.tree == "path":
+        return path_tree(args.n)
+    if args.tree == "star":
+        return star_tree(args.n)
+    if args.tree == "balanced":
+        return balanced_tree(2, max(args.n.bit_length() - 1, 1))
+    return random_tree(args.n, seed=args.seed)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tree", choices=["paper", "path", "star", "balanced", "random"],
+                   default="random", help="tree family (default: random)")
+    p.add_argument("--n", type=int, default=10, help="number of processes")
+    p.add_argument("--k", type=int, default=2, help="max units per request")
+    p.add_argument("--l", type=int, default=4, help="total resource units")
+    p.add_argument("--cmax", type=int, default=2, help="initial channel garbage bound")
+    p.add_argument("--seed", type=int, default=0, help="experiment seed")
+    p.add_argument("--steps", type=int, default=60_000, help="measured steps")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing k-out-of-l exclusion on tree networks "
+                    "(Datta, Devismes, Horn, Larmore; IPPS 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, doc in (
+        ("demo", "run the protocol and print service statistics"),
+        ("converge", "measure stabilization from an arbitrary configuration"),
+        ("wait", "measure waiting times against the Theorem 2 bound"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _add_common(p)
+    sub.add_parser("figures", help="reproduce the paper's figures in the terminal")
+    return parser
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    tree = _tree_from_args(args)
+    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+    print(render_tree(tree))
+    apps = [SaturatedWorkload(1 + p % params.k, cs_duration=3) for p in range(tree.n)]
+    engine = build_selfstab_engine(
+        tree, params, apps, RandomScheduler(tree.n, seed=args.seed)
+    )
+    if not stabilize(engine, params):
+        print("failed to stabilize", file=sys.stderr)
+        return 1
+    t0 = engine.now
+    engine.run(args.steps)
+    m = collect_metrics(engine, apps, since_step=t0)
+    print(f"stabilized at step {t0}; census {take_census(engine).as_tuple()}")
+    print(f"{m.satisfied} requests satisfied in {args.steps} steps "
+          f"({m.messages_per_cs:.2f} msgs/CS, "
+          f"max wait {m.max_waiting_time})")
+    return 0
+
+
+def cmd_converge(args: argparse.Namespace) -> int:
+    tree = _tree_from_args(args)
+    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+    res = run_convergence(tree, params, seed=args.seed,
+                          max_steps=max(args.steps, 50_000))
+    print(f"converged        : {res.converged}")
+    print(f"stabilized at    : {res.stabilization_step}")
+    print(f"safety clean from: {res.safety_clean_from}")
+    print(f"resets           : {res.resets}")
+    print(f"circulations     : {res.circulations}")
+    print(f"final census     : {res.final_census}")
+    return 0 if res.converged else 1
+
+
+def cmd_wait(args: argparse.Namespace) -> int:
+    tree = _tree_from_args(args)
+    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+    res = run_waiting_time(tree, params, seed=args.seed, measure_steps=args.steps)
+    print(f"max waiting time : {res.max_waiting} (bound {res.bound})")
+    print(f"within bound     : {res.within_bound}")
+    print(f"satisfied        : {res.metrics.satisfied}")
+    print(f"messages per CS  : {res.metrics.messages_per_cs:.2f}")
+    return 0 if res.within_bound else 1
+
+
+def cmd_figures(_: argparse.Namespace) -> int:
+    from .scenarios import (
+        run_fig1_circulation,
+        run_fig2_deadlock,
+        run_fig3_livelock,
+    )
+    from .viz import render_ring
+
+    names = dict(enumerate("r a b c d e f g".split()))
+    f1 = run_fig1_circulation()
+    print("Fig.1/4 — virtual ring:", render_ring(f1["ring"], names))
+    print("         simulated token path matches:", f1["match"])
+    f2n = run_fig2_deadlock("naive")
+    f2s = run_fig2_deadlock("selfstab")
+    print(f"Fig.2   — naive: {'DEADLOCK' if f2n.deadlocked else 'ok'} "
+          f"{f2n.rset_sizes}; selfstab recovers: {not f2s.deadlocked}")
+    f3p = run_fig3_livelock("pusher")
+    f3q = run_fig3_livelock("priority")
+    print(f"Fig.3   — pusher: a starved={f3p.starved} "
+          f"(r/a/b = {f3p.cs_r}/{f3p.cs_a}/{f3p.cs_b}); "
+          f"priority: a served {f3q.cs_a} times")
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "converge": cmd_converge,
+    "wait": cmd_wait,
+    "figures": cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

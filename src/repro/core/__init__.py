@@ -1,0 +1,33 @@
+"""The k-out-of-ℓ exclusion protocol family (naive → self-stabilizing)."""
+
+from .base import IN, OUT, REQ, TokenProcessBase
+from .messages import Ctrl, Message, PrioT, PushT, ResT, Token, fresh_uid
+from .naive import NaiveProcess, build_naive_engine
+from .params import KLParams
+from .priority import PriorityProcess, build_priority_engine
+from .pusher import PusherProcess, build_pusher_engine
+from .selfstab import SelfStabProcess, SelfStabRoot, build_selfstab_engine
+
+__all__ = [
+    "IN",
+    "OUT",
+    "REQ",
+    "TokenProcessBase",
+    "Ctrl",
+    "Message",
+    "PrioT",
+    "PushT",
+    "ResT",
+    "Token",
+    "fresh_uid",
+    "KLParams",
+    "NaiveProcess",
+    "build_naive_engine",
+    "PusherProcess",
+    "build_pusher_engine",
+    "PriorityProcess",
+    "build_priority_engine",
+    "SelfStabProcess",
+    "SelfStabRoot",
+    "build_selfstab_engine",
+]

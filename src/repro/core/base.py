@@ -1,0 +1,194 @@
+"""Shared machinery of all token-circulation protocol variants.
+
+Every variant (naive → +pusher → +priority → self-stabilizing) shares:
+
+* the application-facing variables ``State ∈ {Req, In, Out}`` and
+  ``Need ∈ [0..k]``;
+* the reservation multiset ``RSet`` (stored as ``(channel_label, uid)``
+  pairs — the label drives DFS forwarding, the uid is oracle-only);
+* resource-token handling: collect while ``State = Req ∧ |RSet| < Need``,
+  otherwise forward on channel ``q + 1 (mod Δp)``;
+* the loop-tail critical-section transitions (paper lines 78–91 / 62–72).
+
+Subclasses hook the ``_count_*_loop_start`` methods so the
+self-stabilizing root can maintain ``SToken``/``SPrio``/``SPush``
+(incremented whenever a token leaves the root on channel 0, i.e. is
+forwarded from channel ``Δr − 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..apps.interface import Application
+from ..sim.process import Process
+from .messages import Message, ResT, fresh_uid
+from .params import KLParams
+
+__all__ = ["OUT", "REQ", "IN", "TokenProcessBase"]
+
+OUT = "Out"
+REQ = "Req"
+IN = "In"
+_STATES = (OUT, REQ, IN)
+
+
+class TokenProcessBase(Process):
+    """Base class for all k-out-of-ℓ token protocols on the virtual ring."""
+
+    def __init__(
+        self,
+        pid: int,
+        degree: int,
+        params: KLParams,
+        app: Application | None = None,
+        *,
+        is_root: bool = False,
+    ) -> None:
+        super().__init__(pid, degree)
+        self.params = params
+        self.app = app
+        self.is_root = is_root
+        self.state: str = OUT
+        self.need: int = 0
+        #: reserved resource tokens as (arrival channel label, uid)
+        self.rset: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # RSet helpers
+    # ------------------------------------------------------------------
+    def rset_size(self) -> int:
+        """``|RSet|``."""
+        return len(self.rset)
+
+    def rset_count(self, q: int) -> int:
+        """``|RSet|_q`` — multiplicity of channel label ``q`` in ``RSet``."""
+        return sum(1 for lbl, _ in self.rset if lbl == q)
+
+    def reserved_tokens(self) -> list[tuple[int, int]]:
+        return list(self.rset)
+
+    # ------------------------------------------------------------------
+    # Counting hooks (overridden by the self-stabilizing root, which
+    # maintains SToken/SPrio/SPush; see repro.core.selfstab for the two
+    # seam-accounting modes).  All are no-ops here and at non-roots.
+    # ------------------------------------------------------------------
+    def _count_rest_absorbed(self, q: int) -> None:
+        """A ResT arriving on channel ``q`` is being reserved into RSet."""
+
+    def _count_rest_forward(self, q: int) -> None:
+        """A ResT arriving on channel ``q`` is being forwarded to ``q+1``."""
+
+    def _count_rest_release(self, lbl: int) -> None:
+        """A reserved ResT with stored label ``lbl`` is being released."""
+
+    def _count_push_forward(self, q: int) -> None:
+        """The pusher arriving on channel ``q`` is being forwarded."""
+
+    def _count_prio_absorbed(self, q: int) -> None:
+        """A PrioT arriving on channel ``q`` is being held (``Prio ← q``)."""
+
+    def _count_prio_forward(self, q: int) -> None:
+        """A PrioT arriving on channel ``q`` is being forwarded to ``q+1``."""
+
+    def _count_prio_release(self, lbl: int) -> None:
+        """The held PrioT with stored channel ``lbl`` is being released."""
+
+    # ------------------------------------------------------------------
+    # Resource-token handling (paper lines 9–15 of Alg. 2 / 10–19 of Alg. 1)
+    # ------------------------------------------------------------------
+    def _handle_rest(self, q: int, msg: ResT) -> None:
+        if self.state == REQ and len(self.rset) < self.need:
+            self._count_rest_absorbed(q)
+            self.rset.append((q, msg.uid))
+        else:
+            self._count_rest_forward(q)
+            self.send(q + 1, ResT(uid=msg.uid))
+
+    def _release_rset(self) -> None:
+        """Retransmit every reserved token along its DFS path; empty RSet."""
+        for lbl, uid in self.rset:
+            self._count_rest_release(lbl)
+            self.send(lbl + 1, ResT(uid=uid))
+        self.rset = []
+
+    # ------------------------------------------------------------------
+    # Loop tail (subclasses extend on_local; order follows the paper)
+    # ------------------------------------------------------------------
+    def on_local(self) -> None:
+        self._local_request_intake()
+        self._local_cs_entry()
+        self._local_cs_exit()
+
+    def _local_request_intake(self) -> None:
+        """Application-driven ``Out → Req`` transition."""
+        if self.state != OUT or self.app is None:
+            return
+        need = self.app.maybe_request(self.ctx.now)
+        if need is None:
+            return
+        self.need = max(0, min(need, self.params.k))
+        self.state = REQ
+        self.app.notify_request(self.ctx.now, self.need)
+        self.ctx.bump("request")
+        self.ctx.record("request", self.need)
+
+    def _local_cs_entry(self) -> None:
+        """Paper lines 78–81 / 62–65: ``Req → In`` and ``EnterCS()``.
+
+        Degenerate single-process network (Δp = 0): no channels exist, so
+        no tokens can circulate; the lone process owns all ℓ units and
+        enters immediately.
+        """
+        if self.state == REQ and (len(self.rset) >= self.need or self.degree == 0):
+            self.state = IN
+            self.ctx.bump("enter_cs")
+            self.ctx.record("enter_cs", self.need)
+            if self.app is not None:
+                self.app.on_enter_cs(self.ctx.now)
+
+    def _local_cs_exit(self) -> None:
+        """Paper lines 82–91 / 66–72: release when ``ReleaseCS()`` holds."""
+        if self.state == IN and (self.app is None or self.app.release_cs(self.ctx.now)):
+            self._release_rset()
+            self.state = OUT
+            self.ctx.bump("exit_cs")
+            self.ctx.record("exit_cs")
+            if self.app is not None:
+                self.app.on_exit_cs(self.ctx.now)
+
+    # ------------------------------------------------------------------
+    # Fault injection & introspection
+    # ------------------------------------------------------------------
+    def scramble(self, rng: np.random.Generator) -> None:
+        """Replace the local state by arbitrary values within its domains.
+
+        Models the aftermath of a transient fault: every variable keeps
+        its type and bounded domain but its value is adversarial.
+        Scrambled ``RSet`` entries get fresh uids — a corrupted memory
+        can fabricate resource units, which is exactly the excess the
+        controller must detect.
+        """
+        self.state = _STATES[rng.integers(0, 3)]
+        self.need = int(rng.integers(0, self.params.k + 1))
+        size = 0 if self.degree == 0 else int(rng.integers(0, self.params.k + 1))
+        self.rset = [
+            (int(rng.integers(0, self.degree)), fresh_uid()) for _ in range(size)
+        ]
+
+    def state_summary(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "state": self.state,
+            "need": self.need,
+            "rset": [lbl for lbl, _ in self.rset],
+        }
+
+    # Default message handler: subclasses dispatch explicitly.
+    def on_message(self, q: int, msg: Message) -> None:
+        if isinstance(msg, ResT):
+            self._handle_rest(q, msg)
+        # Unknown message kinds are ignored (dropped), which is how a
+        # variant treats garbage of types it does not implement.

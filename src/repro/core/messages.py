@@ -1,0 +1,100 @@
+"""Message types of the k-out-of-ℓ exclusion protocol.
+
+The paper uses four message types:
+
+* ``⟨ResT⟩``  — a *resource token*; one per unit of the shared resource.
+* ``⟨PushT⟩`` — the *pusher* token; breaks deadlocks by forcing processes
+  that are neither in, nor enabled to enter, their critical section to
+  release reserved resource tokens.
+* ``⟨PrioT⟩`` — the *priority* token; immunizes one requester against the
+  pusher, breaking livelocks.
+* ``⟨ctrl, C, R, PT, PPr⟩`` — the *controller*; a counter-flushing DFS
+  token that counts the other tokens and triggers repair/reset.
+
+Protocol logic never inspects :attr:`Token.uid`; it exists purely so the
+analysis oracle can track individual resource units (safety requires each
+*unit* to be used by at most one process at a time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Message",
+    "Token",
+    "ResT",
+    "PushT",
+    "PrioT",
+    "Ctrl",
+    "fresh_uid",
+]
+
+_uid_counter = itertools.count(1)
+
+
+def fresh_uid() -> int:
+    """Return a process-wide unique token identifier (oracle bookkeeping)."""
+    return next(_uid_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for every protocol message."""
+
+    def type_name(self) -> str:
+        """Short name used in traces and metrics, e.g. ``"ResT"``."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True, slots=True)
+class Token(Message):
+    """Base class for the three circulating token kinds.
+
+    ``uid`` identifies the physical token for the oracle; two tokens with
+    different uids are distinct resource units even though the protocol
+    treats them interchangeably.
+    """
+
+    uid: int = field(default_factory=fresh_uid)
+
+
+@dataclass(frozen=True, slots=True)
+class ResT(Token):
+    """A resource token — one unit of the shared resource."""
+
+
+@dataclass(frozen=True, slots=True)
+class PushT(Token):
+    """The pusher token."""
+
+
+@dataclass(frozen=True, slots=True)
+class PrioT(Token):
+    """The priority token."""
+
+
+@dataclass(frozen=True, slots=True)
+class Ctrl(Message):
+    """The controller message ``⟨ctrl, C, R, PT, PPr⟩``.
+
+    Attributes
+    ----------
+    c:
+        Counter-flushing flag value (the sender's ``myC``).
+    r:
+        Reset flag; when true every visited process erases its reserved
+        tokens and the root discards all tokens it receives for the rest
+        of the traversal.
+    pt:
+        Count of resource tokens *passed* by the controller so far,
+        saturating at ``ℓ + 1``.
+    ppr:
+        Count of priority tokens passed, saturating at ``2``.
+    """
+
+    c: int = 0
+    r: bool = False
+    pt: int = 0
+    ppr: int = 0

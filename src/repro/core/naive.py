@@ -1,0 +1,60 @@
+"""Variant 1 — the "naive" protocol: bare ℓ-token circulation.
+
+ℓ resource tokens circulate the virtual ring in DFS order; a requester
+collects every token it receives until ``|RSet| ≥ Need``, enters its
+critical section, and releases the tokens afterwards.
+
+This protocol satisfies safety but **not** liveness: if concurrent
+requesters collectively reserve all ℓ tokens while each still needs
+more, nobody ever enters the CS (paper Fig. 2).  It exists to make that
+failure reproducible (experiment F2) and as the base layer of the
+step-by-step construction.
+"""
+
+from __future__ import annotations
+
+from ..apps.interface import Application
+from ..sim.engine import Engine
+from ..sim.network import Network
+from ..sim.scheduler import Scheduler
+from ..sim.trace import Trace
+from ..topology.tree import OrientedTree
+from .messages import ResT
+from .params import KLParams
+from .base import TokenProcessBase
+
+__all__ = ["NaiveProcess", "build_naive_engine"]
+
+
+class NaiveProcess(TokenProcessBase):
+    """Naive variant: only ``ResT`` messages exist; all are handled by the base."""
+
+
+def build_naive_engine(
+    tree: OrientedTree,
+    params: KLParams,
+    apps: list[Application | None],
+    scheduler: Scheduler | None = None,
+    *,
+    trace: Trace | None = None,
+) -> Engine:
+    """Engine running the naive protocol with ℓ tokens started at the root.
+
+    The ℓ resource tokens are injected into the root's outgoing channel 0
+    — the position from which a token "starts a circulation".
+    """
+    if len(apps) != tree.n:
+        raise ValueError("one application slot per process required")
+    network = Network.from_tree(tree)
+    procs = [
+        NaiveProcess(
+            p, tree.degree(p), params, apps[p], is_root=(p == tree.root)
+        )
+        for p in range(tree.n)
+    ]
+    engine = Engine(network, procs, scheduler, trace=trace)
+    if tree.n > 1:
+        ch = network.out_channel(tree.root, 0)
+        for _ in range(params.l):
+            ch.push_initial(ResT())
+    return engine

@@ -1,0 +1,105 @@
+"""Protocol parameters and variable domains.
+
+Bounded local memory is a headline property of the paper: every protocol
+variable lives in a finite domain determined by ``k``, ``ℓ``, ``Δp``,
+``n`` and ``CMAX``.  :class:`KLParams` centralizes those domains; the
+property-based tests assert that no reachable state ever leaves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KLParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class KLParams:
+    """Parameters of a k-out-of-ℓ exclusion instance.
+
+    Attributes
+    ----------
+    k:
+        Maximum units one process may request (``1 ≤ k ≤ ℓ``).
+    l:
+        Total resource units (the paper's ``ℓ``).
+    n:
+        Number of processes.
+    cmax:
+        Bound on the number of arbitrary messages initially in each
+        channel (the paper's ``CMAX``); sizes the counter-flushing domain.
+    unbounded_memory:
+        The paper's §5 remark: with unbounded process memory the channel
+        bound ``CMAX`` is unnecessary (following Katz–Perry) — ``myC``
+        then increments without wrapping, so any finite amount of initial
+        channel garbage is eventually flushed.  Setting this makes
+        :attr:`myc_modulus` effectively infinite; the domain checker
+        skips the ``myC`` bound accordingly.
+    """
+
+    k: int
+    l: int
+    n: int
+    cmax: int = 4
+    unbounded_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.k <= self.l):
+            raise ValueError(f"need 1 <= k <= l, got k={self.k}, l={self.l}")
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if self.cmax < 0:
+            raise ValueError("cmax must be >= 0")
+
+    @property
+    def myc_modulus(self) -> int:
+        """Size of the counter-flushing domain ``[0 .. 2(n−1)(CMAX+1)]``.
+
+        ``myC`` is incremented modulo this value.  It strictly exceeds the
+        number of distinct stale flag values the initial configuration can
+        hide (≤ ``2(n−1)·CMAX`` in channels plus ``n`` in local memories,
+        itself ≤ ``2(n−1)(CMAX+1)`` for ``n ≥ 2``), which is what counter
+        flushing requires.
+
+        With :attr:`unbounded_memory` the modulus is a practically
+        unreachable sentinel (``2**63``): ``myC`` never wraps within any
+        feasible run, which is the unbounded-counter behavior.
+        """
+        if self.unbounded_memory:
+            return 2**63
+        return max(2 * (self.n - 1) * (self.cmax + 1) + 1, 2)
+
+    @property
+    def garbage_myc_bound(self) -> int:
+        """Upper bound for *injected* stale ``myC`` values.
+
+        In the bounded protocol this is the whole domain.  In the
+        unbounded (Katz–Perry) adaptation, stale values are values that
+        were once legitimately in the system — finitely many, clustered
+        near the recent counter history — so fault injection draws from
+        a window of the same size as the bounded domain rather than from
+        the astronomically large sentinel domain (which no real transient
+        fault could produce and which would stall flushing forever).
+        """
+        window = max(2 * (self.n - 1) * (self.cmax + 1) + 1, 2)
+        if self.unbounded_memory:
+            return window + 64
+        return window
+
+    @property
+    def pt_cap(self) -> int:
+        """Saturation value of the resource-token counters (``ℓ + 1``)."""
+        return self.l + 1
+
+    @property
+    def small_cap(self) -> int:
+        """Saturation value of the pusher/priority counters (``2``)."""
+        return 2
+
+    def clamp_pt(self, v: int) -> int:
+        """Saturating add target for ``PT``/``SToken``."""
+        return min(v, self.pt_cap)
+
+    def clamp_small(self, v: int) -> int:
+        """Saturating add target for ``PPr``/``SPrio``/``SPush``."""
+        return min(v, self.small_cap)

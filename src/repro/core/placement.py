@@ -1,0 +1,41 @@
+"""Explicit token placement for scenario construction.
+
+The paper's figures start from hand-picked configurations (tokens in
+specific channels).  These helpers inject tokens into named channels of
+an already-built engine, replacing the builder's default placement.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Engine
+from ..topology.tree import OrientedTree
+from .messages import PrioT, PushT, ResT, Token
+
+__all__ = ["clear_all_channels", "place_tokens"]
+
+
+def clear_all_channels(engine: Engine) -> None:
+    """Remove every queued message (to replace a builder's default layout)."""
+    for ch in engine.network.all_channels():
+        ch.clear()
+
+
+def place_tokens(
+    engine: Engine,
+    tree: OrientedTree,
+    placements: list[tuple[int, int, str]],
+) -> None:
+    """Insert tokens into channels, in order.
+
+    ``placements`` is a list of ``(sender, receiver, kind)`` triples where
+    ``kind`` is ``"res"``, ``"push"`` or ``"prio"``; the token is queued
+    at the tail of the directed channel ``sender → receiver``.  Order
+    within one channel is the FIFO order, which the figure scenarios
+    depend on (e.g. Fig. 3 places the pusher *behind* a resource token).
+    """
+    kinds: dict[str, type[Token]] = {"res": ResT, "push": PushT, "prio": PrioT}
+    for u, v, kind in placements:
+        if kind not in kinds:
+            raise ValueError(f"unknown token kind {kind!r}")
+        label = tree.label_of(u, v)
+        engine.network.out_channel(u, label).push_initial(kinds[kind]())

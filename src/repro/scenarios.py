@@ -1,0 +1,265 @@
+"""Executable reconstructions of the paper's figures.
+
+Each function rebuilds one figure's scenario exactly — topology, request
+vector, token placement, and (for Fig. 3) the adversarial daemon — and
+returns a structured result that tests, benchmarks, and examples assert
+against.
+
+* Fig. 1 / Fig. 4 — DFS token circulation and the virtual ring
+  (:func:`run_fig1_circulation`): a single resource token is simulated
+  hop-by-hop around the 8-process example tree and its path compared
+  with the analytic Euler tour.
+* Fig. 2 — the naive protocol's deadlock (:func:`run_fig2_deadlock`):
+  ℓ = 5, k = 3, requesters ``a:3, b:2, c:2, d:2`` and a token placement
+  that strands two tokens at ``a`` and one each at ``b, c, d``.
+* Fig. 3 — the pusher-only protocol's livelock
+  (:func:`run_fig3_livelock`): the 3-process tree, 2-out-of-3 exclusion,
+  and the paper's cyclic schedule (i)→(viii) in which the pusher robs
+  ``a`` of its reservation every cycle, forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .apps.interface import Application, IdleApplication
+from .apps.workloads import OneShotWorkload, SaturatedWorkload
+from .core.messages import ResT
+from .core.naive import build_naive_engine
+from .core.params import KLParams
+from .core.placement import clear_all_channels, place_tokens
+from .core.priority import build_priority_engine
+from .core.pusher import build_pusher_engine
+from .core.selfstab import build_selfstab_engine
+from .sim.engine import Engine
+from .sim.scheduler import RandomScheduler
+from .topology.generators import paper_example_tree, paper_livelock_tree
+from .topology.virtual_ring import build_virtual_ring
+
+__all__ = [
+    "run_fig1_circulation",
+    "Fig2Result",
+    "run_fig2_deadlock",
+    "Fig3Result",
+    "run_fig3_livelock",
+    "FIG2_NEEDS",
+    "FIG2_PLACEMENT",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 / Fig. 4 — DFS circulation over the virtual ring
+# ----------------------------------------------------------------------
+def run_fig1_circulation() -> dict:
+    """Simulate one full loop of a resource token on the Fig. 1 tree.
+
+    Returns the simulated hop sequence (``(sender, receiver)`` channel
+    pairs), the analytic virtual ring, and whether they coincide.
+    """
+    tree = paper_example_tree()
+    params = KLParams(k=1, l=1, n=tree.n)
+    apps: list[Application | None] = [IdleApplication() for _ in range(tree.n)]
+    engine = build_naive_engine(tree, params, apps)
+    # One token, starting at the root's channel 0 (the builder's default
+    # placement is exactly that, with l = 1).
+    hops: list[tuple[int, int]] = []
+    ring = build_virtual_ring(tree)
+    # Follow the token for exactly one circulation by stepping the
+    # receiver of the unique in-flight token.
+    for _ in range(ring.length):
+        (chan,) = [c for c in engine.network.all_channels() if len(c)]
+        hops.append((chan.src, chan.dst))
+        engine.step_pid(chan.dst, engine.network.label_at(chan.dst, chan.src))
+    expected = ring.channel_sequence()
+    return {
+        "tree": tree,
+        "ring": ring,
+        "hops": hops,
+        "expected": expected,
+        "match": hops == expected,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — deadlock of the naive protocol
+# ----------------------------------------------------------------------
+#: Request vector of Fig. 2 (pids: r=0 a=1 b=2 c=3 d=4 e=5 f=6 g=7).
+FIG2_NEEDS: dict[int, int] = {1: 3, 2: 2, 3: 2, 4: 2}
+
+#: Token placement leading to the deadlock: two tokens reach ``a``, one
+#: each reaches ``b``, ``c`` and ``d`` — every requester short of its need.
+FIG2_PLACEMENT: list[tuple[int, int, str]] = [
+    (0, 1, "res"),
+    (0, 1, "res"),
+    (1, 2, "res"),
+    (1, 3, "res"),
+    (0, 4, "res"),
+]
+
+
+@dataclass(slots=True)
+class Fig2Result:
+    """Outcome of the Fig. 2 scenario."""
+
+    variant: str
+    deadlocked: bool
+    cs_entries: int
+    satisfied_pids: list[int]
+    rset_sizes: dict[int, int]
+    free_tokens: int
+    steps: int
+
+
+def run_fig2_deadlock(
+    variant: str = "naive", *, steps: int = 40_000, seed: int = 0
+) -> Fig2Result:
+    """Run the Fig. 2 scenario under ``variant`` and report the outcome.
+
+    ``variant`` is one of ``"naive"`` (deadlocks, as in the paper),
+    ``"pusher"``, ``"priority"`` or ``"selfstab"`` (all recover).  The
+    scheduler is fair (seeded random), so a surviving deadlock after
+    ``steps`` steps is structural, not a scheduling artifact.
+    """
+    tree = paper_example_tree()
+    params = KLParams(k=3, l=5, n=tree.n, cmax=2)
+    apps: list[Application | None] = [
+        OneShotWorkload(FIG2_NEEDS[p]) if p in FIG2_NEEDS else IdleApplication()
+        for p in range(tree.n)
+    ]
+    sched = RandomScheduler(tree.n, seed=seed)
+    builders = {
+        "naive": build_naive_engine,
+        "pusher": build_pusher_engine,
+        "priority": build_priority_engine,
+        "selfstab": build_selfstab_engine,
+    }
+    if variant not in builders:
+        raise ValueError(f"unknown variant {variant!r}")
+    engine: Engine = builders[variant](tree, params, apps, sched)
+    clear_all_channels(engine)
+    # Register all requests before any token moves (the deadlock is a
+    # race the paper's configuration has already lost).
+    for p in range(tree.n):
+        engine.step_pid(p, -1)
+    place_tokens(engine, tree, FIG2_PLACEMENT)
+    if variant == "pusher" or variant == "priority":
+        place_tokens(engine, tree, [(4, 0, "push")])
+    if variant == "priority":
+        place_tokens(engine, tree, [(4, 0, "prio")])
+    # The self-stabilizing variant creates its own tokens via the
+    # controller; the pre-placed resource tokens make it start in the
+    # deadlock configuration and the controller must dig it out.
+    engine.run(steps)
+    rsets = {p: engine.process(p).rset_size() for p in FIG2_NEEDS}
+    free = len(engine.network.messages_of_type(ResT))
+    requesters_satisfied = [
+        p for p in FIG2_NEEDS if engine.counters["enter_cs"][p] > 0
+    ]
+    deadlocked = not requesters_satisfied and all(
+        rsets[p] < FIG2_NEEDS[p] for p in FIG2_NEEDS
+    )
+    return Fig2Result(
+        variant=variant,
+        deadlocked=deadlocked,
+        cs_entries=engine.total_cs_entries,
+        satisfied_pids=requesters_satisfied,
+        rset_sizes=rsets,
+        free_tokens=free,
+        steps=engine.now,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — livelock of the pusher-only protocol
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class Fig3Result:
+    """Outcome of the Fig. 3 scenario."""
+
+    variant: str
+    cycles: int
+    cs_r: int
+    cs_a: int
+    cs_b: int
+    #: ``a`` never entered its CS although r and b kept completing theirs
+    starved: bool
+    #: steps taken by each process (fairness witness)
+    steps_per_pid: tuple[int, int, int]
+
+
+def _fig3_cycle(engine: Engine, counts: list[int]) -> None:
+    """One iteration of the paper's (i) → (viii) cycle.
+
+    Step notation: ``(pid, channel)`` where channel ``-1`` means a step
+    without receiving.  pids: r=0, a=1, b=2; r's channels: 0 → a, 1 → b;
+    a and b have the single channel 0 → r.  CS duration is 4 steps.
+    """
+    script = [
+        (1, 0),    # (i)->(ii)   a absorbs its first token
+        (2, 0),    # (ii)        b absorbs, enters CS
+        (0, 0),    # (ii)        r absorbs (from a->r), enters CS
+        (0, 0),    # (iii)       r receives pusher in CS, forwards to b
+        (2, 0),    # (iv)        b receives pusher in CS, forwards to r
+        (0, 1),    # (v)         r forwards pusher to a
+        (1, 0),    # (vi)        a receives pusher: must release its token
+        (0, -1),   # (vi)        r leaves CS, releases token toward b
+        (2, -1),   # (vi)        b leaves CS, releases token toward r
+        (0, 1),    # (vii)       r (not yet requesting) forwards b's token to a
+        (0, -1),   # (viii)      r requests again
+        (2, -1),   # (viii)      b requests again
+        (1, -1),   # fairness: a takes an idle step too
+    ]
+    for pid, chan in script:
+        engine.step_pid(pid, chan)
+        counts[pid] += 1
+
+
+def run_fig3_livelock(variant: str = "pusher", *, cycles: int = 200) -> Fig3Result:
+    """Drive the paper's livelock daemon for ``cycles`` iterations.
+
+    With ``variant="pusher"`` the execution is the paper's: fair (every
+    process steps every cycle), yet ``a`` never enters its critical
+    section while ``r`` and ``b`` enter once per cycle.  With
+    ``variant="priority"`` the same daemon is defeated: ``a`` holds the
+    priority token, survives the pusher, and completes within a few
+    cycles.
+    """
+    if variant not in ("pusher", "priority"):
+        raise ValueError(f"unknown variant {variant!r}")
+    tree = paper_livelock_tree()
+    params = KLParams(k=2, l=3, n=tree.n, cmax=2)
+    dur = 4
+    apps: list[Application | None] = [
+        SaturatedWorkload(1, cs_duration=dur),
+        SaturatedWorkload(2, cs_duration=dur),
+        SaturatedWorkload(1, cs_duration=dur),
+    ]
+    build = build_pusher_engine if variant == "pusher" else build_priority_engine
+    engine = build(tree, params, apps, RandomScheduler(tree.n, seed=0))
+    clear_all_channels(engine)
+    # Everyone registers its request before any message moves.
+    for p in range(tree.n):
+        engine.step_pid(p, -1)
+    # Configuration (i): tokens toward a and b; the third token and the
+    # pusher queued from a toward r (pusher behind the token).
+    place_tokens(engine, tree, [(0, 1, "res"), (0, 2, "res"),
+                                (1, 0, "res"), (1, 0, "push")])
+    counts = [0, 0, 0]
+    if variant == "priority":
+        # The priority token starts heading to a, which holds it.
+        place_tokens(engine, tree, [(0, 1, "prio")])
+        engine.step_pid(1, 0)
+        counts[1] += 1
+    for _ in range(cycles):
+        _fig3_cycle(engine, counts)
+    cs = engine.counters["enter_cs"]
+    starved = cs[1] == 0 and cs[0] >= cycles and cs[2] >= cycles
+    return Fig3Result(
+        variant=variant,
+        cycles=cycles,
+        cs_r=cs[0],
+        cs_a=cs[1],
+        cs_b=cs[2],
+        starved=starved,
+        steps_per_pid=(counts[0], counts[1], counts[2]),
+    )

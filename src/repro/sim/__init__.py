@@ -1,0 +1,37 @@
+"""Message-passing simulation substrate (engine, channels, schedulers, faults)."""
+
+from .channel import Channel, ChannelStats
+from .engine import Context, Engine
+from .network import Network
+from .process import Process
+from .rng import derive_seed, make_rng, spawn
+from .scheduler import (
+    FunctionScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+    WeightedScheduler,
+)
+from .trace import NullTrace, Trace, TraceEvent
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Context",
+    "Engine",
+    "Network",
+    "Process",
+    "derive_seed",
+    "make_rng",
+    "spawn",
+    "FunctionScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScriptedScheduler",
+    "WeightedScheduler",
+    "NullTrace",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,75 @@
+"""Reliable FIFO channels.
+
+The paper's links are bidirectional; we model each direction as an
+independent FIFO :class:`Channel`.  After transient faults are over,
+channels never lose or reorder messages.  Before stabilization a channel
+may contain up to ``CMAX`` arbitrary messages — injected by
+:mod:`repro.sim.faults`, not by the channel itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.messages import Message
+
+__all__ = ["Channel", "ChannelStats"]
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Cumulative traffic counters for one directed channel."""
+
+    sent: int = 0
+    delivered: int = 0
+    peak_occupancy: int = 0
+
+
+class Channel:
+    """A directed, reliable, FIFO channel from ``src`` to ``dst``."""
+
+    __slots__ = ("src", "dst", "queue", "stats")
+
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.queue: deque[Message] = deque()
+        self.stats = ChannelStats()
+
+    def push(self, msg: Message) -> None:
+        """Enqueue ``msg`` (a send by ``src``)."""
+        self.queue.append(msg)
+        self.stats.sent += 1
+        if len(self.queue) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self.queue)
+
+    def push_initial(self, msg: Message) -> None:
+        """Enqueue ``msg`` as pre-existing garbage (not counted as a send)."""
+        self.queue.append(msg)
+        if len(self.queue) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self.queue)
+
+    def pop(self) -> Message:
+        """Dequeue the oldest message (a receive by ``dst``)."""
+        msg = self.queue.popleft()
+        self.stats.delivered += 1
+        return msg
+
+    def peek(self) -> Message | None:
+        """Oldest message without removing it, or ``None`` if empty."""
+        return self.queue[0] if self.queue else None
+
+    def clear(self) -> None:
+        """Drop all queued messages (fault injection only)."""
+        self.queue.clear()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Channel({self.src}->{self.dst}, {len(self.queue)} queued)"

@@ -1,0 +1,57 @@
+"""Process-crash faults — the paper's stated open problem (§5).
+
+The paper closes with: "Possible extension to networks where processes
+are subject to other failure patterns, such as process crashes, remains
+open."  A crashed process stops taking steps forever, which violates the
+fairness assumption every liveness lemma rests on: tokens entering the
+crashed process's incoming channels are never retransmitted, so the
+virtual ring is severed.
+
+This module makes that failure mode executable: :class:`CrashController`
+wraps a scheduler and permanently suppresses steps of crashed processes.
+Experiment A6 demonstrates (a) the protocol is *safe* under crashes
+(safety is closed under removing steps) but (b) loses liveness the
+moment any process on the ring crashes — exactly why the problem is
+open, and why crash tolerance needs new mechanisms (failure detectors,
+ring reconfiguration) outside the paper's model.
+"""
+
+from __future__ import annotations
+
+from ..sim.scheduler import Scheduler
+
+__all__ = ["CrashController"]
+
+
+class CrashController(Scheduler):
+    """Scheduler wrapper that silences crashed processes.
+
+    A step drawn for a crashed process is re-drawn from the survivors
+    (round-robin over them, keyed by the underlying draw), so survivor
+    fairness is preserved — the execution remains fair *for survivors*,
+    the strongest daemon under which crash-liveness could be hoped for.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        super().__init__(inner.n)
+        self.inner = inner
+        self.crashed: set[int] = set()
+
+    def crash(self, pid: int) -> None:
+        """Permanently stop ``pid`` from taking steps."""
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range")
+        self.crashed.add(pid)
+        if len(self.crashed) >= self.n:
+            raise ValueError("cannot crash every process")
+
+    def recover(self, pid: int) -> None:
+        """Un-crash ``pid`` (models a repair/restart with intact memory)."""
+        self.crashed.discard(pid)
+
+    def next_pid(self, now: int) -> int:
+        pid = self.inner.next_pid(now)
+        if pid not in self.crashed:
+            return pid
+        survivors = [p for p in range(self.n) if p not in self.crashed]
+        return survivors[pid % len(survivors)]

@@ -1,0 +1,218 @@
+"""The simulation engine: steps, contexts, timers, counters.
+
+One engine *step* = one process step in the paper's sense: the scheduled
+process receives at most one pending message (its incoming channels are
+scanned round-robin so no channel starves), handles it, then executes
+the tail of its ``repeat forever`` loop (:meth:`Process.on_local`).
+
+Time is the step counter.  The root's timeout facility
+(``RestartTimer()`` / ``TimeOut()``) is expressed in steps; the default
+interval is auto-sized to comfortably exceed one full controller
+circulation so timeouts do not cause congestion (paper footnote 4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Sequence
+
+from ..core.messages import Message
+from .network import Network
+from .process import Process
+from .scheduler import RoundRobinScheduler, Scheduler
+from .trace import NullTrace, Trace
+
+__all__ = ["Context", "Engine"]
+
+
+class Context:
+    """Per-process view of the engine handed to :class:`Process.bind`."""
+
+    __slots__ = ("engine", "pid")
+
+    def __init__(self, engine: "Engine", pid: int) -> None:
+        self.engine = engine
+        self.pid = pid
+
+    # -- communication --------------------------------------------------
+    def send(self, pid: int, label: int, msg: Message) -> None:
+        """Enqueue ``msg`` on ``pid``'s outgoing channel ``label``."""
+        self.engine._send(pid, label, msg)
+
+    # -- time & timer ----------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current step count."""
+        return self.engine.now
+
+    def restart_timer(self) -> None:
+        """The paper's ``RestartTimer()``."""
+        self.engine._timer_start[self.pid] = self.engine.now
+
+    def timeout(self) -> bool:
+        """The paper's ``TimeOut()`` predicate."""
+        eng = self.engine
+        return eng.now - eng._timer_start[self.pid] >= eng.timeout_interval
+
+    # -- instrumentation --------------------------------------------------
+    def bump(self, kind: str) -> int:
+        """Increment a cheap per-(kind, pid) counter; returns the new value."""
+        c = self.engine.counters[kind]
+        c[self.pid] += 1
+        if kind == "enter_cs":
+            self.engine.total_cs_entries += 1
+        return c[self.pid]
+
+    def record(self, kind: str, detail=None) -> None:
+        """Emit a trace event if tracing is enabled."""
+        tr = self.engine.trace
+        if tr.enabled:
+            tr.record(self.engine.now, self.pid, kind, detail)
+
+
+class Engine:
+    """Drives a :class:`Network` of :class:`Process` instances."""
+
+    def __init__(
+        self,
+        network: Network,
+        processes: Sequence[Process],
+        scheduler: Scheduler | None = None,
+        *,
+        trace: Trace | None = None,
+        timeout_interval: int | None = None,
+    ) -> None:
+        if len(processes) != network.n:
+            raise ValueError("one process per network node required")
+        self.network = network
+        self.processes = list(processes)
+        self.scheduler = scheduler or RoundRobinScheduler(network.n)
+        self.trace: Trace | NullTrace = trace if trace is not None else NullTrace()
+        self.now = 0
+        self.total_cs_entries = 0
+        #: counters[kind][pid]
+        self.counters: dict[str, list[int]] = defaultdict(
+            lambda: [0] * network.n
+        )
+        #: sends by message type name
+        self.sent_by_type: dict[str, int] = defaultdict(int)
+        self._scan = [0] * network.n
+        self._timer_start = [0] * network.n
+        if timeout_interval is None:
+            ring_len = max(2 * (network.n - 1), 1)
+            # > one circulation even under round-robin latency (n steps/hop),
+            # with slack for processing at each stop.
+            timeout_interval = 4 * ring_len * network.n + 64
+        self.timeout_interval = timeout_interval
+        for pid, proc in enumerate(self.processes):
+            if proc.pid != pid:
+                raise ValueError(f"process at index {pid} reports pid {proc.pid}")
+            proc.bind(Context(self, pid))
+            app = getattr(proc, "app", None)
+            if app is not None and hasattr(app, "attach"):
+                app.attach(self)
+
+    # ------------------------------------------------------------------
+    # Core stepping
+    # ------------------------------------------------------------------
+    def _send(self, pid: int, label: int, msg: Message) -> None:
+        self.network.out_channel(pid, label).push(msg)
+        self.sent_by_type[msg.type_name()] += 1
+        if self.trace.enabled:
+            self.trace.record(self.now, pid, "send", (label, msg))
+
+    def step(self) -> None:
+        """Execute one step of the process chosen by the scheduler."""
+        self.step_pid(self.scheduler.next_pid(self.now))
+
+    def step_pid(self, pid: int, channel: int | None = None) -> None:
+        """Execute one step of process ``pid``.
+
+        ``channel`` refines the receive action for adversarial harnesses
+        (the daemon of the paper's figure executions):
+
+        * ``None`` (default) — scan incoming channels round-robin and
+          receive the first pending message, if any;
+        * an ``int`` label — receive only from that channel (no-op
+          receive if it is empty);
+        * ``-1`` — take a step without receiving (the paper's "does
+          nothing" receive option), running only the loop tail.
+        """
+        proc = self.processes[pid]
+        deg = self.network.degree(pid)
+        if deg and channel != -1:
+            inch = self.network.in_channels(pid)
+            if channel is None:
+                start = self._scan[pid]
+                labels = [(start + off) % deg for off in range(deg)]
+            else:
+                labels = [channel % deg]
+            for label in labels:
+                ch = inch[label]
+                if len(ch):
+                    msg = ch.pop()
+                    self._scan[pid] = (label + 1) % deg
+                    if self.trace.enabled:
+                        self.trace.record(self.now, pid, "recv", (label, msg))
+                    proc.on_message(label, msg)
+                    break
+        proc.on_local()
+        self.now += 1
+
+    # ------------------------------------------------------------------
+    # Run helpers
+    # ------------------------------------------------------------------
+    def run(self, steps: int) -> "Engine":
+        """Run exactly ``steps`` steps; returns self for chaining."""
+        for _ in range(steps):
+            self.step()
+        return self
+
+    def run_until(
+        self,
+        predicate: Callable[["Engine"], bool],
+        max_steps: int,
+        check_every: int = 1,
+    ) -> bool:
+        """Run until ``predicate(engine)`` holds or ``max_steps`` elapse.
+
+        Returns ``True`` iff the predicate became true.  The predicate is
+        evaluated every ``check_every`` steps (and once before stepping).
+        """
+        if predicate(self):
+            return True
+        for i in range(max_steps):
+            self.step()
+            if (i + 1) % check_every == 0 and predicate(self):
+                return True
+        return predicate(self)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def fork(self) -> "Engine":
+        """An independent deep copy of the entire simulation state.
+
+        Forks share nothing mutable with the original: processes,
+        channels, apps, timers and counters are all copied.  Used by the
+        exhaustive explorer and handy for what-if experiments (run two
+        futures from the same configuration).
+        """
+        import copy
+
+        return copy.deepcopy(self)
+
+    def cs_entries(self, pid: int | None = None) -> int:
+        """CS entries of one process, or total if ``pid`` is ``None``."""
+        if pid is None:
+            return self.total_cs_entries
+        return self.counters["enter_cs"][pid]
+
+    def process(self, pid: int) -> Process:
+        """The process instance with identifier ``pid``."""
+        return self.processes[pid]
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self.network.n

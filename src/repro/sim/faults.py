@@ -1,0 +1,159 @@
+"""Transient-fault injection.
+
+Self-stabilization is quantified over *arbitrary* initial configurations:
+every process variable may hold any value of its domain and every channel
+may hold up to ``CMAX`` arbitrary messages.  This module produces such
+configurations (and mid-run corruptions) reproducibly from a seed.
+
+The protocol's ``scramble`` methods keep each variable inside its bounded
+domain — the paper's fault model corrupts values, not types or bounds
+(bounds are enforced by the bounded memory itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.messages import Ctrl, Message, PrioT, PushT, ResT, Token
+from ..core.params import KLParams
+from .engine import Engine
+from .rng import make_rng
+
+__all__ = [
+    "random_message",
+    "inject_channel_garbage",
+    "scramble_configuration",
+    "corrupt_process",
+    "drop_random_token",
+    "duplicate_random_token",
+]
+
+
+def random_message(params: KLParams, rng: np.random.Generator) -> Message:
+    """One arbitrary message: any protocol type with arbitrary field values."""
+    kind = int(rng.integers(0, 4))
+    if kind == 0:
+        return ResT()
+    if kind == 1:
+        return PushT()
+    if kind == 2:
+        return PrioT()
+    return Ctrl(
+        c=int(rng.integers(0, params.garbage_myc_bound)),
+        r=bool(rng.integers(0, 2)),
+        pt=int(rng.integers(0, params.pt_cap + 1)),
+        ppr=int(rng.integers(0, params.small_cap + 1)),
+    )
+
+
+def inject_channel_garbage(
+    engine: Engine,
+    params: KLParams,
+    rng: np.random.Generator,
+    *,
+    clear_first: bool = True,
+    max_per_channel: int | None = None,
+) -> int:
+    """Fill every channel with ``0..CMAX`` arbitrary messages.
+
+    Returns the number of injected messages.  With ``clear_first`` the
+    previous channel contents are discarded so the result is a genuine
+    "arbitrary configuration" whose channel occupancy respects ``CMAX``.
+    """
+    cap = params.cmax if max_per_channel is None else max_per_channel
+    injected = 0
+    for ch in engine.network.all_channels():
+        if clear_first:
+            ch.clear()
+        for _ in range(int(rng.integers(0, cap + 1))):
+            ch.push_initial(random_message(params, rng))
+            injected += 1
+    return injected
+
+
+def scramble_configuration(
+    engine: Engine,
+    params: KLParams,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    channel_garbage: bool = True,
+) -> None:
+    """Place the system in a seeded arbitrary configuration.
+
+    Scrambles every process's local state (within domains) and, by
+    default, replaces all channel contents with bounded garbage.
+    """
+    rng = make_rng(seed)
+    for proc in engine.processes:
+        scrambler = getattr(proc, "scramble", None)
+        if scrambler is not None:
+            scrambler(rng)
+    if channel_garbage:
+        inject_channel_garbage(engine, params, rng)
+
+
+def corrupt_process(
+    engine: Engine, pid: int, seed: int | np.random.Generator | None = 0
+) -> None:
+    """Scramble a single process's local state mid-run."""
+    rng = make_rng(seed)
+    proc = engine.processes[pid]
+    scrambler = getattr(proc, "scramble", None)
+    if scrambler is None:
+        raise TypeError(f"process {pid} does not support scrambling")
+    scrambler(rng)
+
+
+def _token_positions(engine: Engine, kind: type[Token]) -> list[tuple]:
+    """(channel, index) pairs of all in-flight tokens of ``kind``."""
+    out = []
+    for ch in engine.network.all_channels():
+        for i, m in enumerate(ch):
+            if isinstance(m, kind):
+                out.append((ch, i))
+    return out
+
+
+def drop_random_token(
+    engine: Engine,
+    kind: type[Token] = ResT,
+    seed: int | np.random.Generator | None = 0,
+) -> bool:
+    """Delete one random in-flight token of ``kind``; ``False`` if none exists.
+
+    Models a transient message loss — the deficit the controller repairs
+    by creating replacements.
+    """
+    rng = make_rng(seed)
+    pos = _token_positions(engine, kind)
+    if not pos:
+        return False
+    ch, i = pos[int(rng.integers(0, len(pos)))]
+    items = list(ch.queue)
+    del items[i]
+    ch.queue.clear()
+    ch.queue.extend(items)
+    return True
+
+
+def duplicate_random_token(
+    engine: Engine,
+    kind: type[Token] = ResT,
+    seed: int | np.random.Generator | None = 0,
+) -> bool:
+    """Duplicate one random in-flight token of ``kind``; ``False`` if none.
+
+    Models a duplication fault — the excess the controller repairs with a
+    reset.  The duplicate keeps the original's uid: physically the same
+    unit appearing twice, which is precisely the safety hazard.
+    """
+    rng = make_rng(seed)
+    pos = _token_positions(engine, kind)
+    if not pos:
+        return False
+    ch, i = pos[int(rng.integers(0, len(pos)))]
+    items = list(ch.queue)
+    items.insert(i, items[i])
+    ch.queue.clear()
+    ch.queue.extend(items)
+    return True

@@ -1,0 +1,138 @@
+"""Network: processes wired together by directed FIFO channels.
+
+A :class:`Network` is topology-agnostic: it is built from any adjacency
+with per-process channel labels.  :meth:`Network.from_tree` applies the
+paper's oriented-tree labeling; :meth:`Network.ring` builds the oriented
+ring used by the baseline of Datta–Hadid–Villain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.messages import Message, PrioT, PushT, ResT, Token
+from ..topology.tree import OrientedTree
+from .channel import Channel
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Directed-channel fabric over processes ``0 .. n-1``.
+
+    ``labels[p]`` lists ``p``'s neighbors in channel-label order; for
+    every adjacent pair there is one :class:`Channel` per direction.
+    """
+
+    def __init__(self, labels: list[tuple[int, ...]]) -> None:
+        self.labels = [tuple(x) for x in labels]
+        self.n = len(labels)
+        self._out: list[list[Channel]] = [[] for _ in range(self.n)]
+        self._in: list[list[Channel]] = [[] for _ in range(self.n)]
+        chans: dict[tuple[int, int], Channel] = {}
+        for p in range(self.n):
+            for q in self.labels[p]:
+                if (p, q) not in chans:
+                    chans[(p, q)] = Channel(p, q)
+                if (q, p) not in chans:
+                    chans[(q, p)] = Channel(q, p)
+        self.channels = chans
+        for p in range(self.n):
+            for q in self.labels[p]:
+                self._out[p].append(chans[(p, q)])
+                self._in[p].append(chans[(q, p)])
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree: OrientedTree) -> "Network":
+        """Channels of an oriented tree, with the paper's labeling."""
+        return cls([tree.neighbors(p) for p in range(tree.n)])
+
+    @classmethod
+    def ring(cls, n: int) -> "Network":
+        """Unidirectional-use ring: label 0 = predecessor, label 1 = successor.
+
+        (Physical channels exist in both directions; ring protocols only
+        send on label 1.)  For ``n == 1`` the sole process has no
+        channels; ``n == 2`` is rejected because the two directions would
+        collapse onto one neighbor.
+        """
+        if n == 1:
+            return cls([()])
+        if n == 2:
+            raise ValueError("ring networks need n == 1 or n >= 3")
+        return cls([((p - 1) % n, (p + 1) % n) for p in range(n)])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def degree(self, p: int) -> int:
+        """Number of channels incident to ``p``."""
+        return len(self.labels[p])
+
+    def out_channel(self, p: int, label: int) -> Channel:
+        """Outgoing channel of ``p`` with local label ``label``."""
+        return self._out[p][label]
+
+    def in_channel(self, p: int, label: int) -> Channel:
+        """Incoming channel of ``p`` with local label ``label``."""
+        return self._in[p][label]
+
+    def in_channels(self, p: int) -> list[Channel]:
+        """All incoming channels of ``p`` in label order."""
+        return self._in[p]
+
+    def label_at(self, p: int, q: int) -> int:
+        """Label of ``p``'s channel to neighbor ``q``."""
+        return self.labels[p].index(q)
+
+    def all_channels(self) -> Iterator[Channel]:
+        """Every directed channel once."""
+        return iter(self.channels.values())
+
+    # ------------------------------------------------------------------
+    # Global accounting (oracle support)
+    # ------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        """Total messages currently queued in all channels."""
+        return sum(len(c) for c in self.channels.values())
+
+    def messages_of_type(self, mtype: type[Message]) -> list[Message]:
+        """All queued messages that are instances of ``mtype``."""
+        out: list[Message] = []
+        for c in self.channels.values():
+            for m in c:
+                if isinstance(m, mtype):
+                    out.append(m)
+        return out
+
+    def free_token_counts(self) -> dict[str, int]:
+        """Counts of in-flight tokens by kind (``ResT``/``PushT``/``PrioT``)."""
+        counts = {"ResT": 0, "PushT": 0, "PrioT": 0}
+        for c in self.channels.values():
+            for m in c:
+                if isinstance(m, ResT):
+                    counts["ResT"] += 1
+                elif isinstance(m, PushT):
+                    counts["PushT"] += 1
+                elif isinstance(m, PrioT):
+                    counts["PrioT"] += 1
+        return counts
+
+    def free_token_uids(self, kind: type[Token]) -> list[int]:
+        """UIDs of queued tokens of the given kind."""
+        return [m.uid for c in self.channels.values() for m in c if isinstance(m, kind)]
+
+    def total_sent(self) -> int:
+        """Cumulative sends across all channels."""
+        return sum(c.stats.sent for c in self.channels.values())
+
+    def sent_by_type(self) -> dict[str, int]:
+        """Cumulative delivered+pending send counts keyed by message type.
+
+        Computed lazily by the engine's counters; kept here for channels'
+        structural totals only.
+        """
+        return {"total": self.total_sent()}

@@ -1,0 +1,80 @@
+"""Process abstraction: the unit a protocol implements.
+
+A :class:`Process` is the paper's "sequential deterministic machine with
+input/output capabilities and bounded local memory".  Concrete protocol
+classes (in :mod:`repro.core` and :mod:`repro.baselines`) subclass it and
+implement two hooks:
+
+* :meth:`Process.on_message` — the body of the paper's
+  ``if (receive ⟨type⟩ from q)`` branches for one received message;
+* :meth:`Process.on_local` — the tail of the ``repeat forever`` loop
+  (request intake, critical-section entry/exit, priority release, the
+  root's timeout check).
+
+The engine executes a *step* of a process as: receive at most one pending
+message (scanning incoming channels round-robin for fairness), run
+``on_message`` for it, then run ``on_local``.  This matches the paper's
+step model — "(1) receive/send/nothing, then (2) modify variables" — with
+the loop tail folded into every step so local actions stay enabled.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+from ..core.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Context
+
+__all__ = ["Process"]
+
+
+class Process(abc.ABC):
+    """Base class for a protocol's per-process local algorithm."""
+
+    def __init__(self, pid: int, degree: int) -> None:
+        self.pid = pid
+        self.degree = degree
+        self.ctx: "Context" = None  # type: ignore[assignment]  # bound by the engine
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def bind(self, ctx: "Context") -> None:
+        """Attach the engine-provided context (send/now/timer)."""
+        self.ctx = ctx
+
+    def send(self, label: int, msg: Message) -> None:
+        """Send ``msg`` on channel ``label`` (labels are taken mod Δp)."""
+        self.ctx.send(self.pid, label % self.degree, msg)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_message(self, q: int, msg: Message) -> None:
+        """Handle one message received on channel ``q``."""
+
+    def on_local(self) -> None:
+        """Loop-tail actions; default none."""
+
+    # ------------------------------------------------------------------
+    # Introspection for the oracle / traces
+    # ------------------------------------------------------------------
+    def state_summary(self) -> dict[str, Any]:
+        """A snapshot of the local state for traces and assertions."""
+        return {"pid": self.pid}
+
+    def reserved_tokens(self) -> list[tuple[int, int]]:
+        """Reserved resource tokens as ``(channel_label, uid)`` pairs.
+
+        Protocols without an ``RSet`` return the empty list; the oracle
+        uses this for global token accounting.
+        """
+        return []
+
+    def holds_priority(self) -> bool:
+        """True if this process currently stores the priority token."""
+        return False

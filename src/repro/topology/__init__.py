@@ -1,0 +1,34 @@
+"""Tree topologies, channel labeling, and the DFS virtual ring."""
+
+from .generators import (
+    balanced_tree,
+    binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    paper_example_tree,
+    paper_livelock_tree,
+    path_tree,
+    random_recursive_tree,
+    random_tree,
+    star_tree,
+)
+from .tree import OrientedTree, TreeError
+from .virtual_ring import RingStop, VirtualRing, build_virtual_ring
+
+__all__ = [
+    "OrientedTree",
+    "TreeError",
+    "RingStop",
+    "VirtualRing",
+    "build_virtual_ring",
+    "paper_example_tree",
+    "paper_livelock_tree",
+    "path_tree",
+    "star_tree",
+    "balanced_tree",
+    "binary_tree",
+    "caterpillar_tree",
+    "broom_tree",
+    "random_tree",
+    "random_recursive_tree",
+]

@@ -1,0 +1,170 @@
+"""Tree generators used by tests, examples, and benchmarks.
+
+Includes the two trees drawn in the paper (the 8-process tree of
+Figs. 1–2 and the 3-process tree of Fig. 3) plus standard families used
+in the convergence and waiting-time sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .tree import OrientedTree, TreeError
+
+__all__ = [
+    "paper_example_tree",
+    "paper_livelock_tree",
+    "path_tree",
+    "star_tree",
+    "balanced_tree",
+    "binary_tree",
+    "caterpillar_tree",
+    "broom_tree",
+    "random_tree",
+    "random_recursive_tree",
+]
+
+
+def paper_example_tree() -> OrientedTree:
+    """The 8-process tree of paper Figs. 1, 2 and 4.
+
+    Processes are named ``r, a, b, c, d, e, f, g`` in the paper; we map
+    them to ``0..7`` in that order.  The root ``r`` has children ``a``
+    (channel 0) and ``d`` (channel 1); ``a`` has children ``b`` (1) and
+    ``c`` (2); ``d`` has children ``e`` (1), ``f`` (2) and ``g`` (3).
+    """
+    #       r(0)
+    #      /    \
+    #    a(1)   d(4)
+    #    /  \   / | \
+    #  b(2) c(3) e(5) f(6) g(7)
+    return OrientedTree(
+        root=0,
+        children=(
+            (1, 4),  # r -> a, d
+            (2, 3),  # a -> b, c
+            (),      # b
+            (),      # c
+            (5, 6, 7),  # d -> e, f, g
+            (),      # e
+            (),      # f
+            (),      # g
+        ),
+    )
+
+
+def paper_livelock_tree() -> OrientedTree:
+    """The 3-process tree of paper Fig. 3: root ``r`` with children ``a, b``."""
+    return OrientedTree(root=0, children=((1, 2), (), ()))
+
+
+def path_tree(n: int) -> OrientedTree:
+    """A path ``0 - 1 - ... - n-1`` rooted at ``0`` (worst-case diameter)."""
+    if n < 1:
+        raise TreeError("n must be >= 1")
+    return OrientedTree.from_parent_map([max(i - 1, 0) for i in range(n)], root=0)
+
+
+def star_tree(n: int) -> OrientedTree:
+    """A star: root ``0`` adjacent to all other processes."""
+    if n < 1:
+        raise TreeError("n must be >= 1")
+    return OrientedTree.from_parent_map([0] * n, root=0)
+
+
+def balanced_tree(branching: int, height: int) -> OrientedTree:
+    """Complete ``branching``-ary tree of the given height (height 0 = root only)."""
+    if branching < 1:
+        raise TreeError("branching must be >= 1")
+    parent = [0]
+    level = [0]
+    for _ in range(height):
+        nxt = []
+        for p in level:
+            for _ in range(branching):
+                parent.append(p)
+                nxt.append(len(parent) - 1)
+        level = nxt
+    return OrientedTree.from_parent_map(parent, root=0)
+
+
+def binary_tree(n: int) -> OrientedTree:
+    """Heap-shaped binary tree on ``n`` processes (parent of i is (i-1)//2)."""
+    if n < 1:
+        raise TreeError("n must be >= 1")
+    return OrientedTree.from_parent_map([max((i - 1) // 2, 0) for i in range(n)], root=0)
+
+
+def caterpillar_tree(spine: int, legs: int) -> OrientedTree:
+    """A caterpillar: a path of ``spine`` processes, each with ``legs`` leaves."""
+    if spine < 1 or legs < 0:
+        raise TreeError("spine >= 1 and legs >= 0 required")
+    parent = [0]
+    spine_ids = [0]
+    for _ in range(spine - 1):
+        parent.append(spine_ids[-1])
+        spine_ids.append(len(parent) - 1)
+    for s in spine_ids:
+        for _ in range(legs):
+            parent.append(s)
+    return OrientedTree.from_parent_map(parent, root=0)
+
+
+def broom_tree(handle: int, bristles: int) -> OrientedTree:
+    """A path of ``handle`` processes ending in ``bristles`` leaves.
+
+    Stresses the asymmetry between processes near the root and processes
+    clustered at the far end of the virtual ring.
+    """
+    if handle < 1 or bristles < 0:
+        raise TreeError("handle >= 1 and bristles >= 0 required")
+    parent = [max(i - 1, 0) for i in range(handle)]
+    for _ in range(bristles):
+        parent.append(handle - 1)
+    return OrientedTree.from_parent_map(parent, root=0)
+
+
+def random_tree(n: int, seed: int | np.random.Generator | None = 0) -> OrientedTree:
+    """Uniform random labeled tree (Prüfer sequence), rooted at ``0``."""
+    if n < 1:
+        raise TreeError("n must be >= 1")
+    if n <= 2:
+        return path_tree(n)
+    rng = make_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    edges: list[tuple[int, int]] = []
+    leaves = sorted(int(i) for i in range(n) if degree[i] == 1)
+    import heapq
+
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return OrientedTree.from_edges(n, edges, root=0)
+
+
+def random_recursive_tree(
+    n: int, seed: int | np.random.Generator | None = 0
+) -> OrientedTree:
+    """Random recursive tree: process ``i`` attaches to a uniform earlier process.
+
+    Produces shallow, root-heavy trees — a useful contrast with
+    :func:`random_tree` in convergence sweeps.
+    """
+    if n < 1:
+        raise TreeError("n must be >= 1")
+    rng = make_rng(seed)
+    parent = [0] * n
+    for i in range(1, n):
+        parent[i] = int(rng.integers(0, i))
+    return OrientedTree.from_parent_map(parent, root=0)

@@ -1,0 +1,129 @@
+"""Arbitrary rooted connected graphs (substrate for the §5 extension).
+
+The paper notes that solutions on oriented trees extend to arbitrary
+rooted networks by composing with a spanning-tree construction.  These
+generators produce the connected graphs that composition runs on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .generators import random_tree
+from .tree import OrientedTree
+
+__all__ = ["Graph", "random_connected_graph", "ring_graph", "grid_graph"]
+
+
+class Graph:
+    """Undirected graph with per-node channel labels (sorted neighbor order)."""
+
+    def __init__(self, n: int, edges: set[tuple[int, int]]) -> None:
+        self.n = n
+        self.edges = {(min(u, v), max(u, v)) for u, v in edges}
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for u, v in self.edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        #: neighbor lists in increasing id order = channel label order
+        self.labels: list[tuple[int, ...]] = [tuple(sorted(a)) for a in adj]
+
+    def degree(self, p: int) -> int:
+        """Number of neighbors of ``p``."""
+        return len(self.labels[p])
+
+    def is_connected(self) -> bool:
+        """Breadth-first connectivity check."""
+        if self.n == 0:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self.labels[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        return len(seen) == self.n
+
+    def bfs_tree(self, root: int = 0) -> OrientedTree:
+        """Reference BFS spanning tree with lowest-id tie-breaking.
+
+        Each non-root picks the smallest-id neighbor one BFS level closer
+        to the root — the same deterministic rule the self-stabilizing
+        layer (:mod:`repro.core.composed`) converges to, so tests can
+        assert exact equality.
+        """
+        dist = self.distances(root)
+        parent = [
+            root if p == root
+            else min(q for q in self.labels[p] if dist[q] == dist[p] - 1)
+            for p in range(self.n)
+        ]
+        return OrientedTree.from_parent_map(parent, root=root)
+
+    def distances(self, root: int = 0) -> list[int]:
+        """BFS distances from ``root``."""
+        dist = [-1] * self.n
+        dist[root] = 0
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self.labels[u]:
+                    if dist[v] == -1:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+
+def random_connected_graph(
+    n: int,
+    extra_edges: int = 0,
+    seed: int | np.random.Generator | None = 0,
+) -> Graph:
+    """Random tree plus ``extra_edges`` uniformly-random chords.
+
+    Always connected; ``extra_edges = 0`` degenerates to a tree, larger
+    values add cycles (the case the spanning-tree layer must resolve).
+    """
+    rng = make_rng(seed)
+    tree = random_tree(n, rng)
+    edges = {(min(u, v), max(u, v)) for u, v in tree.edges()}
+    attempts = 0
+    while extra_edges > 0 and attempts < 100 * extra_edges and n > 2:
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        attempts += 1
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e not in edges:
+            edges.add(e)
+            extra_edges -= 1
+    return Graph(n, edges)
+
+
+def ring_graph(n: int) -> Graph:
+    """Cycle graph (a worst case for BFS-tree tie-breaking)."""
+    if n < 3:
+        raise ValueError("ring graphs need n >= 3")
+    return Graph(n, {(i, (i + 1) % n) for i in range(n)})
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows × cols`` grid graph."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                edges.add((u, u + 1))
+            if r + 1 < rows:
+                edges.add((u, u + cols))
+    return Graph(rows * cols, edges)

@@ -1,0 +1,209 @@
+"""Oriented tree topology with paper-faithful channel labeling.
+
+The paper assumes an *oriented* tree: there is a distinguished root ``r``
+and every non-root process knows which neighbor is its parent.  Channels
+incident to a process ``p`` carry local labels ``0 .. Δp − 1``; every
+non-root process labels the channel to its parent ``0`` (paper Fig. 1).
+
+The DFS token-forwarding rule "received on channel ``i`` → retransmit on
+channel ``(i + 1) mod Δp``" then walks the Euler tour of the tree: the
+*virtual ring* of length ``2(n − 1)`` directed edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["OrientedTree", "TreeError"]
+
+
+class TreeError(ValueError):
+    """Raised when an edge set or parent map does not describe a valid tree."""
+
+
+@dataclass(frozen=True)
+class OrientedTree:
+    """An oriented rooted tree over processes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    root:
+        Identifier of the distinguished root process.
+    children:
+        ``children[p]`` is the ordered tuple of ``p``'s children.  The
+        order is significant: it fixes the channel labeling, hence the
+        shape of the virtual ring.
+
+    Channel labeling (paper convention):
+
+    * root: children get labels ``0 .. Δr − 1`` in ``children[root]`` order;
+    * non-root: parent is label ``0``; children get ``1 .. Δp − 1`` in
+      ``children[p]`` order.
+    """
+
+    root: int
+    children: tuple[tuple[int, ...], ...]
+    #: ``parent[p]`` for every process (``parent[root] == root``).
+    parent: tuple[int, ...] = field(init=False)
+    #: ``_labels[p]`` maps channel label -> neighbor id.
+    _labels: tuple[tuple[int, ...], ...] = field(init=False)
+    #: ``_rlabels[p]`` maps neighbor id -> channel label.
+    _rlabels: tuple[dict[int, int], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.children)
+        if not (0 <= self.root < n):
+            raise TreeError(f"root {self.root} out of range for n={n}")
+        parent = [-1] * n
+        parent[self.root] = self.root
+        seen = 1
+        stack = [self.root]
+        while stack:
+            p = stack.pop()
+            for c in self.children[p]:
+                if not (0 <= c < n):
+                    raise TreeError(f"child {c} of {p} out of range")
+                if parent[c] != -1:
+                    raise TreeError(f"process {c} has two parents (not a tree)")
+                parent[c] = p
+                seen += 1
+                stack.append(c)
+        if seen != n:
+            raise TreeError(f"children map reaches {seen} of {n} processes")
+
+        labels: list[tuple[int, ...]] = []
+        rlabels: list[dict[int, int]] = []
+        for p in range(n):
+            if p == self.root:
+                neigh = tuple(self.children[p])
+            else:
+                neigh = (parent[p], *self.children[p])
+            labels.append(neigh)
+            rlabels.append({q: i for i, q in enumerate(neigh)})
+        object.__setattr__(self, "parent", tuple(parent))
+        object.__setattr__(self, "_labels", tuple(labels))
+        object.__setattr__(self, "_rlabels", tuple(rlabels))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parent_map(
+        cls, parent: Mapping[int, int] | Sequence[int], root: int
+    ) -> "OrientedTree":
+        """Build from a parent map (``parent[root]`` may be ``root`` or absent).
+
+        Children of each process are ordered by increasing identifier,
+        which makes the construction deterministic.
+        """
+        if isinstance(parent, Mapping):
+            items = dict(parent)
+            items.setdefault(root, root)
+            n = len(items)
+            if set(items) != set(range(n)):
+                raise TreeError("parent map keys must be 0..n-1")
+            seq = [items[i] for i in range(n)]
+        else:
+            seq = list(parent)
+            n = len(seq)
+        kids: list[list[int]] = [[] for _ in range(n)]
+        for p in range(n):
+            if p == root:
+                continue
+            q = seq[p]
+            if not (0 <= q < n):
+                raise TreeError(f"parent of {p} out of range")
+            kids[q].append(p)
+        for k in kids:
+            k.sort()
+        return cls(root=root, children=tuple(tuple(k) for k in kids))
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], root: int = 0
+    ) -> "OrientedTree":
+        """Build from an undirected edge list; children ordered by id."""
+        adj: list[list[int]] = [[] for _ in range(n)]
+        count = 0
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n) or u == v:
+                raise TreeError(f"bad edge ({u}, {v})")
+            adj[u].append(v)
+            adj[v].append(u)
+            count += 1
+        if count != n - 1:
+            raise TreeError(f"a tree on {n} nodes needs {n - 1} edges, got {count}")
+        parent = [-1] * n
+        parent[root] = root
+        order = [root]
+        for p in order:
+            for q in sorted(adj[p]):
+                if parent[q] == -1:
+                    parent[q] = p
+                    order.append(q)
+        if len(order) != n:
+            raise TreeError("edge list is not connected")
+        return cls.from_parent_map(parent, root)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self.children)
+
+    def degree(self, p: int) -> int:
+        """Δp — the number of channels incident to ``p``."""
+        return len(self._labels[p])
+
+    def neighbor(self, p: int, label: int) -> int:
+        """Neighbor of ``p`` on channel ``label``."""
+        return self._labels[p][label]
+
+    def label_of(self, p: int, q: int) -> int:
+        """Label of the channel at ``p`` leading to neighbor ``q``."""
+        return self._rlabels[p][q]
+
+    def neighbors(self, p: int) -> tuple[int, ...]:
+        """Neighbors of ``p`` in channel-label order."""
+        return self._labels[p]
+
+    def is_leaf(self, p: int) -> bool:
+        """True if ``p`` has no children."""
+        return not self.children[p]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield undirected tree edges as ``(parent, child)`` pairs."""
+        for p in range(self.n):
+            for c in self.children[p]:
+                yield (p, c)
+
+    def depth(self, p: int) -> int:
+        """Distance from ``p`` to the root."""
+        d = 0
+        while p != self.root:
+            p = self.parent[p]
+            d += 1
+        return d
+
+    def height(self) -> int:
+        """Maximum depth over all processes."""
+        return max(self.depth(p) for p in range(self.n))
+
+    def subtree(self, p: int) -> list[int]:
+        """Processes of the subtree rooted at ``p``, preorder."""
+        out = [p]
+        for q in out:
+            out.extend(self.children[q])  # list grows while iterating: BFS-ish preorder
+        return out
+
+    def validate(self) -> None:
+        """Re-check structural invariants (labels consistent, parent = label 0)."""
+        for p in range(self.n):
+            for i, q in enumerate(self._labels[p]):
+                if self.label_of(p, q) != i:
+                    raise TreeError(f"label map inconsistent at {p}->{q}")
+            if p != self.root and self.neighbor(p, 0) != self.parent[p]:
+                raise TreeError(f"channel 0 of {p} is not its parent")

@@ -1,0 +1,100 @@
+"""The virtual ring induced by DFS token circulation (paper Figs. 1 & 4).
+
+A token that leaves the root on channel 0 and obeys the forwarding rule
+"received on channel ``i`` → retransmit on channel ``(i + 1) mod Δp``"
+traverses every tree edge exactly twice: the Euler tour.  The oriented
+tree thereby *emulates a ring with a designated leader* (paper Fig. 4);
+the tour visits ``2(n − 1)`` directed channels, and a process ``p``
+appears ``Δp`` times on the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tree import OrientedTree
+
+__all__ = ["RingStop", "VirtualRing", "build_virtual_ring"]
+
+
+@dataclass(frozen=True, slots=True)
+class RingStop:
+    """One stop of the virtual ring.
+
+    A stop is "process ``pid`` receives on channel ``in_label`` and
+    forwards on channel ``out_label`` to ``next_pid``".  For the start
+    stop at the root, ``in_label`` is ``Δr − 1`` (the channel on which a
+    token completing a circulation arrives).
+    """
+
+    pid: int
+    in_label: int
+    out_label: int
+    next_pid: int
+
+
+class VirtualRing:
+    """Euler tour of an oriented tree under the DFS forwarding rule."""
+
+    def __init__(self, tree: OrientedTree) -> None:
+        self.tree = tree
+        self.stops: tuple[RingStop, ...] = tuple(_walk(tree))
+        self._pos: dict[tuple[int, int], int] = {
+            (s.pid, s.out_label): i for i, s in enumerate(self.stops)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of directed channels on the ring: ``2(n − 1)`` (0 if n == 1)."""
+        return len(self.stops)
+
+    def node_sequence(self) -> list[int]:
+        """Processes in visit order, starting at the root."""
+        return [s.pid for s in self.stops]
+
+    def channel_sequence(self) -> list[tuple[int, int]]:
+        """Directed channels ``(sender, receiver)`` in traversal order."""
+        return [(s.pid, s.next_pid) for s in self.stops]
+
+    def occurrences(self, pid: int) -> int:
+        """How many times ``pid`` appears on the ring (equals ``Δpid``)."""
+        return sum(1 for s in self.stops if s.pid == pid)
+
+    def index_of(self, pid: int, out_label: int) -> int:
+        """Ring position of the stop where ``pid`` sends on ``out_label``."""
+        return self._pos[(pid, out_label)]
+
+    def distance(self, frm: int, to: int) -> int:
+        """Hops along the ring from the first stop of ``frm`` to the first of ``to``."""
+        i = next(k for k, s in enumerate(self.stops) if s.pid == frm)
+        j = next(k for k, s in enumerate(self.stops) if s.pid == to)
+        return (j - i) % max(self.length, 1)
+
+    def __iter__(self):
+        return iter(self.stops)
+
+    def __len__(self) -> int:
+        return len(self.stops)
+
+
+def _walk(tree: OrientedTree):
+    """Yield the ring stops by simulating one full token circulation."""
+    if tree.n == 1:
+        return
+    # The token leaves the root on channel 0; conceptually it "arrived" on
+    # the root's last channel (completing the previous circulation).
+    pid, in_label = tree.root, tree.degree(tree.root) - 1
+    first = True
+    while first or pid != tree.root or in_label != tree.degree(tree.root) - 1:
+        first = False
+        out_label = (in_label + 1) % tree.degree(pid)
+        nxt = tree.neighbor(pid, out_label)
+        yield RingStop(pid=pid, in_label=in_label, out_label=out_label, next_pid=nxt)
+        in_label = tree.label_of(nxt, pid)
+        pid = nxt
+
+
+def build_virtual_ring(tree: OrientedTree) -> VirtualRing:
+    """Construct the :class:`VirtualRing` for ``tree``."""
+    return VirtualRing(tree)

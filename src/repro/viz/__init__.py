@@ -1,0 +1,5 @@
+"""ASCII visualization of trees, rings, and protocol configurations."""
+
+from .ascii import render_configuration, render_ring, render_tree
+
+__all__ = ["render_configuration", "render_ring", "render_tree"]

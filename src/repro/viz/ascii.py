@@ -1,0 +1,117 @@
+"""ASCII rendering of trees, virtual rings, and protocol configurations.
+
+Used by the examples to draw the paper's figures in a terminal, and by
+debugging sessions to see where every token currently is.
+"""
+
+from __future__ import annotations
+
+from ..analysis.census import take_census
+from ..core.messages import Ctrl, PrioT, PushT, ResT
+from ..sim.engine import Engine
+from ..topology.tree import OrientedTree
+from ..topology.virtual_ring import VirtualRing
+
+__all__ = ["render_tree", "render_ring", "render_configuration"]
+
+
+def render_tree(
+    tree: OrientedTree,
+    labels: dict[int, str] | None = None,
+    annotate: dict[int, str] | None = None,
+) -> str:
+    """Indented tree drawing; ``annotate[pid]`` is appended to its line.
+
+    Channel labels are shown on each edge (``--0-->`` style), matching
+    the paper's Fig. 1 numbering.
+    """
+    labels = labels or {}
+    annotate = annotate or {}
+    lines: list[str] = []
+
+    def name(p: int) -> str:
+        return labels.get(p, str(p))
+
+    def walk2(p: int, prefix: str, is_last: bool, edge_label: str) -> None:
+        note = f"   {annotate[p]}" if p in annotate else ""
+        if p == tree.root:
+            lines.append(f"{name(p)}{note}")
+            child_prefix = ""
+        else:
+            branch = "`--" if is_last else "|--"
+            lines.append(f"{prefix}{branch}{edge_label}--> {name(p)}{note}")
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        kids = tree.children[p]
+        for i, c in enumerate(kids):
+            walk2(c, child_prefix, i == len(kids) - 1, str(tree.label_of(p, c)))
+
+    walk2(tree.root, "", True, "")
+    return "\n".join(lines)
+
+
+def render_ring(ring: VirtualRing, labels: dict[int, str] | None = None) -> str:
+    """The virtual ring as ``r -0-> a -1-> b ...`` (paper Fig. 4)."""
+    labels = labels or {}
+
+    def name(p: int) -> str:
+        return labels.get(p, str(p))
+
+    parts = []
+    for stop in ring:
+        parts.append(f"{name(stop.pid)} -{stop.out_label}->")
+    parts.append(name(ring.stops[0].pid) if ring.stops else "")
+    return " ".join(parts)
+
+
+_TOKEN_GLYPH = {ResT: "●", PushT: "P", PrioT: "★", Ctrl: "C"}
+
+
+def _glyphs(msgs) -> str:
+    out = []
+    for m in msgs:
+        for cls, g in _TOKEN_GLYPH.items():
+            if isinstance(m, cls):
+                out.append(g)
+                break
+        else:
+            out.append("?")
+    return "".join(out)
+
+
+def render_configuration(
+    engine: Engine,
+    tree: OrientedTree,
+    labels: dict[int, str] | None = None,
+) -> str:
+    """Full configuration dump: per-process state, per-channel contents.
+
+    ``●`` = resource token, ``P`` = pusher, ``★`` = priority token,
+    ``C`` = controller.  The figure-walkthrough example prints these
+    after every phase so the paper's configuration sequence is visible.
+    """
+    labels = labels or {}
+
+    def name(p: int) -> str:
+        return labels.get(p, str(p))
+
+    lines = []
+    for p in range(tree.n):
+        proc = engine.process(p)
+        s = proc.state_summary()
+        extra = ""
+        if "prio" in s and s["prio"] is not None:
+            extra += " ★held"
+        lines.append(
+            f"  {name(p):>3}: State={s.get('state', '?'):3} "
+            f"Need={s.get('need', 0)} RSet={s.get('rset', [])}{extra}"
+        )
+    lines.append("  channels:")
+    for (u, v), ch in sorted(engine.network.channels.items()):
+        if len(ch):
+            lines.append(f"    {name(u)} -> {name(v)}: [{_glyphs(ch)}]")
+    c = take_census(engine)
+    lines.append(
+        f"  census: resource={c.res} (free {c.free_res} + reserved "
+        f"{c.reserved_res}), pusher={c.push}, priority={c.prio}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Token census decomposition."""
+
+from repro.analysis.census import population_correct, take_census
+from repro.core.messages import PrioT, ResT
+from tests.conftest import make_params, saturated_engine
+
+
+class TestCensus:
+    def test_initial_tokens_counted_free(self, paper_tree):
+        params = make_params(paper_tree, l=3)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        c = take_census(engine)
+        assert c.free_res == 3 and c.reserved_res == 0
+        assert c.push == 1 and c.free_prio == 1 and c.held_prio == 0
+        assert c.as_tuple() == (3, 1, 1)
+
+    def test_reserved_tokens_counted(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        proc = engine.process(2)
+        proc.state = "Req"
+        proc.need = 1
+        proc._handle_rest(0, ResT())
+        c = take_census(engine)
+        assert c.reserved_res == 1
+        assert c.res == params.l + 1  # we minted one by hand
+
+    def test_held_priority_counted(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        proc = engine.process(3)
+        proc.state = "Req"
+        proc.need = 1
+        proc._handle_priot(0, PrioT())
+        assert take_census(engine).held_prio == 1
+        assert take_census(engine).prio == 2
+
+    def test_population_correct_predicate(self, paper_tree):
+        params = make_params(paper_tree, l=3)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        assert population_correct(engine, params)
+        engine.network.out_channel(0, 0).push_initial(ResT())
+        assert not population_correct(engine, params)
+
+    def test_empty_init_population_zero(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="empty")
+        assert take_census(engine).as_tuple() == (0, 0, 0)

@@ -1,0 +1,142 @@
+"""Bounded exhaustive exploration of small instances."""
+
+import pytest
+
+from repro import KLParams
+from repro.analysis import safety_ok, take_census
+from repro.analysis.explore import canonical_digest, explore
+from repro.apps.workloads import HogWorkload, SaturatedWorkload
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.topology import paper_livelock_tree, path_tree
+
+
+def naive_engine(n=2, k=1, l=1, needs=None):
+    tree = path_tree(n)
+    params = KLParams(k=k, l=l, n=n)
+    apps = [
+        SaturatedWorkload(needs[p], cs_duration=0) if needs and p in needs else None
+        for p in range(n)
+    ]
+    return build_naive_engine(tree, params, apps), params
+
+
+class TestDigest:
+    def test_identical_configs_same_digest(self):
+        a, _ = naive_engine()
+        b, _ = naive_engine()
+        assert canonical_digest(a) == canonical_digest(b)
+
+    def test_uid_invariance(self):
+        from repro.core.messages import ResT
+        a, _ = naive_engine()
+        b, _ = naive_engine()
+        # replace b's token with a fresh-uid one: digest must not change
+        ch = b.network.out_channel(0, 0)
+        ch.clear()
+        ch.push_initial(ResT())
+        assert canonical_digest(a) == canonical_digest(b)
+
+    def test_channel_contents_matter(self):
+        a, _ = naive_engine()
+        b, _ = naive_engine()
+        b.network.out_channel(1, 0).push_initial(
+            __import__("repro.core.messages", fromlist=["PushT"]).PushT()
+        )
+        assert canonical_digest(a) != canonical_digest(b)
+
+
+class TestExploreMechanics:
+    def test_closes_reachable_set(self):
+        # 2 processes, 1 token, no requesters: the token just circulates;
+        # the reachable set is tiny and must close.
+        eng, params = naive_engine()
+        res = explore(eng, lambda e: True, max_depth=30)
+        assert res.exhausted
+        assert res.configurations < 50
+
+    def test_depth_bound_respected(self):
+        eng, params = naive_engine(n=3, l=2, needs={1: 1, 2: 1})
+        res = explore(eng, lambda e: True, max_depth=2)
+        assert not res.exhausted or res.configurations > 0
+        assert len(res.frontier_sizes) <= 3
+
+    def test_violation_reported_with_depth(self):
+        eng, params = naive_engine()
+        res = explore(eng, lambda e: e.network.pending_messages() == 1
+                      or "token left the channels", max_depth=10)
+        # the token gets absorbed... no requesters here, so it stays in
+        # flight forever: pending == 1 except right when being handled
+        # (handled tokens are re-sent within the same step) -> holds.
+        assert res.ok
+
+    def test_input_engine_not_mutated(self):
+        eng, params = naive_engine()
+        before = canonical_digest(eng)
+        explore(eng, lambda e: True, max_depth=5)
+        assert canonical_digest(eng) == before
+
+
+class TestExhaustiveSafety:
+    def test_naive_safety_under_all_schedules(self):
+        """Exhaustive: the naive protocol with two 1-unit requesters on a
+        3-path never violates safety under ANY schedule."""
+        eng, params = naive_engine(n=3, k=1, l=1, needs={1: 1, 2: 1})
+        # register requests deterministically first
+        for p in range(3):
+            eng.step_pid(p, -1)
+        res = explore(
+            eng,
+            lambda e: safety_ok(e, params) or "safety violated",
+            max_depth=14,
+            max_configurations=120_000,
+        )
+        assert res.ok
+        assert res.configurations > 10  # small but closed state space
+
+    def test_naive_token_conservation_under_all_schedules(self):
+        eng, params = naive_engine(n=3, k=2, l=2, needs={1: 2, 2: 1})
+        for p in range(3):
+            eng.step_pid(p, -1)
+        res = explore(
+            eng,
+            lambda e: take_census(e).res == 2 or "token minted or lost",
+            max_depth=12,
+            max_configurations=120_000,
+        )
+        assert res.ok
+
+    def test_priority_variant_exhaustive_invariants(self):
+        """Fig. 3 topology, 1-out-of-2 with hogs: all schedules preserve
+        safety and the full census."""
+        tree = paper_livelock_tree()
+        params = KLParams(k=1, l=2, n=3)
+        apps = [None, HogWorkload(1), HogWorkload(1)]
+        eng = build_priority_engine(tree, params, apps)
+        for p in range(3):
+            eng.step_pid(p, -1)
+
+        def inv(e):
+            if not safety_ok(e, params):
+                return "safety violated"
+            if take_census(e).as_tuple() != (2, 1, 1):
+                return f"census {take_census(e).as_tuple()}"
+            return True
+
+        res = explore(eng, inv, max_depth=10, max_configurations=120_000)
+        assert res.ok
+        assert res.configurations > 10
+
+    def test_wider_instance_explores_many_configs(self):
+        """More tokens and a 2-unit demand widen the interleaving space."""
+        eng, params = naive_engine(n=4, k=2, l=3, needs={1: 2, 2: 1, 3: 2})
+        for p in range(4):
+            eng.step_pid(p, -1)
+        res = explore(
+            eng,
+            lambda e: safety_ok(e, params) or "safety violated",
+            max_depth=26,
+            max_configurations=60_000,
+        )
+        assert res.ok
+        assert res.configurations > 200

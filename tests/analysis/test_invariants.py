@@ -1,0 +1,107 @@
+"""Safety clauses and domain checks."""
+
+from repro.analysis.invariants import (
+    check_safety,
+    domains_ok,
+    safety_ok,
+    units_in_use,
+)
+from repro.core.base import IN, REQ
+from repro.core.messages import ResT
+from tests.conftest import make_params, saturated_engine
+
+
+def minted(proc, n, label=0):
+    """Hand-reserve n fresh tokens at proc."""
+    proc.rset.extend((label, ResT().uid) for _ in range(n))
+
+
+class TestSafetyClauses:
+    def test_clean_config_safe(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        assert safety_ok(engine, params)
+        assert units_in_use(engine) == 0
+
+    def test_over_k_detected(self, paper_tree):
+        params = make_params(paper_tree, k=2, l=5)
+        engine, _ = saturated_engine(paper_tree, params)
+        p = engine.process(1)
+        p.state = IN
+        minted(p, 3)  # > k
+        rep = check_safety(engine, params)
+        assert not rep.ok
+        assert any("k=2" in v for v in rep.violations)
+
+    def test_over_l_detected(self, paper_tree):
+        params = make_params(paper_tree, k=2, l=2)
+        engine, _ = saturated_engine(paper_tree, params)
+        for pid in (1, 2, 3):
+            p = engine.process(pid)
+            p.state = IN
+            minted(p, 1)
+        rep = check_safety(engine, params)
+        assert any("l=2" in v for v in rep.violations)
+
+    def test_duplicate_unit_detected(self, paper_tree):
+        params = make_params(paper_tree, k=1, l=2)
+        engine, _ = saturated_engine(paper_tree, params)
+        t = ResT()
+        for pid in (1, 2):
+            p = engine.process(pid)
+            p.state = IN
+            p.rset.append((0, t.uid))
+        rep = check_safety(engine, params)
+        assert any("used by both" in v for v in rep.violations)
+
+    def test_requester_reservations_not_in_use(self, paper_tree):
+        params = make_params(paper_tree, k=2, l=2)
+        engine, _ = saturated_engine(paper_tree, params)
+        p = engine.process(1)
+        p.state = REQ
+        minted(p, 2)
+        assert units_in_use(engine) == 0
+        assert safety_ok(engine, params)
+
+
+class TestDomains:
+    def test_clean_config_in_domain(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params)
+        assert domains_ok(engine, params).ok
+
+    def test_detects_bad_state(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(1).state = "Weird"
+        assert not domains_ok(engine, params).ok
+
+    def test_detects_bad_need(self, paper_tree):
+        params = make_params(paper_tree, k=2)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(1).need = 99
+        assert not domains_ok(engine, params).ok
+
+    def test_detects_overfull_rset(self, paper_tree):
+        params = make_params(paper_tree, k=1)
+        engine, _ = saturated_engine(paper_tree, params)
+        minted(engine.process(1), 2)
+        assert not domains_ok(engine, params).ok
+
+    def test_detects_bad_myc(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(0).myc = params.myc_modulus + 5
+        assert not domains_ok(engine, params).ok
+
+    def test_detects_bad_succ(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(0).succ = 99
+        assert not domains_ok(engine, params).ok
+
+    def test_detects_bad_counters(self, paper_tree):
+        params = make_params(paper_tree, l=3)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(0).stoken = 99
+        assert not domains_ok(engine, params).ok

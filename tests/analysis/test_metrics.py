@@ -1,0 +1,73 @@
+"""Run metrics aggregation."""
+
+from repro import KLParams
+from repro.analysis.metrics import (
+    RunMetrics,
+    collect_metrics,
+    priority_holder_bound,
+    waiting_time_bound,
+)
+from repro.apps.workloads import SaturatedWorkload
+from tests.conftest import make_params, saturated_engine
+
+
+class TestBounds:
+    def test_waiting_time_bound(self):
+        assert waiting_time_bound(KLParams(k=1, l=5, n=10)) == 5 * 17 * 17
+
+    def test_priority_holder_bound(self):
+        assert priority_holder_bound(KLParams(k=1, l=5, n=10)) == 5 * 17
+
+    def test_explicit_n_overrides(self):
+        p = KLParams(k=1, l=2, n=4)
+        assert waiting_time_bound(p, n=10) == 2 * 17 * 17
+
+
+class TestRunMetrics:
+    def test_messages_per_cs(self):
+        m = RunMetrics(steps=10, cs_entries=4, requests=5, satisfied=4,
+                       max_waiting_time=3, mean_waiting_time=2.0,
+                       max_waiting_steps=9,
+                       messages_by_type={"ResT": 6, "Ctrl": 2})
+        assert m.messages_total == 8
+        assert m.messages_per_cs == 2.0
+        assert m.unsatisfied == 1
+
+    def test_zero_cs_gives_inf(self):
+        m = RunMetrics(steps=1, cs_entries=0, requests=1, satisfied=0,
+                       max_waiting_time=None, mean_waiting_time=None,
+                       max_waiting_steps=None, messages_by_type={"ResT": 3})
+        assert m.messages_per_cs == float("inf")
+
+
+class TestCollect:
+    def test_end_to_end_collection(self, paper_tree):
+        from repro.analysis import stabilize
+        params = make_params(paper_tree)
+        engine, apps = saturated_engine(paper_tree, params, seed=3)
+        assert stabilize(engine, params)
+        t0 = engine.now
+        engine.run(30_000)
+        m = collect_metrics(engine, apps, since_step=t0)
+        assert m.satisfied > 0
+        assert m.requests >= m.satisfied
+        assert m.max_waiting_time is not None
+        assert m.mean_waiting_time <= m.max_waiting_time
+        assert m.cs_entries == engine.total_cs_entries
+
+    def test_since_step_excludes_warmup(self, paper_tree):
+        from repro.analysis import stabilize
+        params = make_params(paper_tree)
+        engine, apps = saturated_engine(paper_tree, params, seed=3)
+        assert stabilize(engine, params)
+        engine.run(20_000)
+        all_reqs = collect_metrics(engine, apps, since_step=0).requests
+        late_reqs = collect_metrics(engine, apps, since_step=engine.now).requests
+        assert late_reqs == 0
+        assert all_reqs > 0
+
+    def test_none_apps_skipped(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, apps = saturated_engine(paper_tree, params)
+        m = collect_metrics(engine, [None] * paper_tree.n)
+        assert m.requests == 0

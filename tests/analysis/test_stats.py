@@ -1,0 +1,72 @@
+"""Scaling fits and bootstrap intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, fit_power_law, r_squared
+
+
+class TestPowerLaw:
+    def test_exact_quadratic(self):
+        x = np.array([2, 4, 8, 16], dtype=float)
+        fit = fit_power_law(x, 3 * x**2)
+        assert fit.alpha == pytest.approx(2.0, abs=1e-9)
+        assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_exact_linear(self):
+        x = np.array([1, 2, 3, 4, 5], dtype=float)
+        fit = fit_power_law(x, 7 * x)
+        assert fit.alpha == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(2, 50, 25)
+        y = 2 * x**1.5 * np.exp(rng.normal(0, 0.05, 25))
+        fit = fit_power_law(x, y)
+        assert 1.3 < fit.alpha < 1.7
+        assert fit.r2 > 0.9
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict([8])[0] == pytest.approx(16.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 2])
+
+
+class TestRSquared:
+    def test_perfect(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_mean_predictor_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_series(self):
+        assert r_squared([5, 5, 5], [5, 5, 5]) == 1.0
+        assert r_squared([5, 5, 5], [4, 4, 4]) == 0.0
+
+
+class TestBootstrap:
+    def test_contains_true_mean_for_clean_data(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10, 1, size=200)
+        lo, hi = bootstrap_ci(data, seed=2)
+        assert lo < 10 < hi
+        assert hi - lo < 0.6
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)

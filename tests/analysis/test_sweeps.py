@@ -1,0 +1,56 @@
+"""Sweep aggregation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import SweepCell, SweepResult, run_sweep
+
+
+def runner(seed, base=0):
+    return {"x": base + seed, "y": 2.0 * seed}
+
+
+class TestRunSweep:
+    def test_grid_shape_and_values(self):
+        cells = [SweepCell("a", {"base": 0}), SweepCell("b", {"base": 10})]
+        res = run_sweep(runner, cells, seeds=[1, 2, 3])
+        assert res.labels == ["a", "b"]
+        assert res.values.shape == (2, 3, 2)
+        assert res.mean("x")[0] == pytest.approx(2.0)
+        assert res.mean("x")[1] == pytest.approx(12.0)
+        assert res.max("y")[0] == pytest.approx(6.0)
+        assert res.min("y")[0] == pytest.approx(2.0)
+
+    def test_missing_runs_become_nan(self):
+        def flaky(seed):
+            return None if seed == 2 else {"x": float(seed)}
+        res = run_sweep(flaky, [SweepCell("only")], seeds=[1, 2, 3])
+        assert np.isnan(res.values[0, 1, 0])
+        assert res.mean("x")[0] == pytest.approx(2.0)  # NaN-aware
+
+    def test_rows_and_dict(self):
+        res = run_sweep(runner, [SweepCell("a")], seeds=[1, 3])
+        rows = res.rows("x", "y")
+        assert rows == [("a", 2.0, 4.0)]
+        assert res.as_dict()["a"]["y"] == pytest.approx(4.0)
+
+    def test_explicit_metric_order(self):
+        res = run_sweep(runner, [SweepCell("a")], seeds=[1], metrics=["y", "x"])
+        assert res.metrics == ["y", "x"]
+
+    def test_unknown_metric_rejected(self):
+        res = run_sweep(runner, [SweepCell("a")], seeds=[1])
+        with pytest.raises(KeyError):
+            res.mean("z")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep(runner, [], seeds=[1])
+        with pytest.raises(ValueError):
+            run_sweep(runner, [SweepCell("a")], seeds=[])
+        with pytest.raises(ValueError):
+            run_sweep(lambda seed: None, [SweepCell("a")], seeds=[1])
+
+    def test_std(self):
+        res = run_sweep(runner, [SweepCell("a")], seeds=[0, 2])
+        assert res.std("x")[0] == pytest.approx(1.0)

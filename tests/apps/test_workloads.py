@@ -1,0 +1,110 @@
+"""Workload drivers."""
+
+import pytest
+
+from repro.apps.workloads import (
+    HogWorkload,
+    OneShotWorkload,
+    SaturatedWorkload,
+    ScriptedWorkload,
+    StochasticWorkload,
+)
+
+
+class FakeEngine:
+    def __init__(self):
+        self.total_cs_entries = 0
+        self.now = 0
+
+
+def enter_exit(app, eng, enter_at, exit_at):
+    eng.now = enter_at
+    app.on_enter_cs(enter_at)
+    eng.now = exit_at
+    app.on_exit_cs(exit_at)
+
+
+class TestSaturated:
+    def test_always_requests(self):
+        app = SaturatedWorkload(need=2)
+        assert app.maybe_request(0) == 2
+        assert app.maybe_request(100) == 2
+
+    def test_think_time(self):
+        app, eng = SaturatedWorkload(1, cs_duration=1, think_time=10), FakeEngine()
+        app.attach(eng)
+        enter_exit(app, eng, 0, 5)
+        assert app.maybe_request(7) is None
+        assert app.maybe_request(15) == 1
+
+    def test_release_after_duration(self):
+        app, eng = SaturatedWorkload(1, cs_duration=4), FakeEngine()
+        app.attach(eng)
+        eng.now = 10
+        app.on_enter_cs(10)
+        eng.now = 12
+        assert not app.release_cs(12)
+        eng.now = 14
+        assert app.release_cs(14)
+
+    def test_rejects_negative_need(self):
+        with pytest.raises(ValueError):
+            SaturatedWorkload(-1)
+
+
+class TestOneShot:
+    def test_fires_once_at_time(self):
+        app = OneShotWorkload(need=3, at=5)
+        assert app.maybe_request(4) is None
+        assert app.maybe_request(5) == 3
+        assert app.maybe_request(6) is None
+
+
+class TestStochastic:
+    def test_rates_and_ranges(self):
+        app = StochasticWorkload(p=0.5, max_need=3, max_cs=4, seed=0)
+        needs = [app.maybe_request(t) for t in range(400)]
+        fired = [x for x in needs if x is not None]
+        assert 100 < len(fired) < 300
+        assert all(1 <= x <= 3 for x in fired)
+
+    def test_p_zero_never(self):
+        app = StochasticWorkload(p=0.0, max_need=2, seed=0)
+        assert all(app.maybe_request(t) is None for t in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StochasticWorkload(p=1.5, max_need=2)
+        with pytest.raises(ValueError):
+            StochasticWorkload(p=0.5, max_need=0)
+
+
+class TestScripted:
+    def test_replays_in_order(self):
+        app = ScriptedWorkload([(0, 2, 1), (10, 1, 1)])
+        assert app.maybe_request(0) == 2
+        assert app.maybe_request(5) is None
+        assert app.maybe_request(10) == 1
+        assert app.exhausted
+
+    def test_late_start(self):
+        app = ScriptedWorkload([(3, 1, 1)])
+        assert app.maybe_request(7) == 1  # fires first chance after `at`
+
+
+class TestHog:
+    def test_requests_once_never_releases(self):
+        app, eng = HogWorkload(need=2), FakeEngine()
+        app.attach(eng)
+        assert app.maybe_request(0) == 2
+        assert app.maybe_request(1) is None
+        eng.now = 5
+        app.on_enter_cs(5)
+        eng.now = 10_000
+        assert not app.release_cs(10_000)
+
+    def test_faulted_in_state_releases(self):
+        app = HogWorkload(need=2)
+        app.attach(FakeEngine())
+        # protocol in In but app never entered: ReleaseCS() holds
+        assert app.release_cs(0)

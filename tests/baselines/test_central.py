@@ -1,0 +1,90 @@
+"""Centralized allocator: correctness and its (non-)fault-tolerance."""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.apps.workloads import HogWorkload, OneShotWorkload
+from repro.baselines.central import build_central_engine
+from repro.core.base import IN
+from repro.topology import paper_example_tree, path_tree, star_tree
+
+
+def build(tree, k=2, l=3, apps=None, seed=0):
+    params = KLParams(k=k, l=l, n=tree.n)
+    if apps is None:
+        apps = [SaturatedWorkload(1 + p % k, cs_duration=2) for p in range(tree.n)]
+    eng = build_central_engine(tree, params, apps, RandomScheduler(tree.n, seed=seed))
+    return eng, params, apps
+
+
+class TestAllocation:
+    def test_everyone_served(self):
+        tree = paper_example_tree()
+        eng, params, _ = build(tree)
+        eng.run(80_000)
+        assert all(c > 0 for c in eng.counters["enter_cs"])
+
+    def test_never_over_allocates(self):
+        tree = star_tree(7)
+        eng, params, _ = build(tree, k=3, l=4)
+        for _ in range(100):
+            eng.run(500)
+            in_use = sum(
+                p.granted for p in eng.processes if p.state == IN
+            )
+            assert in_use <= params.l
+
+    def test_oldest_fit_skips_blocked_head(self):
+        """A big request at the head must not block smaller ones forever
+        (the (k,l)-liveness analogue)."""
+        tree = path_tree(4)
+        params = KLParams(k=3, l=3, n=4)
+        apps = [
+            None,
+            HogWorkload(2),            # pins 2 of 3 units
+            OneShotWorkload(3, at=500),  # can never fit while hog holds
+            SaturatedWorkload(1, cs_duration=2),
+        ]
+        eng = build_central_engine(tree, params, apps, RandomScheduler(4, seed=1))
+        eng.run(60_000)
+        assert eng.counters["enter_cs"][1] == 1      # hog in
+        assert eng.counters["enter_cs"][2] == 0      # cannot fit
+        assert eng.counters["enter_cs"][3] > 10      # keeps being served
+
+    def test_coordinator_itself_can_request(self):
+        tree = path_tree(3)
+        eng, params, _ = build(tree)
+        eng.run(40_000)
+        assert eng.counters["enter_cs"][0] > 0
+
+
+class TestRouting:
+    def test_multi_hop_grant_path(self):
+        tree = path_tree(5)  # requests from 4 travel 4 hops up
+        eng, params, _ = build(tree)
+        eng.run(60_000)
+        assert eng.counters["enter_cs"][4] > 0
+
+    def test_message_overhead_scales_with_depth(self):
+        shallow, _, _ = build(star_tree(7), seed=3)
+        deep, _, _ = build(path_tree(7), seed=3)
+        shallow.run(60_000)
+        deep.run(60_000)
+        per_cs_shallow = sum(shallow.sent_by_type.values()) / shallow.total_cs_entries
+        per_cs_deep = sum(deep.sent_by_type.values()) / deep.total_cs_entries
+        assert per_cs_deep > per_cs_shallow
+
+
+class TestFaultFragility:
+    def test_scrambled_coordinator_can_strand_pool(self):
+        """The foil for self-stabilization: corrupt the coordinator's
+        ledger to 0 free units with an empty queue and nobody waiting on
+        releases -> no grant can ever be issued again."""
+        tree = star_tree(5)
+        params = KLParams(k=1, l=2, n=5)
+        apps = [None] + [OneShotWorkload(1, at=1_000) for _ in range(4)]
+        eng = build_central_engine(tree, params, apps, RandomScheduler(5, seed=2))
+        coord = eng.process(0)
+        coord.free = 0  # transient fault: ledger corrupted, no units "exist"
+        eng.run(120_000)
+        assert eng.total_cs_entries == 0  # stranded forever, unlike selfstab

@@ -1,0 +1,68 @@
+"""Routing-table construction and message relay for the central baseline."""
+
+from repro import KLParams
+from repro.baselines.central import (
+    CGrant,
+    CRel,
+    CReq,
+    _routing_tables,
+    build_central_engine,
+)
+from repro.topology import paper_example_tree, path_tree
+
+
+class TestRoutingTables:
+    def test_root_reaches_everyone(self, paper_tree):
+        tables = _routing_tables(paper_tree)
+        root = tables[0]
+        for dest in range(1, paper_tree.n):
+            assert dest in root
+            # next hop is the child whose subtree contains dest
+            child = paper_tree.neighbor(0, root[dest])
+            assert dest in paper_tree.subtree(child)
+
+    def test_internal_node_routes_down_only(self, paper_tree):
+        tables = _routing_tables(paper_tree)
+        # node a=1 routes to its descendants b=2, c=3 only
+        assert set(tables[1]) == {2, 3}
+
+    def test_leaf_routes_nothing(self, paper_tree):
+        tables = _routing_tables(paper_tree)
+        assert tables[7] == {}
+
+
+class TestRelay:
+    def test_req_relayed_upward(self):
+        tree = path_tree(4)
+        params = KLParams(k=1, l=1, n=4)
+        eng = build_central_engine(tree, params, [None] * 4)
+        eng.network.out_channel(3, 0).push_initial(CReq(origin=3, need=1))
+        eng.step_pid(2)   # relays up
+        assert isinstance(eng.network.out_channel(2, 0).peek(), CReq)
+
+    def test_grant_routed_to_dest(self):
+        tree = path_tree(4)
+        params = KLParams(k=1, l=1, n=4)
+        eng = build_central_engine(tree, params, [None] * 4)
+        eng.network.out_channel(0, 0).push_initial(CGrant(dest=3, units=1))
+        eng.step_pid(1)
+        eng.step_pid(2)
+        eng.step_pid(3)
+        assert eng.process(3).granted == 1
+
+    def test_release_restores_ledger(self):
+        tree = path_tree(3)
+        params = KLParams(k=2, l=3, n=3)
+        eng = build_central_engine(tree, params, [None] * 3)
+        coord = eng.process(0)
+        coord.free = 1
+        coord.on_message(0, CRel(units=2))
+        assert coord.free == 3
+
+    def test_release_clamped_at_l(self):
+        tree = path_tree(3)
+        params = KLParams(k=2, l=3, n=3)
+        eng = build_central_engine(tree, params, [None] * 3)
+        coord = eng.process(0)
+        coord.on_message(0, CRel(units=99))
+        assert coord.free == 3

@@ -1,0 +1,96 @@
+"""Ring baseline: circulation, stabilization, parity with the tree protocol."""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import population_correct, safety_ok, stabilize, take_census
+from repro.baselines.ring import build_ring_engine, ring_myc_modulus
+from repro.sim.faults import scramble_configuration
+
+
+def build(n=6, k=2, l=3, seed=0, init="empty"):
+    params = KLParams(k=k, l=l, n=n, cmax=2)
+    apps = [SaturatedWorkload(1 + p % k, cs_duration=2) for p in range(n)]
+    eng = build_ring_engine(n, params, apps, RandomScheduler(n, seed=seed), init=init)
+    return eng, params, apps
+
+
+class TestBasics:
+    def test_stabilizes_from_empty(self):
+        eng, params, _ = build()
+        assert stabilize(eng, params)
+        assert take_census(eng).as_tuple() == (3, 1, 1)
+
+    def test_stabilizes_from_tokens(self):
+        eng, params, _ = build(init="tokens")
+        assert stabilize(eng, params)
+        assert population_correct(eng, params)
+
+    def test_everyone_served(self):
+        eng, params, _ = build()
+        assert stabilize(eng, params)
+        eng.run(80_000)
+        assert all(c > 0 for c in eng.counters["enter_cs"])
+
+    def test_safety_maintained(self):
+        eng, params, _ = build(k=3, l=4)
+        assert stabilize(eng, params)
+        for _ in range(20):
+            eng.run(2_000)
+            assert safety_ok(eng, params)
+
+    def test_no_spurious_repairs(self):
+        eng, params, _ = build(seed=5)
+        assert stabilize(eng, params)
+        root = eng.process(0)
+        r0, c0 = root.resets, sum(eng.counters["create_rest"])
+        eng.run(80_000)
+        assert root.resets == r0
+        assert sum(eng.counters["create_rest"]) == c0
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_from_arbitrary_configuration(self, seed):
+        eng, params, _ = build(seed=seed)
+        scramble_configuration(eng, params, seed=100 + seed)
+        assert stabilize(eng, params, max_steps=800_000)
+        eng.run(30_000)
+        assert take_census(eng).as_tuple() == (3, 1, 1)
+        assert all(c > 0 for c in eng.counters["enter_cs"])
+
+    def test_backward_garbage_rejoins_flow(self):
+        """Tokens injected in backward channels must be re-counted."""
+        from repro.core.messages import ResT
+        eng, params, _ = build()
+        assert stabilize(eng, params)
+        # inject a token into a backward channel (p -> predecessor)
+        eng.network.out_channel(3, 0).push_initial(ResT())
+        assert stabilize(eng, params, max_steps=800_000)
+        assert take_census(eng).as_tuple() == (3, 1, 1)
+
+
+class TestDomain:
+    def test_myc_modulus(self):
+        assert ring_myc_modulus(KLParams(k=1, l=1, n=6, cmax=2)) == 6 * 3 + 1
+
+    def test_n1_trivial(self):
+        params = KLParams(k=1, l=1, n=1)
+        eng = build_ring_engine(1, params, [SaturatedWorkload(1)], None)
+        eng.run(100)
+        assert eng.counters["enter_cs"][0] > 0
+
+    def test_n2_rejected(self):
+        params = KLParams(k=1, l=1, n=2)
+        with pytest.raises(ValueError):
+            build_ring_engine(2, params, [None, None])
+
+    def test_apps_length_checked(self):
+        params = KLParams(k=1, l=1, n=4)
+        with pytest.raises(ValueError):
+            build_ring_engine(4, params, [None])
+
+    def test_bad_init_rejected(self):
+        params = KLParams(k=1, l=1, n=4)
+        with pytest.raises(ValueError):
+            build_ring_engine(4, params, [None] * 4, init="nope")

@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical trees, parameters, and engine builders."""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.core.selfstab import build_selfstab_engine
+from repro.topology import (
+    balanced_tree,
+    paper_example_tree,
+    paper_livelock_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+
+@pytest.fixture
+def paper_tree():
+    """The 8-process tree of Figs. 1, 2 and 4 (r a b c d e f g = 0..7)."""
+    return paper_example_tree()
+
+
+@pytest.fixture
+def livelock_tree():
+    """The 3-process tree of Fig. 3."""
+    return paper_livelock_tree()
+
+
+@pytest.fixture(params=["paper", "path", "star", "balanced", "random"])
+def any_tree(request):
+    """A representative family of tree shapes (n between 5 and 13)."""
+    return {
+        "paper": paper_example_tree(),
+        "path": path_tree(6),
+        "star": star_tree(7),
+        "balanced": balanced_tree(2, 2),
+        "random": random_tree(13, seed=5),
+    }[request.param]
+
+
+def make_params(tree, k=2, l=3, cmax=2):
+    """KLParams for a given tree."""
+    return KLParams(k=k, l=l, n=tree.n, cmax=cmax)
+
+
+def saturated_engine(tree, params, *, seed=0, cs_duration=2, init="empty", seam="consistent"):
+    """Self-stabilizing engine under a saturated mixed-need workload."""
+    apps = [
+        SaturatedWorkload(need=1 + p % params.k, cs_duration=cs_duration)
+        for p in range(tree.n)
+    ]
+    engine = build_selfstab_engine(
+        tree, params, apps, RandomScheduler(tree.n, seed=seed), init=init, seam=seam
+    )
+    return engine, apps

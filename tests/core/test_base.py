@@ -1,0 +1,120 @@
+"""Shared token machinery: reservation, CS transitions, forwarding."""
+
+from repro import KLParams
+from repro.apps.workloads import OneShotWorkload, SaturatedWorkload
+from repro.core.base import IN, OUT, REQ
+from repro.core.messages import ResT
+from repro.core.naive import build_naive_engine
+from repro.core.placement import clear_all_channels, place_tokens
+from repro.topology import path_tree
+
+
+def build(n=3, k=2, l=2, needs=None, cs_duration=1):
+    tree = path_tree(n)
+    params = KLParams(k=k, l=l, n=n)
+    apps = [
+        OneShotWorkload(needs[p], cs_duration=cs_duration)
+        if needs and p in needs
+        else None
+        for p in range(n)
+    ]
+    eng = build_naive_engine(tree, params, apps)
+    clear_all_channels(eng)
+    return eng, tree, params
+
+
+class TestReservation:
+    def test_collects_while_short(self):
+        eng, tree, _ = build(needs={1: 2})
+        eng.step_pid(1, -1)  # register request
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "res")])
+        eng.step_pid(1)
+        p = eng.process(1)
+        assert p.rset_size() == 1 and p.state == REQ
+        eng.step_pid(1)
+        assert p.rset_size() == 2 and p.state == IN
+
+    def test_forwards_when_not_requesting(self):
+        eng, tree, _ = build()
+        place_tokens(eng, tree, [(0, 1, "res")])
+        eng.step_pid(1)
+        # token moved on to channel 1+... -> toward 2
+        assert len(eng.network.out_channel(1, 1)) == 1
+        assert eng.process(1).rset_size() == 0
+
+    def test_forwards_when_satisfied(self):
+        eng, tree, _ = build(needs={1: 1}, cs_duration=100)
+        eng.step_pid(1, -1)
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "res")])
+        eng.step_pid(1)  # absorb, enter CS
+        assert eng.process(1).state == IN
+        eng.step_pid(1)  # second token passes through even in CS
+        assert eng.process(1).rset_size() == 1
+        assert len(eng.network.out_channel(1, 1)) == 1
+
+    def test_rset_count_multiplicity(self):
+        eng, tree, _ = build(needs={1: 2})
+        eng.step_pid(1, -1)
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "res")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        assert eng.process(1).rset_count(0) == 2
+        assert eng.process(1).rset_count(1) == 0
+
+
+class TestCsTransitions:
+    def test_zero_need_enters_immediately(self):
+        eng, _, _ = build(needs={1: 0})
+        eng.step_pid(1, -1)
+        assert eng.process(1).state in (IN, OUT)  # entered and maybe exited
+        assert eng.counters["enter_cs"][1] == 1
+
+    def test_release_continues_dfs_path(self):
+        eng, tree, _ = build(needs={1: 1}, cs_duration=1)
+        eng.step_pid(1, -1)
+        place_tokens(eng, tree, [(0, 1, "res")])
+        eng.step_pid(1)          # absorb + enter
+        eng.step_pid(0, -1)      # time passes
+        eng.step_pid(1, -1)      # exit, release to channel 0+1=1 (toward 2)
+        assert eng.process(1).state == OUT
+        assert len(eng.network.out_channel(1, 1)) == 1
+
+    def test_need_clamped_to_k(self):
+        eng, _, _ = build(k=2, l=2, needs={1: 2})
+        # OneShot with need > k would clamp; craft via direct app
+        from repro.apps.workloads import OneShotWorkload
+        proc = eng.process(1)
+        proc.app = OneShotWorkload(99)
+        eng.step_pid(1, -1)
+        assert proc.need == 2
+
+    def test_exit_bumps_counters(self):
+        eng, tree, _ = build(needs={1: 1}, cs_duration=0)
+        eng.step_pid(1, -1)
+        place_tokens(eng, tree, [(0, 1, "res")])
+        eng.step_pid(1)
+        eng.step_pid(1, -1)
+        assert eng.counters["exit_cs"][1] == 1
+
+
+class TestConservation:
+    def test_tokens_conserved_under_random_run(self):
+        from repro import RandomScheduler
+        from repro.analysis import take_census
+        tree = path_tree(5)
+        params = KLParams(k=2, l=3, n=5)
+        apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(5)]
+        eng = build_naive_engine(tree, params, apps, RandomScheduler(5, seed=3))
+        for _ in range(50):
+            eng.run(100)
+            assert take_census(eng).res == 3  # naive variant cannot mint/lose
+
+    def test_uid_preserved_through_reservation(self):
+        eng, tree, _ = build(needs={1: 1}, cs_duration=0)
+        eng.step_pid(1, -1)
+        t = ResT()
+        eng.network.out_channel(0, 0).push_initial(t)
+        eng.step_pid(1)      # absorb + enter; exit comes next local step
+        eng.step_pid(1, -1)  # exit + release
+        out = eng.network.out_channel(1, 1)
+        assert [m.uid for m in out] == [t.uid]

@@ -1,0 +1,97 @@
+"""S12: spanning-tree + exclusion composition on general graphs."""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import population_correct, safety_ok, take_census
+from repro.core.composed import build_composed_engine, spanning_tree_of
+from repro.sim.faults import scramble_configuration
+from repro.topology.graphs import Graph, grid_graph, random_connected_graph, ring_graph
+
+
+def build(g, seed=1, k=2, l=3):
+    params = KLParams(k=k, l=l, n=g.n, cmax=1)
+    apps = [SaturatedWorkload(1 + p % k, cs_duration=2) for p in range(g.n)]
+    eng = build_composed_engine(g, params, apps, RandomScheduler(g.n, seed=seed))
+    return eng, params
+
+
+class TestSpanningTreeLayer:
+    @pytest.mark.parametrize("g", [ring_graph(6), grid_graph(3, 3),
+                                   random_connected_graph(10, 4, seed=3)],
+                             ids=["ring6", "grid3x3", "rand10"])
+    def test_converges_to_reference_bfs(self, g):
+        eng, params = build(g)
+        eng.run(20_000)
+        ref = g.bfs_tree(0)
+        pm = spanning_tree_of(eng)
+        for p in range(g.n):
+            expected = None if p == 0 else ref.parent[p]
+            assert pm[p] == expected, f"node {p}"
+
+    def test_distances_match_bfs(self):
+        g = grid_graph(3, 3)
+        eng, params = build(g)
+        eng.run(20_000)
+        ref = g.distances(0)
+        for p in range(g.n):
+            assert eng.process(p).dist == ref[p]
+
+    def test_root_pins_zero(self):
+        g = ring_graph(5)
+        eng, params = build(g)
+        eng.process(0).dist = 3  # corrupt
+        eng.run(5_000)
+        assert eng.process(0).dist == 0
+
+
+class TestComposition:
+    def test_population_and_safety(self):
+        g = random_connected_graph(9, 3, seed=4)
+        eng, params = build(g)
+        assert eng.run_until(lambda e: population_correct(e, params),
+                             1_000_000, check_every=256)
+        for _ in range(20):
+            eng.run(2_000)
+            assert safety_ok(eng, params)
+
+    def test_everyone_served(self):
+        g = grid_graph(2, 4)
+        eng, params = build(g)
+        assert eng.run_until(lambda e: population_correct(e, params),
+                             1_000_000, check_every=256)
+        eng.run(120_000)
+        assert all(c > 0 for c in eng.counters["enter_cs"])
+
+    def test_restabilizes_after_scramble(self):
+        g = random_connected_graph(8, 3, seed=5)
+        eng, params = build(g)
+        assert eng.run_until(lambda e: population_correct(e, params),
+                             1_000_000, check_every=256)
+        scramble_configuration(eng, params, seed=55)
+        assert eng.run_until(lambda e: population_correct(e, params),
+                             1_500_000, check_every=256)
+        eng.run(30_000)
+        assert safety_ok(eng, params)
+
+    def test_tree_graph_behaves_like_tree_protocol(self):
+        # With no chords, composition reduces to the plain protocol.
+        g = random_connected_graph(8, 0, seed=6)
+        eng, params = build(g)
+        assert eng.run_until(lambda e: population_correct(e, params),
+                             1_000_000, check_every=256)
+        assert take_census(eng).as_tuple() == (params.l, 1, 1)
+
+
+class TestValidation:
+    def test_disconnected_rejected(self):
+        g = Graph(4, {(0, 1), (2, 3)})
+        params = KLParams(k=1, l=1, n=4)
+        with pytest.raises(ValueError):
+            build_composed_engine(g, params, [None] * 4)
+
+    def test_wrong_apps_length_rejected(self):
+        g = ring_graph(4)
+        params = KLParams(k=1, l=1, n=4)
+        with pytest.raises(ValueError):
+            build_composed_engine(g, params, [None] * 3)

@@ -1,0 +1,79 @@
+"""Fine-grained spanning-tree layer behavior in the composition."""
+
+import pytest
+
+from repro import KLParams, RoundRobinScheduler
+from repro.core.composed import Beacon, ComposedNode, build_composed_engine
+from repro.topology.graphs import grid_graph, ring_graph
+
+
+def build(g, beacon_every=4):
+    params = KLParams(k=1, l=2, n=g.n, cmax=1)
+    eng = build_composed_engine(
+        g, params, [None] * g.n, RoundRobinScheduler(g.n),
+        beacon_every=beacon_every,
+    )
+    return eng, params
+
+
+class TestBeacons:
+    def test_beacons_emitted_periodically(self):
+        g = ring_graph(4)
+        eng, _ = build(g, beacon_every=4)
+        eng.run(64)
+        assert eng.sent_by_type["Beacon"] > 0
+
+    def test_beacon_carries_parent_claim(self):
+        g = ring_graph(4)
+        eng, _ = build(g)
+        eng.run(10_000)
+        # node 1's parent is 0; its beacons must claim parent=0
+        node = eng.process(1)
+        assert node.parent_label is not None
+        assert node.neighbors[node.parent_label] == 0
+
+    def test_children_derived_from_claims(self):
+        g = ring_graph(5)
+        eng, _ = build(g)
+        eng.run(10_000)
+        root = eng.process(0)
+        # ring of 5 rooted at 0: both neighbors (1 and 4) are children
+        kids = {root.neighbors[l] for l in root.vmap}
+        assert kids == {1, 4}
+
+    def test_corrupted_distance_flushed(self):
+        g = grid_graph(2, 3)
+        eng, params = build(g)
+        eng.run(8_000)
+        victim = eng.process(5)
+        victim.dist = 0  # lies about being at the root
+        eng.run(8_000)
+        assert victim.dist == g.distances(0)[5]
+
+    def test_vmap_parent_first(self):
+        g = grid_graph(2, 3)
+        eng, _ = build(g)
+        eng.run(10_000)
+        for p in range(1, g.n):
+            node = eng.process(p)
+            assert node.vmap[0] == node.parent_label
+
+
+class TestClamping:
+    def test_topology_change_clamps_exclusion_state(self):
+        g = ring_graph(4)
+        eng, _ = build(g)
+        eng.run(10_000)
+        node = eng.process(2)
+        # force an out-of-range exclusion label, then a tree change
+        node.excl.rset = [(7, 99)]
+        node.excl.succ = 9
+        node._clamp_exclusion_state()
+        deg = max(len(node.vmap), 1)
+        assert 0 <= node.excl.succ < deg
+        assert all(0 <= lbl < deg for lbl, _ in node.excl.rset)
+
+    def test_beacon_message_fields(self):
+        b = Beacon(dist=3, parent=7)
+        assert b.dist == 3 and b.parent == 7
+        assert b.type_name() == "Beacon"

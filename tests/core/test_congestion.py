@@ -1,0 +1,51 @@
+"""Congestion boundedness: channels do not grow without bound.
+
+The model has unbounded channels, so an implementation bug (e.g. a
+message duplicated on every hop, or timeout storms) would show up as
+unbounded queue growth.  After stabilization, occupancy must stay small:
+at most the whole token population plus one controller could ever share
+a channel, and in practice far less.
+"""
+
+from repro.analysis import stabilize
+from tests.conftest import make_params, saturated_engine
+
+
+class TestChannelOccupancy:
+    def test_peak_occupancy_bounded_after_stabilization(self, any_tree):
+        params = make_params(any_tree, k=2, l=3)
+        engine, _ = saturated_engine(any_tree, params, seed=6)
+        assert stabilize(engine, params)
+        # reset peaks, then run long
+        for ch in engine.network.all_channels():
+            ch.stats.peak_occupancy = len(ch)
+        engine.run(120_000)
+        cap = params.l + 2 + 1  # all tokens + controller in one channel
+        for ch in engine.network.all_channels():
+            assert ch.stats.peak_occupancy <= cap, (ch.src, ch.dst)
+
+    def test_no_message_leak_in_flight_total(self, paper_tree):
+        """Total in-flight messages stays O(population), never grows."""
+        params = make_params(paper_tree, k=2, l=3)
+        engine, _ = saturated_engine(paper_tree, params, seed=7)
+        assert stabilize(engine, params)
+        highs = []
+        for _ in range(30):
+            engine.run(2_000)
+            highs.append(engine.network.pending_messages())
+        assert max(highs) <= params.l + 2 + 2  # tokens + ctrl (+1 dup slack)
+
+    def test_timeout_storm_bounded_even_with_tiny_interval(self, paper_tree):
+        """Even a pathological timeout cannot blow up queues unboundedly:
+        duplicate controllers die at validity checks within one lap."""
+        from repro import KLParams, RandomScheduler, SaturatedWorkload
+        from repro.core.selfstab import build_selfstab_engine
+        params = make_params(paper_tree, k=2, l=3)
+        apps = [SaturatedWorkload(1, cs_duration=2) for _ in range(paper_tree.n)]
+        engine = build_selfstab_engine(
+            paper_tree, params, apps,
+            RandomScheduler(paper_tree.n, seed=8),
+            timeout_interval=16,  # absurdly aggressive
+        )
+        engine.run(150_000)
+        assert engine.network.pending_messages() < 60

@@ -1,0 +1,64 @@
+"""Adversarial controller garbage: forged flags, reset bombs, duplicates."""
+
+from repro.analysis import population_correct, stabilize, take_census
+from repro.core.messages import Ctrl
+from tests.conftest import make_params, saturated_engine
+
+
+def stable(paper_tree, seed=6):
+    params = make_params(paper_tree, k=2, l=3)
+    engine, _ = saturated_engine(paper_tree, params, seed=seed)
+    assert stabilize(engine, params)
+    return engine, params
+
+
+class TestForgedControllers:
+    def test_reset_bomb_from_parent_recovers(self, paper_tree):
+        """A forged ctrl with R=true and a fresh flag wipes a subtree's
+        reservations — a transient perturbation the census repairs."""
+        engine, params = stable(paper_tree)
+        victim = engine.process(1)
+        forged = Ctrl(c=(victim.myc + 1) % params.myc_modulus, r=True, pt=0, ppr=0)
+        engine.network.out_channel(0, 0).push(forged)
+        assert stabilize(engine, params, max_steps=1_500_000)
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_forged_flag_matching_root_is_contained(self, paper_tree):
+        """Garbage carrying the root's CURRENT flag value is the worst
+        duplicate; validity checks (wrong arrival channel / stale by the
+        time it returns) still kill it."""
+        engine, params = stable(paper_tree, seed=7)
+        root = engine.process(0)
+        for child_label in range(paper_tree.degree(0)):
+            engine.network.out_channel(0, child_label).push(
+                Ctrl(c=root.myc, r=False, pt=0, ppr=0)
+            )
+        assert stabilize(engine, params, max_steps=1_500_000)
+        assert population_correct(engine, params)
+
+    def test_saturated_pt_garbage_triggers_single_reset_at_most(self, paper_tree):
+        """A forged controller with PT at the saturation cap can at worst
+        cause one spurious reset; the following circulation is clean."""
+        engine, params = stable(paper_tree, seed=8)
+        root = engine.process(0)
+        # forge a "too many tokens" report arriving on the valid channel
+        engine.network.out_channel(
+            paper_tree.neighbor(0, root.succ), 0
+        )  # ensure channel exists
+        forged = Ctrl(c=root.myc, r=False, pt=params.pt_cap, ppr=0)
+        # deliver directly as if from Succ
+        root.on_message(root.succ, forged)
+        assert stabilize(engine, params, max_steps=1_500_000)
+        engine.run(60_000)
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_garbage_cannot_resurrect_after_flush(self, paper_tree):
+        """Once myC passes a garbage value, that value stays dead: inject
+        the same stale flag repeatedly; census remains exact."""
+        engine, params = stable(paper_tree, seed=9)
+        root = engine.process(0)
+        stale = (root.myc - 1) % params.myc_modulus
+        for _ in range(5):
+            engine.network.out_channel(1, 0).push(Ctrl(c=stale))
+            engine.run(5_000)
+        assert population_correct(engine, params)

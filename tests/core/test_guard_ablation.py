@@ -1,0 +1,93 @@
+"""Executable erratum: the pusher-release guard's first conjunct.
+
+The arXiv listing writes the guard as ``Prio ≠ ⊥ ∧ …`` while the prose
+("a process that holds the priority token does not release…") and the
+proof of Lemma 10 require ``Prio = ⊥ ∧ …``.  These tests demonstrate
+that the listing's literal guard breaks the protocol in exactly the
+ways the prose predicts, justifying the default ``"prose"`` reading.
+"""
+
+import pytest
+
+from repro import KLParams
+from repro.apps.workloads import OneShotWorkload
+from repro.core.placement import clear_all_channels, place_tokens
+from repro.core.priority import PriorityProcess, build_priority_engine
+from repro.core.pusher import PusherProcess, build_pusher_engine
+from repro.topology import path_tree
+
+
+@pytest.fixture
+def listing_guard():
+    """Flip both classes to the listing guard for the duration of a test."""
+    PusherProcess.pusher_guard = "listing"
+    yield
+    PusherProcess.pusher_guard = "prose"
+
+
+def build(cls_builder, needs, k=2, l=2):
+    tree = path_tree(3)
+    params = KLParams(k=k, l=l, n=3)
+    apps = [
+        OneShotWorkload(needs[p], cs_duration=100) if p in needs else None
+        for p in range(3)
+    ]
+    eng = cls_builder(tree, params, apps)
+    clear_all_channels(eng)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    return eng, tree
+
+
+class TestListingGuardBreaksPusher:
+    def test_pusher_never_releases_anyone(self, listing_guard):
+        """Without a priority variable, Prio ≠ ⊥ is always false: the
+        pusher becomes a no-op and the Fig. 2-style deadlock persists."""
+        eng, tree = build(build_pusher_engine, {1: 2})
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)  # absorb
+        eng.step_pid(1)  # pusher arrives: MUST NOT release under listing
+        assert eng.process(1).rset_size() == 1
+
+    def test_prose_guard_releases(self):
+        eng, tree = build(build_pusher_engine, {1: 2})
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        assert eng.process(1).rset_size() == 0
+
+
+class TestListingGuardBreaksPriority:
+    def test_priority_holder_is_the_one_robbed(self, listing_guard):
+        """Under the listing guard the pusher strips exactly the process
+        the priority token was meant to protect."""
+        eng, tree = build(build_priority_engine, {1: 2})
+        place_tokens(eng, tree, [(0, 1, "prio"), (0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)  # hold priority
+        eng.step_pid(1)  # absorb a token
+        eng.step_pid(1)  # pusher: robs the HOLDER under the listing guard
+        p = eng.process(1)
+        assert p.holds_priority()
+        assert p.rset_size() == 0  # robbed despite priority
+
+    def test_prose_guard_protects_holder(self):
+        eng, tree = build(build_priority_engine, {1: 2})
+        place_tokens(eng, tree, [(0, 1, "prio"), (0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        eng.step_pid(1)
+        p = eng.process(1)
+        assert p.holds_priority()
+        assert p.rset_size() == 1
+
+    def test_fig3_livelock_returns_under_listing_guard(self, listing_guard):
+        """End-to-end: with the listing guard the priority token cannot
+        break the Fig. 3 livelock (the daemon starves `a` again)."""
+        from repro.scenarios import run_fig3_livelock
+        res = run_fig3_livelock("priority", cycles=150)
+        assert res.cs_a <= 2  # essentially starved (vs ~40+ with prose)
+
+    def test_fig3_rescued_under_prose_guard(self):
+        from repro.scenarios import run_fig3_livelock
+        res = run_fig3_livelock("priority", cycles=150)
+        assert res.cs_a >= 10

@@ -1,0 +1,40 @@
+"""Message dataclasses and token identity."""
+
+from repro.core.messages import Ctrl, PrioT, PushT, ResT, fresh_uid
+
+
+class TestTokens:
+    def test_uids_unique(self):
+        uids = {ResT().uid for _ in range(100)} | {PushT().uid for _ in range(100)}
+        assert len(uids) == 200
+
+    def test_explicit_uid_preserved(self):
+        assert ResT(uid=42).uid == 42
+
+    def test_fresh_uid_monotone(self):
+        a, b = fresh_uid(), fresh_uid()
+        assert b > a
+
+    def test_type_names(self):
+        assert ResT().type_name() == "ResT"
+        assert PushT().type_name() == "PushT"
+        assert PrioT().type_name() == "PrioT"
+        assert Ctrl().type_name() == "Ctrl"
+
+    def test_tokens_hashable_frozen(self):
+        t = ResT()
+        assert t in {t}
+
+
+class TestCtrl:
+    def test_defaults(self):
+        c = Ctrl()
+        assert (c.c, c.r, c.pt, c.ppr) == (0, False, 0, 0)
+
+    def test_fields(self):
+        c = Ctrl(c=5, r=True, pt=3, ppr=1)
+        assert c.c == 5 and c.r and c.pt == 3 and c.ppr == 1
+
+    def test_equality_by_value(self):
+        assert Ctrl(c=1) == Ctrl(c=1)
+        assert Ctrl(c=1) != Ctrl(c=2)

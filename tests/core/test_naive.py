@@ -1,0 +1,51 @@
+"""Naive variant: safety yes, liveness no (Fig. 2)."""
+
+from repro.analysis import safety_ok, take_census
+from repro.scenarios import FIG2_NEEDS, run_fig2_deadlock
+from repro.topology import paper_example_tree
+from tests.conftest import make_params, saturated_engine
+
+
+class TestFig2Deadlock:
+    def test_deadlocks_exactly_as_figure(self):
+        res = run_fig2_deadlock("naive", steps=30_000)
+        assert res.deadlocked
+        # the paper's final configuration: RSeta={0,0}, RSetb/c/d={0}
+        assert res.rset_sizes == {1: 2, 2: 1, 3: 1, 4: 1}
+        assert res.free_tokens == 0
+        assert res.cs_entries == 0
+
+    def test_deadlock_is_stable(self):
+        a = run_fig2_deadlock("naive", steps=10_000)
+        b = run_fig2_deadlock("naive", steps=80_000)
+        assert a.rset_sizes == b.rset_sizes
+
+    def test_every_requester_starved(self):
+        res = run_fig2_deadlock("naive", steps=30_000)
+        assert res.satisfied_pids == []
+        assert all(res.rset_sizes[p] < FIG2_NEEDS[p] for p in FIG2_NEEDS)
+
+
+class TestNaiveSafety:
+    def test_safety_holds_under_load(self):
+        from repro.core.naive import build_naive_engine
+        from repro import RandomScheduler, SaturatedWorkload, KLParams
+        tree = paper_example_tree()
+        params = KLParams(k=2, l=3, n=tree.n)
+        apps = [SaturatedWorkload(1, cs_duration=2) for _ in range(tree.n)]
+        eng = build_naive_engine(tree, params, apps, RandomScheduler(tree.n, seed=1))
+        for _ in range(50):
+            eng.run(500)
+            assert safety_ok(eng, params)
+            assert take_census(eng).res == params.l  # strict conservation
+
+    def test_single_unit_requests_serialize_fine(self):
+        """With all needs = 1 the naive protocol is actually live."""
+        from repro.core.naive import build_naive_engine
+        from repro import RandomScheduler, SaturatedWorkload, KLParams
+        tree = paper_example_tree()
+        params = KLParams(k=1, l=2, n=tree.n)
+        apps = [SaturatedWorkload(1, cs_duration=1) for _ in range(tree.n)]
+        eng = build_naive_engine(tree, params, apps, RandomScheduler(tree.n, seed=2))
+        eng.run(60_000)
+        assert all(c > 0 for c in eng.counters["enter_cs"])

@@ -1,0 +1,54 @@
+"""Parameter validation and bounded domains."""
+
+import pytest
+
+from repro.core.params import KLParams
+
+
+class TestValidation:
+    def test_k_le_l_required(self):
+        with pytest.raises(ValueError):
+            KLParams(k=3, l=2, n=4)
+
+    def test_k_at_least_one(self):
+        with pytest.raises(ValueError):
+            KLParams(k=0, l=2, n=4)
+
+    def test_n_positive(self):
+        with pytest.raises(ValueError):
+            KLParams(k=1, l=1, n=0)
+
+    def test_cmax_nonnegative(self):
+        with pytest.raises(ValueError):
+            KLParams(k=1, l=1, n=2, cmax=-1)
+
+    def test_k_equals_l_ok(self):
+        KLParams(k=3, l=3, n=5)
+
+
+class TestDomains:
+    def test_myc_modulus_formula(self):
+        p = KLParams(k=1, l=2, n=8, cmax=4)
+        assert p.myc_modulus == 2 * 7 * 5 + 1
+
+    def test_myc_modulus_minimum(self):
+        # n=1 would make the formula 1; the floor keeps flushing sound
+        assert KLParams(k=1, l=1, n=1).myc_modulus == 2
+
+    def test_pt_cap(self):
+        assert KLParams(k=2, l=5, n=3).pt_cap == 6
+
+    def test_small_cap(self):
+        assert KLParams(k=1, l=1, n=3).small_cap == 2
+
+    def test_clamps(self):
+        p = KLParams(k=2, l=3, n=4)
+        assert p.clamp_pt(99) == 4
+        assert p.clamp_pt(2) == 2
+        assert p.clamp_small(99) == 2
+        assert p.clamp_small(1) == 1
+
+    def test_frozen(self):
+        p = KLParams(k=1, l=1, n=2)
+        with pytest.raises(AttributeError):
+            p.k = 5

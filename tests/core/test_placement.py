@@ -1,0 +1,48 @@
+"""Token placement helper."""
+
+import pytest
+
+from repro import KLParams
+from repro.core.naive import build_naive_engine
+from repro.core.placement import clear_all_channels, place_tokens
+from repro.topology import paper_example_tree
+
+
+@pytest.fixture
+def engine_tree():
+    tree = paper_example_tree()
+    params = KLParams(k=1, l=2, n=tree.n)
+    eng = build_naive_engine(tree, params, [None] * tree.n)
+    return eng, tree
+
+
+class TestPlacement:
+    def test_clear_empties_everything(self, engine_tree):
+        eng, tree = engine_tree
+        clear_all_channels(eng)
+        assert eng.network.pending_messages() == 0
+
+    def test_tokens_in_named_channels(self, engine_tree):
+        eng, tree = engine_tree
+        clear_all_channels(eng)
+        place_tokens(eng, tree, [(0, 1, "res"), (1, 2, "push"), (4, 0, "prio")])
+        assert eng.network.out_channel(0, tree.label_of(0, 1)).peek().type_name() == "ResT"
+        assert eng.network.out_channel(1, tree.label_of(1, 2)).peek().type_name() == "PushT"
+        assert eng.network.out_channel(4, tree.label_of(4, 0)).peek().type_name() == "PrioT"
+
+    def test_fifo_order_matters(self, engine_tree):
+        eng, tree = engine_tree
+        clear_all_channels(eng)
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "push")])
+        ch = eng.network.out_channel(0, 0)
+        assert [m.type_name() for m in ch] == ["ResT", "PushT"]
+
+    def test_unknown_kind_rejected(self, engine_tree):
+        eng, tree = engine_tree
+        with pytest.raises(ValueError):
+            place_tokens(eng, tree, [(0, 1, "gold")])
+
+    def test_non_adjacent_rejected(self, engine_tree):
+        eng, tree = engine_tree
+        with pytest.raises(KeyError):
+            place_tokens(eng, tree, [(2, 7, "res")])

@@ -1,0 +1,109 @@
+"""Priority-token semantics: hold, immunity, release."""
+
+from repro import KLParams
+from repro.apps.workloads import OneShotWorkload
+from repro.core.base import IN
+from repro.core.placement import clear_all_channels, place_tokens
+from repro.core.priority import build_priority_engine
+from repro.topology import path_tree
+
+
+def build(needs=None, k=2, l=2, cs_duration=100):
+    tree = path_tree(3)
+    params = KLParams(k=k, l=l, n=3)
+    apps = [
+        OneShotWorkload(needs[p], cs_duration=cs_duration)
+        if needs and p in needs else None
+        for p in range(3)
+    ]
+    eng = build_priority_engine(tree, params, apps)
+    clear_all_channels(eng)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    return eng, tree
+
+
+class TestHolding:
+    def test_unsatisfied_requester_holds(self):
+        eng, tree = build(needs={1: 2})
+        place_tokens(eng, tree, [(0, 1, "prio")])
+        eng.step_pid(1)
+        assert eng.process(1).prio == 0
+        assert eng.process(1).holds_priority()
+
+    def test_nonrequester_forwards_immediately(self):
+        eng, tree = build()
+        place_tokens(eng, tree, [(0, 1, "prio")])
+        eng.step_pid(1)
+        assert eng.process(1).prio is None
+        assert [m.type_name() for m in eng.network.out_channel(1, 1)] == ["PrioT"]
+
+    def test_second_priority_token_forwarded(self):
+        eng, tree = build(needs={1: 2})
+        place_tokens(eng, tree, [(0, 1, "prio"), (0, 1, "prio")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        assert eng.process(1).prio == 0
+        assert len(eng.network.out_channel(1, 1)) == 1
+
+
+class TestImmunity:
+    def test_holder_survives_pusher(self):
+        eng, tree = build(needs={1: 2})
+        place_tokens(eng, tree, [(0, 1, "prio"), (0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)  # hold prio
+        eng.step_pid(1)  # absorb token
+        eng.step_pid(1)  # pusher arrives: kept!
+        p = eng.process(1)
+        assert p.rset_size() == 1
+        assert p.prio == 0
+        # pusher still forwarded
+        assert "PushT" in [m.type_name() for m in eng.network.out_channel(1, 1)]
+
+
+class TestRelease:
+    def test_released_on_satisfaction(self):
+        eng, tree = build(needs={1: 1})
+        place_tokens(eng, tree, [(0, 1, "prio"), (0, 1, "res")])
+        eng.step_pid(1)  # hold prio
+        assert eng.process(1).prio == 0
+        eng.step_pid(1)  # absorb -> enter CS -> release prio in loop tail
+        p = eng.process(1)
+        assert p.state == IN
+        assert p.prio is None
+        out = [m.type_name() for m in eng.network.out_channel(1, 1)]
+        assert "PrioT" in out
+
+    def test_release_follows_dfs_path(self):
+        eng, tree = build(needs={1: 1})
+        place_tokens(eng, tree, [(0, 1, "prio"), (0, 1, "res")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        # held from channel 0 -> released to channel 1
+        assert len(eng.network.out_channel(1, 1)) == 1
+
+    def test_uid_preserved_through_hold(self):
+        from repro.core.messages import PrioT
+        eng, tree = build(needs={1: 1})
+        t = PrioT()
+        eng.network.out_channel(0, 0).push_initial(t)
+        place_tokens(eng, tree, [(0, 1, "res")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        out = [m for m in eng.network.out_channel(1, 1) if m.type_name() == "PrioT"]
+        assert out[0].uid == t.uid
+
+
+class TestLivelockFreedom:
+    def test_fig3_daemon_defeated(self):
+        from repro.scenarios import run_fig3_livelock
+        res = run_fig3_livelock("priority", cycles=100)
+        assert not res.starved
+        assert res.cs_a > 0
+
+    def test_fig3_daemon_starves_pusher_only(self):
+        from repro.scenarios import run_fig3_livelock
+        res = run_fig3_livelock("pusher", cycles=100)
+        assert res.starved
+        assert res.cs_a == 0
+        assert res.cs_r >= 100 and res.cs_b >= 100

@@ -1,0 +1,95 @@
+"""Pusher semantics: forced release and its exemptions."""
+
+from repro import KLParams
+from repro.apps.workloads import HogWorkload, OneShotWorkload
+from repro.core.base import IN, REQ
+from repro.core.placement import clear_all_channels, place_tokens
+from repro.core.pusher import build_pusher_engine
+from repro.topology import path_tree
+
+
+def build(needs=None, k=2, l=2, cs_duration=100):
+    tree = path_tree(3)
+    params = KLParams(k=k, l=l, n=3)
+    apps = [
+        OneShotWorkload(needs[p], cs_duration=cs_duration)
+        if needs and p in needs else None
+        for p in range(3)
+    ]
+    eng = build_pusher_engine(tree, params, apps)
+    clear_all_channels(eng)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    return eng, tree
+
+
+class TestForcedRelease:
+    def test_unsatisfied_requester_releases(self):
+        eng, tree = build(needs={1: 2})
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)  # absorb token (1 < 2)
+        assert eng.process(1).rset_size() == 1
+        eng.step_pid(1)  # pusher: must release + forward
+        assert eng.process(1).rset_size() == 0
+        out = eng.network.out_channel(1, 1)
+        names = [m.type_name() for m in out]
+        assert names == ["ResT", "PushT"]
+
+    def test_release_preserves_dfs_path(self):
+        eng, tree = build(needs={1: 2})
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)
+        eng.step_pid(1)
+        # token came from channel 0, must continue on channel 1
+        assert len(eng.network.out_channel(1, 1)) == 2
+
+    def test_nonrequester_forwards_pusher_only(self):
+        eng, tree = build()
+        place_tokens(eng, tree, [(0, 1, "push")])
+        eng.step_pid(1)
+        assert [m.type_name() for m in eng.network.out_channel(1, 1)] == ["PushT"]
+
+
+class TestExemptions:
+    def test_in_cs_keeps_tokens(self):
+        eng, tree = build(needs={1: 1})
+        place_tokens(eng, tree, [(0, 1, "res"), (0, 1, "push")])
+        eng.step_pid(1)  # absorb + enter CS
+        assert eng.process(1).state == IN
+        eng.step_pid(1)  # pusher passes, tokens kept
+        assert eng.process(1).rset_size() == 1
+        assert eng.process(1).state == IN
+
+    def test_enabled_requester_keeps_tokens(self):
+        # State == Req with |RSet| >= Need is also exempt
+        eng, tree = build(needs={1: 1})
+        proc = eng.process(1)
+        place_tokens(eng, tree, [(0, 1, "res")])
+        # deliver the token but *don't* run entry (use on_message directly)
+        from repro.core.messages import ResT
+        proc._handle_rest(0, ResT())
+        assert proc.state == REQ and proc.rset_size() == 1
+        assert not proc._pusher_forces_release()
+
+    def test_hog_never_pushed_out(self):
+        eng, tree = build()
+        hog = HogWorkload(1)
+        hog.attach(eng)
+        eng.process(1).app = hog
+        eng.step_pid(1, -1)
+        place_tokens(eng, tree, [(0, 1, "res")])
+        eng.step_pid(1)  # absorb + enter forever
+        for _ in range(5):
+            place_tokens(eng, tree, [(0, 1, "push")])
+            eng.step_pid(1)
+        assert eng.process(1).rset_size() == 1
+        assert eng.process(1).state == IN
+
+
+class TestDeadlockFreedom:
+    def test_fig2_configuration_recovers(self):
+        from repro.scenarios import run_fig2_deadlock
+        res = run_fig2_deadlock("pusher", steps=40_000)
+        assert not res.deadlocked
+        assert sorted(res.satisfied_pids) == [1, 2, 3, 4]
+        assert res.free_tokens == 5  # all released at the end

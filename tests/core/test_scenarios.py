@@ -1,0 +1,57 @@
+"""Figure scenarios as a public API."""
+
+import pytest
+
+from repro.scenarios import (
+    run_fig1_circulation,
+    run_fig2_deadlock,
+    run_fig3_livelock,
+)
+
+
+class TestFig1:
+    def test_simulated_path_matches_euler_tour(self):
+        res = run_fig1_circulation()
+        assert res["match"]
+        assert len(res["hops"]) == 14
+
+    def test_first_and_last_hops(self):
+        res = run_fig1_circulation()
+        assert res["hops"][0] == (0, 1)   # r -> a on channel 0
+        assert res["hops"][-1] == (4, 0)  # d -> r closes the loop
+
+
+class TestFig2:
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            run_fig2_deadlock("bogus")
+
+    def test_selfstab_digs_out_of_deadlock(self):
+        res = run_fig2_deadlock("selfstab", steps=60_000)
+        assert not res.deadlocked
+        assert sorted(res.satisfied_pids) == [1, 2, 3, 4]
+
+    def test_priority_variant_recovers(self):
+        res = run_fig2_deadlock("priority", steps=40_000)
+        assert not res.deadlocked
+
+
+class TestFig3:
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            run_fig3_livelock("bogus")
+
+    def test_execution_is_fair(self):
+        res = run_fig3_livelock("pusher", cycles=50)
+        # every process takes steps every cycle (fair daemon)
+        assert all(s >= 50 for s in res.steps_per_pid)
+
+    def test_starvation_scales_with_cycles(self):
+        short = run_fig3_livelock("pusher", cycles=20)
+        long = run_fig3_livelock("pusher", cycles=200)
+        assert short.starved and long.starved
+        assert long.cs_r == 200 and short.cs_r == 20
+
+    def test_priority_serves_a_repeatedly(self):
+        res = run_fig3_livelock("priority", cycles=200)
+        assert res.cs_a >= 10  # not just once: steady service

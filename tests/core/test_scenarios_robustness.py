@@ -1,0 +1,21 @@
+"""Scenario outcomes are schedule-robust where they should be."""
+
+import pytest
+
+from repro.scenarios import run_fig2_deadlock
+
+
+class TestFig2SeedRobustness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_naive_deadlock_for_every_fair_schedule(self, seed):
+        """The deadlock is configuration-structural: no fair schedule
+        escapes it (tokens are already committed to the wrong pockets)."""
+        res = run_fig2_deadlock("naive", steps=20_000, seed=seed)
+        assert res.deadlocked
+        assert res.rset_sizes == {1: 2, 2: 1, 3: 1, 4: 1}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_pusher_recovery_for_every_fair_schedule(self, seed):
+        res = run_fig2_deadlock("pusher", steps=40_000, seed=seed)
+        assert not res.deadlocked
+        assert sorted(res.satisfied_pids) == [1, 2, 3, 4]

@@ -1,0 +1,119 @@
+"""Census exactness and population repair (Lemmas 2-8)."""
+
+import pytest
+
+from repro.analysis import population_correct, stabilize, take_census
+from repro.core.messages import PrioT, PushT, ResT
+from repro.sim.faults import drop_random_token, duplicate_random_token
+from tests.conftest import make_params, saturated_engine
+
+
+@pytest.fixture
+def stable(paper_tree):
+    params = make_params(paper_tree, k=2, l=3)
+    engine, apps = saturated_engine(paper_tree, params, seed=1)
+    assert stabilize(engine, params)
+    return engine, params
+
+
+class TestExactness:
+    def test_population_is_l_1_1(self, stable):
+        engine, params = stable
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_population_stays_exact(self, stable):
+        engine, params = stable
+        for _ in range(40):
+            engine.run(500)
+            assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_no_spurious_repairs_consistent_mode(self, stable):
+        engine, params = stable
+        root = engine.process(0)
+        resets0 = root.resets
+        created0 = sum(engine.counters["create_rest"])
+        engine.run(60_000)
+        assert root.resets == resets0
+        assert sum(engine.counters["create_rest"]) == created0
+
+
+class TestDeficitRepair:
+    @pytest.mark.parametrize("kind,field", [(ResT, "res"), (PushT, "push"), (PrioT, "prio")])
+    def test_lost_token_recreated(self, stable, kind, field):
+        engine, params = stable
+        if not drop_random_token(engine, kind, seed=3):
+            pytest.skip("token was reserved, not in flight")
+        assert stabilize(engine, params, max_steps=1_000_000)
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_all_tokens_lost(self, stable):
+        engine, params = stable
+        for ch in engine.network.all_channels():
+            kept = [m for m in ch if m.type_name() == "Ctrl"]
+            ch.clear()
+            for m in kept:
+                ch.queue.append(m)
+        for p in engine.processes:
+            p.rset = []
+            p.prio = None
+        assert stabilize(engine, params, max_steps=1_000_000)
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+
+class TestExcessRepair:
+    @pytest.mark.parametrize("kind", [ResT, PushT, PrioT])
+    def test_duplicated_token_triggers_reset(self, stable, kind):
+        engine, params = stable
+        root = engine.process(0)
+        if not duplicate_random_token(engine, kind, seed=5):
+            pytest.skip("no in-flight token of that kind")
+        resets0 = root.resets
+        assert stabilize(engine, params, max_steps=1_000_000)
+        assert root.resets > resets0
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_reset_flushes_everything(self, stable):
+        """During a reset circulation tokens die; after it, exactly l+1+1."""
+        engine, params = stable
+        root = engine.process(0)
+        for _ in range(3):
+            duplicate_random_token(engine, ResT, seed=7)
+        assert stabilize(engine, params, max_steps=1_000_000)
+        c = take_census(engine)
+        assert c.as_tuple() == (params.l, 1, 1)
+        # uid uniqueness restored (no cloned unit survived)
+        uids = engine.network.free_token_uids(ResT)
+        for p in engine.processes:
+            uids.extend(u for _, u in p.reserved_tokens())
+        assert len(uids) == len(set(uids)) == params.l
+
+
+class TestLiteralSeamMode:
+    def test_literal_mode_oscillates_consistent_does_not(self, paper_tree):
+        """The arXiv listing's seam accounting mis-counts a requesting
+        root's tokens; quantify the repair churn it causes."""
+        results = {}
+        for seam in ("consistent", "literal"):
+            params = make_params(paper_tree, k=2, l=3)
+            engine, _ = saturated_engine(paper_tree, params, seed=7, seam=seam)
+            assert stabilize(engine, params, max_steps=1_000_000)
+            root = engine.process(0)
+            r0 = root.resets
+            engine.run(120_000)
+            results[seam] = root.resets - r0
+        assert results["consistent"] == 0
+        assert results["literal"] > 0
+
+    def test_literal_mode_still_safe_and_live(self, paper_tree):
+        from repro.analysis import safety_ok
+        params = make_params(paper_tree, k=2, l=3)
+        engine, _ = saturated_engine(paper_tree, params, seed=8, seam="literal")
+        assert stabilize(engine, params, max_steps=1_000_000)
+        engine.run(60_000)
+        assert safety_ok(engine, params)
+        assert all(c > 0 for c in engine.counters["enter_cs"])
+
+    def test_invalid_seam_mode_rejected(self, paper_tree):
+        params = make_params(paper_tree)
+        with pytest.raises(ValueError):
+            saturated_engine(paper_tree, params, seam="bogus")

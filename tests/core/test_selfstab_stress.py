@@ -1,0 +1,68 @@
+"""Scale and asymmetry stress for the self-stabilizing protocol."""
+
+import pytest
+
+from repro import KLParams, SaturatedWorkload
+from repro.analysis import safety_ok, stabilize, take_census
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.faults import scramble_configuration
+from repro.sim.scheduler import WeightedScheduler
+from repro.topology import broom_tree, caterpillar_tree, random_tree
+from tests.conftest import saturated_engine
+
+
+class TestScale:
+    @pytest.mark.parametrize("n", [24, 40])
+    def test_larger_trees_converge(self, n):
+        tree = random_tree(n, seed=1)
+        params = KLParams(k=3, l=8, n=n, cmax=1)
+        engine, _ = saturated_engine(tree, params, seed=2)
+        scramble_configuration(engine, params, seed=3)
+        assert stabilize(engine, params, max_steps=4_000_000)
+        assert take_census(engine).as_tuple() == (8, 1, 1)
+        engine.run(60_000)
+        assert safety_ok(engine, params)
+
+    def test_deep_caterpillar(self):
+        tree = caterpillar_tree(spine=10, legs=1)
+        params = KLParams(k=2, l=4, n=tree.n, cmax=1)
+        engine, _ = saturated_engine(tree, params, seed=3)
+        assert stabilize(engine, params, max_steps=3_000_000)
+        engine.run(80_000)
+        assert all(c > 0 for c in engine.counters["enter_cs"])
+
+    def test_broom_asymmetry(self):
+        tree = broom_tree(handle=6, bristles=6)
+        params = KLParams(k=2, l=3, n=tree.n, cmax=1)
+        engine, _ = saturated_engine(tree, params, seed=4)
+        assert stabilize(engine, params, max_steps=3_000_000)
+        engine.run(80_000)
+        assert all(c > 0 for c in engine.counters["enter_cs"])
+
+
+class TestAsymmetricSpeeds:
+    def test_extreme_speed_skew_still_fair(self):
+        """Fair but very skewed daemon: liveness must survive."""
+        tree = random_tree(8, seed=5)
+        params = KLParams(k=2, l=3, n=8, cmax=2)
+        weights = [1.0, 0.05, 1.0, 0.05, 1.0, 0.05, 1.0, 0.05]
+        apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(8)]
+        engine = build_selfstab_engine(
+            tree, params, apps, WeightedScheduler(weights, seed=6)
+        )
+        assert stabilize(engine, params, max_steps=4_000_000)
+        engine.run(400_000)
+        assert all(c > 0 for c in engine.counters["enter_cs"])
+
+    def test_slow_root(self):
+        """The root drives repair; it may be the slowest process."""
+        tree = random_tree(7, seed=7)
+        params = KLParams(k=2, l=3, n=7, cmax=2)
+        weights = [0.05] + [1.0] * 6
+        apps = [SaturatedWorkload(1, cs_duration=2) for _ in range(7)]
+        engine = build_selfstab_engine(
+            tree, params, apps, WeightedScheduler(weights, seed=8)
+        )
+        scramble_configuration(engine, params, seed=9)
+        assert stabilize(engine, params, max_steps=6_000_000)
+        assert take_census(engine).as_tuple() == (3, 1, 1)

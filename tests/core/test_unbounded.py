@@ -1,0 +1,62 @@
+"""The §5 remark: unbounded process memory removes the CMAX assumption."""
+
+import pytest
+
+from repro import KLParams
+from repro.analysis import domains_ok, population_correct, stabilize, take_census
+from repro.sim.faults import scramble_configuration
+from repro.topology import paper_example_tree
+from tests.conftest import saturated_engine
+
+
+def make_params(tree, **kw):
+    return KLParams(k=2, l=3, n=tree.n, cmax=2, unbounded_memory=True, **kw)
+
+
+class TestUnboundedMemory:
+    def test_modulus_is_sentinel(self, paper_tree):
+        params = make_params(paper_tree)
+        assert params.myc_modulus == 2**63
+        assert params.garbage_myc_bound < 2**20
+
+    def test_converges_from_arbitrary_config(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, seed=3)
+        scramble_configuration(engine, params, seed=33)
+        assert stabilize(engine, params, max_steps=1_000_000)
+        assert take_census(engine).as_tuple() == (params.l, 1, 1)
+
+    def test_myc_never_wraps(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, seed=4)
+        assert stabilize(engine, params)
+        root = engine.process(0)
+        myc0 = root.myc
+        engine.run(50_000)
+        assert root.myc > myc0  # strictly increasing, no modular wrap
+
+    def test_domains_check_tolerates_large_myc(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(0).myc = 10**15
+        assert domains_ok(engine, params).ok
+
+    def test_bounded_mode_rejects_large_myc(self, paper_tree):
+        params = KLParams(k=2, l=3, n=paper_tree.n, cmax=2)
+        engine, _ = saturated_engine(paper_tree, params)
+        engine.process(0).myc = 10**15
+        assert not domains_ok(engine, params).ok
+
+    def test_garbage_beyond_root_counter_is_flushed(self, paper_tree):
+        """Garbage flags *ahead* of the root's counter are the worst case
+        for unbounded counters: the root must climb past them."""
+        from repro.core.messages import Ctrl
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, seed=5)
+        assert stabilize(engine, params)
+        root = engine.process(0)
+        # plant a forged ctrl with a future flag value at every process
+        for p in range(1, paper_tree.n):
+            engine.process(p).myc = root.myc + 3
+        assert stabilize(engine, params, max_steps=1_500_000)
+        assert population_correct(engine, params)

@@ -1,0 +1,74 @@
+"""FIFO channel semantics and traffic accounting."""
+
+import pytest
+
+from repro.core.messages import PushT, ResT
+from repro.sim.channel import Channel
+
+
+@pytest.fixture
+def chan():
+    return Channel(0, 1)
+
+
+class TestFifo:
+    def test_order_preserved(self, chan):
+        msgs = [ResT() for _ in range(5)]
+        for m in msgs:
+            chan.push(m)
+        assert [chan.pop() for _ in range(5)] == msgs
+
+    def test_interleaved_push_pop(self, chan):
+        a, b, c = ResT(), PushT(), ResT()
+        chan.push(a)
+        chan.push(b)
+        assert chan.pop() is a
+        chan.push(c)
+        assert chan.pop() is b
+        assert chan.pop() is c
+
+    def test_pop_empty_raises(self, chan):
+        with pytest.raises(IndexError):
+            chan.pop()
+
+    def test_peek_nondestructive(self, chan):
+        m = ResT()
+        chan.push(m)
+        assert chan.peek() is m
+        assert len(chan) == 1
+
+    def test_peek_empty(self, chan):
+        assert chan.peek() is None
+
+
+class TestStats:
+    def test_sent_and_delivered_counts(self, chan):
+        for _ in range(3):
+            chan.push(ResT())
+        chan.pop()
+        assert chan.stats.sent == 3
+        assert chan.stats.delivered == 1
+
+    def test_initial_garbage_not_counted_as_send(self, chan):
+        chan.push_initial(ResT())
+        assert chan.stats.sent == 0
+        assert len(chan) == 1
+
+    def test_peak_occupancy(self, chan):
+        for _ in range(4):
+            chan.push(ResT())
+        chan.pop()
+        chan.push(ResT())
+        assert chan.stats.peak_occupancy == 4
+
+    def test_clear_drops_all(self, chan):
+        for _ in range(3):
+            chan.push(ResT())
+        chan.clear()
+        assert len(chan) == 0
+
+    def test_iteration_matches_queue(self, chan):
+        msgs = [ResT(), PushT()]
+        for m in msgs:
+            chan.push(m)
+        assert list(chan) == msgs

@@ -1,0 +1,96 @@
+"""Crash faults: safety survives, liveness does not (the open problem)."""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import safety_ok, stabilize
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.crashes import CrashController
+from repro.topology import paper_example_tree
+
+
+def build(seed=1):
+    tree = paper_example_tree()
+    params = KLParams(k=2, l=3, n=tree.n, cmax=2)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(tree.n)]
+    sched = CrashController(RandomScheduler(tree.n, seed=seed))
+    eng = build_selfstab_engine(tree, params, apps, sched)
+    return eng, params, sched
+
+
+class TestController:
+    def test_crashed_process_takes_no_steps(self):
+        eng, params, sched = build()
+        sched.crash(3)
+        eng.run(5_000)
+        # process 3 never ran: its app never requested
+        assert eng.counters["request"][3] == 0
+
+    def test_survivors_remain_fair(self):
+        eng, params, sched = build()
+        sched.crash(5)
+        picks = [sched.next_pid(t) for t in range(4_000)]
+        assert 5 not in picks
+        for p in range(8):
+            if p != 5:
+                assert picks.count(p) > 200
+
+    def test_cannot_crash_everyone(self):
+        eng, params, sched = build()
+        for p in range(7):
+            sched.crash(p)
+        with pytest.raises(ValueError):
+            sched.crash(7)
+
+    def test_recover(self):
+        eng, params, sched = build()
+        sched.crash(2)
+        sched.recover(2)
+        picks = [sched.next_pid(t) for t in range(500)]
+        assert 2 in picks
+
+
+class TestOpenProblem:
+    def test_safety_survives_a_crash(self):
+        eng, params, sched = build(seed=2)
+        assert stabilize(eng, params)
+        sched.crash(4)  # an internal node: severs the ring
+        for _ in range(40):
+            eng.run(1_000)
+            assert safety_ok(eng, params)
+
+    def test_liveness_lost_after_internal_crash(self):
+        """Tokens pile up at the crashed node; service halts — this is
+        why the paper lists crash tolerance as open."""
+        eng, params, sched = build(seed=3)
+        assert stabilize(eng, params)
+        sched.crash(1)  # node a: on every circulation path
+        eng.run(eng.timeout_interval * 4)  # let in-flight service drain
+        before = eng.total_cs_entries
+        eng.run(150_000)
+        stalled = eng.total_cs_entries - before
+        # at most stragglers right after the drain window; no steady service
+        assert stalled <= 4
+
+    def test_leaf_crash_also_stalls_eventually(self):
+        """Even a leaf is on the virtual ring (appears deg=1 times)."""
+        eng, params, sched = build(seed=4)
+        assert stabilize(eng, params)
+        sched.crash(7)  # leaf g
+        eng.run(eng.timeout_interval * 4)
+        before = eng.total_cs_entries
+        eng.run(150_000)
+        assert eng.total_cs_entries - before <= 4
+
+    def test_recovery_restores_service(self):
+        """A crash that heals (process restarts with intact memory) is a
+        transient fault — the protocol resumes and re-stabilizes."""
+        eng, params, sched = build(seed=5)
+        assert stabilize(eng, params)
+        sched.crash(1)
+        eng.run(60_000)
+        sched.recover(1)
+        assert stabilize(eng, params, max_steps=2_000_000)
+        before = eng.total_cs_entries
+        eng.run(60_000)
+        assert eng.total_cs_entries - before > 50

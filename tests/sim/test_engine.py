@@ -1,0 +1,169 @@
+"""Engine step semantics, timers, counters, and adversarial control."""
+
+import pytest
+
+from repro.core.messages import Message, ResT
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.trace import Trace
+from repro.topology import path_tree
+
+
+class Echo(Process):
+    """Forwards everything to channel 0; counts local ticks."""
+
+    def __init__(self, pid, degree):
+        super().__init__(pid, degree)
+        self.received = []
+        self.ticks = 0
+
+    def on_message(self, q, msg):
+        self.received.append((q, msg))
+
+    def on_local(self):
+        self.ticks += 1
+
+
+def make_pair():
+    tree = path_tree(2)
+    net = Network.from_tree(tree)
+    procs = [Echo(0, 1), Echo(1, 1)]
+    eng = Engine(net, procs, RoundRobinScheduler(2))
+    return eng, net, procs
+
+
+class TestStepping:
+    def test_one_message_per_step(self):
+        eng, net, procs = make_pair()
+        net.out_channel(0, 0).push_initial(ResT())
+        net.out_channel(0, 0).push_initial(ResT())
+        eng.step_pid(1)
+        assert len(procs[1].received) == 1
+        eng.step_pid(1)
+        assert len(procs[1].received) == 2
+
+    def test_local_runs_even_without_message(self):
+        eng, _, procs = make_pair()
+        eng.step_pid(0)
+        assert procs[0].ticks == 1
+        assert procs[0].received == []
+
+    def test_now_advances(self):
+        eng, _, _ = make_pair()
+        eng.run(5)
+        assert eng.now == 5
+
+    def test_scheduler_drives_step(self):
+        eng, _, procs = make_pair()
+        eng.run(4)  # round robin: 0,1,0,1
+        assert procs[0].ticks == 2 and procs[1].ticks == 2
+
+    def test_channel_scan_rotates(self):
+        # A process with two busy incoming channels must alternate them.
+        tree = path_tree(3)
+        net = Network.from_tree(tree)
+        procs = [Echo(p, tree.degree(p)) for p in range(3)]
+        eng = Engine(net, procs, RoundRobinScheduler(3))
+        for _ in range(2):
+            net.out_channel(0, 0).push_initial(ResT())  # to 1 on ch 0
+            net.out_channel(2, 0).push_initial(ResT())  # to 1 on ch 1
+        for _ in range(4):
+            eng.step_pid(1)
+        labels = [q for q, _ in procs[1].received]
+        assert sorted(labels) == [0, 0, 1, 1]
+        assert labels[0] != labels[1]  # alternation, not starvation
+
+
+class TestChannelOverride:
+    def test_explicit_channel(self):
+        eng, net, procs = make_pair()
+        net.out_channel(0, 0).push_initial(ResT())
+        eng.step_pid(1, 0)
+        assert len(procs[1].received) == 1
+
+    def test_no_receive_step(self):
+        eng, net, procs = make_pair()
+        net.out_channel(0, 0).push_initial(ResT())
+        eng.step_pid(1, -1)
+        assert procs[1].received == []
+        assert procs[1].ticks == 1
+
+    def test_empty_channel_is_noop_receive(self):
+        eng, _, procs = make_pair()
+        eng.step_pid(1, 0)
+        assert procs[1].received == []
+
+
+class TestRunUntil:
+    def test_stops_at_predicate(self):
+        eng, _, _ = make_pair()
+        assert eng.run_until(lambda e: e.now >= 7, max_steps=100)
+        assert eng.now == 7
+
+    def test_gives_up(self):
+        eng, _, _ = make_pair()
+        assert not eng.run_until(lambda e: False, max_steps=10)
+        assert eng.now == 10
+
+    def test_immediate_true_runs_nothing(self):
+        eng, _, _ = make_pair()
+        assert eng.run_until(lambda e: True, max_steps=10)
+        assert eng.now == 0
+
+
+class TestTimerAndCounters:
+    def test_timeout_fires_after_interval(self):
+        tree = path_tree(2)
+        net = Network.from_tree(tree)
+
+        class TimerProc(Echo):
+            def __init__(self, pid, degree):
+                super().__init__(pid, degree)
+                self.fired = 0
+
+            def on_local(self):
+                super().on_local()
+                if self.ctx.timeout():
+                    self.fired += 1
+                    self.ctx.restart_timer()
+
+        procs = [TimerProc(0, 1), Echo(1, 1)]
+        eng = Engine(net, procs, RoundRobinScheduler(2), timeout_interval=10)
+        eng.run(50)
+        # process 0 steps 25 times over 50 engine steps; interval 10
+        assert 3 <= procs[0].fired <= 5
+
+    def test_bump_counters(self):
+        eng, _, procs = make_pair()
+        procs[0].ctx.bump("enter_cs")
+        procs[0].ctx.bump("enter_cs")
+        procs[1].ctx.bump("enter_cs")
+        assert eng.counters["enter_cs"] == [2, 1]
+        assert eng.total_cs_entries == 3
+        assert eng.cs_entries(0) == 2
+        assert eng.cs_entries() == 3
+
+    def test_sent_by_type(self):
+        eng, _, procs = make_pair()
+        procs[0].send(0, ResT())
+        assert eng.sent_by_type["ResT"] == 1
+
+    def test_pid_mismatch_rejected(self):
+        tree = path_tree(2)
+        net = Network.from_tree(tree)
+        with pytest.raises(ValueError):
+            Engine(net, [Echo(1, 1), Echo(0, 1)], None)
+
+
+class TestTracing:
+    def test_send_recv_traced(self):
+        tree = path_tree(2)
+        net = Network.from_tree(tree)
+        procs = [Echo(0, 1), Echo(1, 1)]
+        eng = Engine(net, procs, RoundRobinScheduler(2), trace=Trace())
+        procs[0].send(0, ResT())
+        eng.step_pid(1)
+        assert eng.trace.count("send") == 1
+        assert eng.trace.count("recv") == 1

@@ -1,0 +1,46 @@
+"""Engine forking: independent futures from one configuration."""
+
+from repro.analysis import take_census
+from repro.analysis.explore import canonical_digest
+from tests.conftest import make_params, saturated_engine
+
+
+class TestFork:
+    def test_fork_matches_original(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        engine.run(3_000)
+        fork = engine.fork()
+        assert canonical_digest(fork) == canonical_digest(engine)
+        assert fork.now == engine.now
+
+    def test_fork_is_independent(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        engine.run(2_000)
+        fork = engine.fork()
+        fork.run(5_000)
+        # original untouched
+        assert engine.now == 2_000
+        assert fork.now == 7_000
+
+    def test_forked_futures_replay_identically(self, paper_tree):
+        """Same configuration + same scheduler state => same future."""
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens", seed=9)
+        engine.run(2_000)
+        a, b = engine.fork(), engine.fork()
+        a.run(10_000)
+        b.run(10_000)
+        assert canonical_digest(a) == canonical_digest(b)
+        assert a.total_cs_entries == b.total_cs_entries
+
+    def test_fork_apps_are_copies(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, apps = saturated_engine(paper_tree, params, init="tokens")
+        engine.run(5_000)
+        fork = engine.fork()
+        fork.run(20_000)
+        forked_app = fork.process(1).app
+        assert forked_app is not apps[1]
+        assert len(apps[1].requests) <= len(forked_app.requests)

@@ -1,0 +1,95 @@
+"""Network wiring: tree labeling, ring, and token accounting."""
+
+import pytest
+
+from repro.core.messages import PrioT, PushT, ResT
+from repro.sim.network import Network
+from repro.topology import paper_example_tree, path_tree
+
+
+class TestFromTree:
+    def test_channel_count(self, paper_tree):
+        net = Network.from_tree(paper_tree)
+        # one directed channel per direction per tree edge
+        assert len(net.channels) == 2 * (paper_tree.n - 1)
+
+    def test_labels_match_tree(self, paper_tree):
+        net = Network.from_tree(paper_tree)
+        for p in range(paper_tree.n):
+            assert net.labels[p] == paper_tree.neighbors(p)
+
+    def test_out_in_channel_duality(self, paper_tree):
+        net = Network.from_tree(paper_tree)
+        # p's out channel to q is q's in channel from p
+        for p in range(paper_tree.n):
+            for lbl, q in enumerate(net.labels[p]):
+                out = net.out_channel(p, lbl)
+                back = net.in_channel(q, net.label_at(q, p))
+                assert out is back
+
+    def test_message_travels_once(self, paper_tree):
+        net = Network.from_tree(paper_tree)
+        m = ResT()
+        net.out_channel(0, 0).push(m)
+        assert net.in_channel(1, 0).pop() is m
+
+    def test_degree(self, paper_tree):
+        net = Network.from_tree(paper_tree)
+        assert net.degree(0) == 2
+        assert net.degree(4) == 4
+        assert net.degree(7) == 1
+
+
+class TestRing:
+    def test_ring_layout(self):
+        net = Network.ring(5)
+        for p in range(5):
+            assert net.labels[p] == ((p - 1) % 5, (p + 1) % 5)
+
+    def test_ring_n1(self):
+        assert Network.ring(1).degree(0) == 0
+
+    def test_ring_n2_rejected(self):
+        with pytest.raises(ValueError):
+            Network.ring(2)
+
+    def test_successor_path(self):
+        net = Network.ring(4)
+        m = ResT()
+        net.out_channel(0, 1).push(m)  # 0 -> successor 1
+        assert net.in_channel(1, 0).pop() is m  # arrives from predecessor
+
+
+class TestAccounting:
+    def test_pending_and_free_counts(self):
+        net = Network.from_tree(path_tree(3))
+        net.out_channel(0, 0).push(ResT())
+        net.out_channel(1, 1).push(PushT())
+        net.out_channel(2, 0).push(PrioT())
+        assert net.pending_messages() == 3
+        assert net.free_token_counts() == {"ResT": 1, "PushT": 1, "PrioT": 1}
+
+    def test_messages_of_type(self):
+        net = Network.from_tree(path_tree(2))
+        net.out_channel(0, 0).push(ResT())
+        net.out_channel(0, 0).push(ResT())
+        assert len(net.messages_of_type(ResT)) == 2
+        assert len(net.messages_of_type(PushT)) == 0
+
+    def test_free_token_uids(self):
+        net = Network.from_tree(path_tree(2))
+        t = ResT()
+        net.out_channel(0, 0).push(t)
+        assert net.free_token_uids(ResT) == [t.uid]
+
+    def test_total_sent(self):
+        net = Network.from_tree(path_tree(2))
+        net.out_channel(0, 0).push(ResT())
+        net.out_channel(1, 0).push(ResT())
+        assert net.total_sent() == 2
+
+    def test_mismatched_process_count_rejected(self):
+        from repro.sim.engine import Engine
+        net = Network.from_tree(path_tree(3))
+        with pytest.raises(ValueError):
+            Engine(net, [], None)

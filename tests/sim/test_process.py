@@ -1,0 +1,52 @@
+"""Process shell: sending, label wrapping, oracle defaults."""
+
+from repro.core.messages import ResT
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.topology import star_tree
+
+
+class Probe(Process):
+    def on_message(self, q, msg):
+        pass
+
+
+def make():
+    tree = star_tree(4)
+    net = Network.from_tree(tree)
+    procs = [Probe(p, tree.degree(p)) for p in range(4)]
+    eng = Engine(net, procs, None)
+    return eng, net, procs
+
+
+class TestSend:
+    def test_label_wraps_mod_degree(self):
+        eng, net, procs = make()
+        procs[0].send(3, ResT())  # root degree 3: label 3 -> 0
+        assert len(net.out_channel(0, 0)) == 1
+
+    def test_negative_label_wraps(self):
+        eng, net, procs = make()
+        procs[0].send(-1, ResT())  # -1 mod 3 = 2
+        assert len(net.out_channel(0, 2)) == 1
+
+    def test_send_counts_by_type(self):
+        eng, net, procs = make()
+        procs[0].send(0, ResT())
+        procs[0].send(1, ResT())
+        assert eng.sent_by_type["ResT"] == 2
+
+
+class TestOracleDefaults:
+    def test_reserved_tokens_empty(self):
+        eng, _, procs = make()
+        assert procs[1].reserved_tokens() == []
+
+    def test_holds_priority_false(self):
+        eng, _, procs = make()
+        assert not procs[1].holds_priority()
+
+    def test_state_summary_has_pid(self):
+        eng, _, procs = make()
+        assert procs[2].state_summary()["pid"] == 2

@@ -1,0 +1,64 @@
+"""Seed management: determinism and stream independence."""
+
+import numpy as np
+
+from repro.sim.rng import derive_seed, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_returns_generator(self):
+        assert isinstance(make_rng(0), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 1 << 30, size=8)
+        draws_b = make_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g
+
+    def test_none_gives_entropy(self):
+        # Two entropy-seeded generators almost surely differ.
+        a = make_rng(None).integers(0, 1 << 62)
+        b = make_rng(None).integers(0, 1 << 62)
+        assert isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(13, "sched") == derive_seed(13, "sched")
+
+    def test_tag_sensitivity(self):
+        assert derive_seed(13, "sched") != derive_seed(13, "fault")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(13, "x") != derive_seed(14, "x")
+
+    def test_stable_value(self):
+        # Pin the derivation so experiments stay replayable across releases.
+        assert derive_seed(0, "a") == 97
+
+    def test_nonnegative(self):
+        for s in (0, 1, 2**40):
+            for t in ("", "abc", "sched"):
+                assert derive_seed(s, t) >= 0
+
+
+class TestSpawn:
+    def test_independent_streams(self):
+        a = spawn(5, "one").integers(0, 1 << 30, size=4)
+        b = spawn(5, "two").integers(0, 1 << 30, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = spawn(5, "one").integers(0, 1 << 30, size=4)
+        b = spawn(5, "one").integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_none_seed(self):
+        assert isinstance(spawn(None, "x"), np.random.Generator)

@@ -1,0 +1,91 @@
+"""Scheduler fairness and adversarial control."""
+
+import numpy as np
+import pytest
+
+from repro.sim.scheduler import (
+    FunctionScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    WeightedScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        s = RoundRobinScheduler(3)
+        assert [s.next_pid(t) for t in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_single_process(self):
+        s = RoundRobinScheduler(1)
+        assert s.next_pid(12345) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(0)
+
+
+class TestRandom:
+    def test_fairness_coverage(self):
+        s = RandomScheduler(5, seed=0)
+        picks = [s.next_pid(t) for t in range(2000)]
+        counts = np.bincount(picks, minlength=5)
+        assert (counts > 250).all()  # each process scheduled often
+
+    def test_deterministic_given_seed(self):
+        a = [RandomScheduler(4, seed=9).next_pid(t) for t in range(20)]
+        b = [RandomScheduler(4, seed=9).next_pid(t) for t in range(20)]
+        assert a == b
+
+    def test_range(self):
+        s = RandomScheduler(3, seed=1)
+        assert all(0 <= s.next_pid(t) < 3 for t in range(100))
+
+
+class TestWeighted:
+    def test_bias(self):
+        s = WeightedScheduler([10.0, 1.0], seed=0)
+        picks = [s.next_pid(t) for t in range(2000)]
+        assert picks.count(0) > 4 * picks.count(1)
+
+    def test_still_fair(self):
+        s = WeightedScheduler([100.0, 1.0], seed=0)
+        picks = [s.next_pid(t) for t in range(5000)]
+        assert picks.count(1) > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WeightedScheduler([1.0, 0.0])
+
+
+class TestScripted:
+    def test_replays_then_round_robin(self):
+        s = ScriptedScheduler(3, [2, 2, 0])
+        got = [s.next_pid(t) for t in range(6)]
+        assert got[:3] == [2, 2, 0]
+        assert got[3:] == [0, 1, 2]
+
+    def test_extend(self):
+        s = ScriptedScheduler(2, [1])
+        s.extend([0, 0])
+        assert [s.next_pid(t) for t in range(3)] == [1, 0, 0]
+        assert s.exhausted
+
+    def test_rejects_bad_pid(self):
+        with pytest.raises(ValueError):
+            ScriptedScheduler(2, [5])
+        s = ScriptedScheduler(2, [])
+        with pytest.raises(ValueError):
+            s.extend([9])
+
+
+class TestFunction:
+    def test_callback_drives(self):
+        s = FunctionScheduler(4, lambda now: now % 2)
+        assert [s.next_pid(t) for t in range(4)] == [0, 1, 0, 1]
+
+    def test_bad_return_raises(self):
+        s = FunctionScheduler(2, lambda now: 7)
+        with pytest.raises(ValueError):
+            s.next_pid(0)

@@ -1,0 +1,54 @@
+"""CLI smoke and contract tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.tree == "random" and args.n == 10 and args.k == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        rc = main(["demo", "--tree", "paper", "--l", "3", "--steps", "8000",
+                   "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stabilized at step" in out
+        assert "(3, 1, 1)" in out
+
+    def test_converge(self, capsys):
+        rc = main(["converge", "--tree", "path", "--n", "6", "--steps", "60000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged        : True" in out
+
+    def test_wait(self, capsys):
+        rc = main(["wait", "--tree", "star", "--n", "5", "--k", "1", "--l", "1",
+                   "--steps", "15000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "within bound     : True" in out
+
+    def test_figures(self, capsys):
+        rc = main(["figures"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "a starved=True" in out
+        assert "matches: True" in out
+
+    def test_balanced_tree_choice(self, capsys):
+        rc = main(["demo", "--tree", "balanced", "--n", "8", "--l", "2",
+                   "--steps", "5000"])
+        assert rc == 0

@@ -1,0 +1,60 @@
+"""End-to-end determinism: identical seeds give identical executions."""
+
+import pytest
+
+from repro import KLParams, RandomScheduler, SaturatedWorkload
+from repro.analysis import take_census
+from repro.baselines.ring import build_ring_engine
+from repro.core.composed import build_composed_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.faults import scramble_configuration
+from repro.topology import random_tree
+from repro.topology.graphs import random_connected_graph
+
+
+def fingerprint(engine):
+    return (
+        engine.now,
+        engine.total_cs_entries,
+        tuple(engine.counters["enter_cs"]),
+        dict(engine.sent_by_type),
+        take_census(engine).as_tuple(),
+    )
+
+
+def run_selfstab(seed):
+    tree = random_tree(9, seed=2)
+    params = KLParams(k=2, l=3, n=9, cmax=2)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(9)]
+    eng = build_selfstab_engine(tree, params, apps, RandomScheduler(9, seed=seed))
+    scramble_configuration(eng, params, seed=seed)
+    eng.run(40_000)
+    return fingerprint(eng)
+
+
+def run_ring(seed):
+    params = KLParams(k=2, l=3, n=7, cmax=2)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(7)]
+    eng = build_ring_engine(7, params, apps, RandomScheduler(7, seed=seed))
+    scramble_configuration(eng, params, seed=seed)
+    eng.run(40_000)
+    return fingerprint(eng)
+
+
+def run_composed(seed):
+    g = random_connected_graph(8, 3, seed=4)
+    params = KLParams(k=2, l=3, n=8, cmax=1)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(8)]
+    eng = build_composed_engine(g, params, apps, RandomScheduler(8, seed=seed))
+    eng.run(40_000)
+    return fingerprint(eng)
+
+
+@pytest.mark.parametrize("runner", [run_selfstab, run_ring, run_composed],
+                         ids=["selfstab", "ring", "composed"])
+class TestDeterminism:
+    def test_same_seed_identical(self, runner):
+        assert runner(11) == runner(11)
+
+    def test_different_seed_diverges(self, runner):
+        assert runner(11) != runner(12)

@@ -1,0 +1,83 @@
+"""Cross-cutting integration matrix: variant x scheduler x workload.
+
+Each cell runs end-to-end and checks the strongest property that variant
+guarantees in that regime.  This is the 'does the whole stack hold
+together' suite, complementary to the per-module unit tests.
+"""
+
+import pytest
+
+from repro import KLParams
+from repro.analysis import safety_ok, stabilize, take_census
+from repro.apps.workloads import (
+    OneShotWorkload,
+    SaturatedWorkload,
+    StochasticWorkload,
+)
+from repro.core.priority import build_priority_engine
+from repro.core.pusher import build_pusher_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    WeightedScheduler,
+)
+from repro.topology import paper_example_tree
+
+TREE = paper_example_tree()
+PARAMS = KLParams(k=2, l=3, n=TREE.n, cmax=2)
+
+
+def make_scheduler(name, seed=1):
+    if name == "rr":
+        return RoundRobinScheduler(TREE.n)
+    if name == "random":
+        return RandomScheduler(TREE.n, seed=seed)
+    return WeightedScheduler(
+        [1.0 if p % 2 == 0 else 0.25 for p in range(TREE.n)], seed=seed
+    )
+
+
+def make_apps(name):
+    if name == "saturated":
+        return [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(TREE.n)]
+    if name == "stochastic":
+        return [StochasticWorkload(0.05, PARAMS.k, seed=50 + p) for p in range(TREE.n)]
+    return [OneShotWorkload(1 + p % 2, at=100 * p) for p in range(TREE.n)]
+
+
+@pytest.mark.parametrize("sched", ["rr", "random", "weighted"])
+@pytest.mark.parametrize("workload", ["saturated", "stochastic", "oneshot"])
+class TestMatrix:
+    def test_selfstab_full_spec(self, sched, workload):
+        apps = make_apps(workload)
+        eng = build_selfstab_engine(TREE, PARAMS, apps, make_scheduler(sched))
+        assert stabilize(eng, PARAMS, max_steps=2_000_000)
+        eng.run(80_000)
+        assert take_census(eng).as_tuple() == (PARAMS.l, 1, 1)
+        assert safety_ok(eng, PARAMS)
+        if workload == "saturated":
+            assert all(c > 0 for c in eng.counters["enter_cs"])
+        if workload == "oneshot":
+            # every one-shot request eventually satisfied (fairness)
+            eng.run(80_000)
+            assert all(a.satisfied_count() == 1 for a in apps)
+
+    def test_priority_liveness_from_clean_start(self, sched, workload):
+        apps = make_apps(workload)
+        eng = build_priority_engine(TREE, PARAMS, apps, make_scheduler(sched))
+        eng.run(150_000)
+        assert safety_ok(eng, PARAMS)
+        if workload == "saturated":
+            assert all(c > 0 for c in eng.counters["enter_cs"])
+        if workload == "oneshot":
+            assert all(a.satisfied_count() == 1 for a in apps)
+
+    def test_pusher_progress_but_maybe_unfair(self, sched, workload):
+        apps = make_apps(workload)
+        eng = build_pusher_engine(TREE, PARAMS, apps, make_scheduler(sched))
+        eng.run(150_000)
+        assert safety_ok(eng, PARAMS)
+        if workload == "saturated":
+            # global progress (deadlock freedom) — fairness NOT asserted
+            assert eng.total_cs_entries > 100

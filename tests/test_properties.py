@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core data structures & invariants.
+
+These check the *algebraic* claims the unit suite spot-checks:
+
+* Euler-tour structure of the virtual ring for arbitrary trees;
+* strict token conservation in the controller-free protocol variants;
+* bounded-domain closure of the self-stabilizing protocol under
+  arbitrary faults and schedules (the bounded-memory claim);
+* FIFO channel behavior against a reference model;
+* determinism of the seed-derivation scheme.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import KLParams, RandomScheduler
+from repro.analysis import domains_ok, take_census
+from repro.apps.workloads import SaturatedWorkload, StochasticWorkload
+from repro.core.messages import PushT, ResT
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.sim.channel import Channel
+from repro.sim.faults import scramble_configuration
+from repro.sim.rng import derive_seed
+from repro.topology.tree import OrientedTree
+from repro.topology.virtual_ring import build_virtual_ring
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def parent_maps(draw, max_n: int = 16):
+    """A random rooted tree as a parent map (process i attaches below i)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    parents = [0] * n
+    for i in range(1, n):
+        parents[i] = draw(st.integers(min_value=0, max_value=i - 1))
+    return parents
+
+
+@st.composite
+def kl_settings(draw):
+    """Random (k, l) with 1 <= k <= l <= 6."""
+    l = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=l))
+    return k, l
+
+
+# ----------------------------------------------------------------------
+# Virtual ring properties
+# ----------------------------------------------------------------------
+class TestVirtualRingProperties:
+    @given(parent_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_euler_tour_structure(self, parents):
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        ring = build_virtual_ring(tree)
+        n = tree.n
+        assert ring.length == (0 if n == 1 else 2 * (n - 1))
+        # every directed channel exactly once
+        chans = ring.channel_sequence()
+        assert len(set(chans)) == len(chans)
+        # every process appears exactly degree times
+        for p in range(n):
+            assert ring.occurrences(p) == tree.degree(p)
+
+    @given(parent_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_tour_is_connected_walk(self, parents):
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        ring = build_virtual_ring(tree)
+        stops = ring.stops
+        for i, s in enumerate(stops):
+            assert s.next_pid == stops[(i + 1) % len(stops)].pid
+
+    @given(parent_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_channel_labeling_invariants(self, parents):
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        tree.validate()
+        for p in range(tree.n):
+            assert len(set(tree.neighbors(p))) == tree.degree(p)
+
+
+# ----------------------------------------------------------------------
+# Token conservation (variants without the controller cannot mint/lose)
+# ----------------------------------------------------------------------
+class TestConservationProperties:
+    @given(parent_maps(max_n=10), kl_settings(), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_naive_conserves_resource_tokens(self, parents, kl, seed):
+        k, l = kl
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        params = KLParams(k=k, l=l, n=tree.n)
+        apps = [
+            StochasticWorkload(p=0.2, max_need=k, max_cs=3, seed=seed + p)
+            for p in range(tree.n)
+        ]
+        eng = build_naive_engine(tree, params, apps, RandomScheduler(tree.n, seed=seed))
+        expect = l if tree.n > 1 else 0
+        for _ in range(10):
+            eng.run(200)
+            assert take_census(eng).res == expect
+
+    @given(parent_maps(max_n=10), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_priority_variant_conserves_all_tokens(self, parents, seed):
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        params = KLParams(k=2, l=3, n=tree.n)
+        apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(tree.n)]
+        eng = build_priority_engine(
+            tree, params, apps, RandomScheduler(tree.n, seed=seed)
+        )
+        expect = (3, 1, 1) if tree.n > 1 else (0, 0, 0)
+        for _ in range(10):
+            eng.run(200)
+            assert take_census(eng).as_tuple() == expect
+
+
+# ----------------------------------------------------------------------
+# Bounded memory: domains closed under arbitrary faults + schedules
+# ----------------------------------------------------------------------
+class TestBoundedMemoryProperties:
+    @given(parent_maps(max_n=9), kl_settings(), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_selfstab_domains_invariant(self, parents, kl, seed):
+        k, l = kl
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        params = KLParams(k=k, l=l, n=tree.n, cmax=2)
+        apps = [SaturatedWorkload(1 + p % k, cs_duration=2) for p in range(tree.n)]
+        eng = build_selfstab_engine(
+            tree, params, apps, RandomScheduler(tree.n, seed=seed)
+        )
+        scramble_configuration(eng, params, seed=seed)
+        rep = domains_ok(eng, params)
+        assert rep.ok, rep.violations
+        for _ in range(8):
+            eng.run(250)
+            rep = domains_ok(eng, params)
+            assert rep.ok, rep.violations
+
+    @given(parent_maps(max_n=9), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_rset_never_exceeds_need_from_clean_start(self, parents, seed):
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        params = KLParams(k=3, l=4, n=tree.n)
+        apps = [SaturatedWorkload(1 + p % 3, cs_duration=2) for p in range(tree.n)]
+        eng = build_naive_engine(tree, params, apps, RandomScheduler(tree.n, seed=seed))
+        for _ in range(10):
+            eng.run(150)
+            for p in eng.processes:
+                assert len(p.rset) <= max(p.need, 0) or p.state == "Out"
+
+
+# ----------------------------------------------------------------------
+# FIFO channel model check
+# ----------------------------------------------------------------------
+class TestChannelModel:
+    @given(st.lists(st.sampled_from(["push", "pop", "peek", "clear"]), max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_against_reference_deque(self, ops):
+        chan = Channel(0, 1)
+        model: deque = deque()
+        for op in ops:
+            if op == "push":
+                m = ResT()
+                chan.push(m)
+                model.append(m)
+            elif op == "pop" and model:
+                assert chan.pop() is model.popleft()
+            elif op == "peek":
+                assert chan.peek() is (model[0] if model else None)
+            elif op == "clear":
+                chan.clear()
+                model.clear()
+            assert len(chan) == len(model)
+            assert list(chan) == list(model)
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+class TestSeedProperties:
+    @given(st.integers(0, 2**60), st.text(max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_and_in_range(self, seed, tag):
+        a = derive_seed(seed, tag)
+        b = derive_seed(seed, tag)
+        assert a == b
+        assert 0 <= a < 2**63 - 1
+
+    @given(st.integers(0, 2**40), st.text(min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_tag_usually_changes_stream(self, seed, tag):
+        base = derive_seed(seed, "")
+        other = derive_seed(seed, tag)
+        rng_a = np.random.default_rng(base)
+        rng_b = np.random.default_rng(other)
+        # identical streams only if identical seeds; collisions allowed but
+        # the generator draw must then agree — this is a smoke invariant
+        if base != other:
+            assert rng_a.integers(0, 2**62) != rng_b.integers(0, 2**62) or True
+
+
+# ----------------------------------------------------------------------
+# Census decomposition
+# ----------------------------------------------------------------------
+class TestCensusProperties:
+    @given(parent_maps(max_n=8), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_census_matches_manual_recount(self, parents, seed):
+        tree = OrientedTree.from_parent_map(parents, root=0)
+        params = KLParams(k=2, l=3, n=tree.n, cmax=2)
+        apps = [SaturatedWorkload(1 + p % 2) for p in range(tree.n)]
+        eng = build_selfstab_engine(
+            tree, params, apps, RandomScheduler(tree.n, seed=seed)
+        )
+        scramble_configuration(eng, params, seed=seed)
+        eng.run(500)
+        c = take_census(eng)
+        manual_free = sum(
+            1 for ch in eng.network.all_channels() for m in ch if isinstance(m, ResT)
+        )
+        manual_push = sum(
+            1 for ch in eng.network.all_channels() for m in ch if isinstance(m, PushT)
+        )
+        manual_reserved = sum(len(p.rset) for p in eng.processes)
+        assert c.free_res == manual_free
+        assert c.push == manual_push
+        assert c.reserved_res == manual_reserved

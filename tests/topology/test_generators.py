@@ -1,0 +1,102 @@
+"""Tree families: shapes, sizes, determinism."""
+
+import pytest
+
+from repro.topology import (
+    balanced_tree,
+    binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    paper_example_tree,
+    paper_livelock_tree,
+    path_tree,
+    random_recursive_tree,
+    random_tree,
+    star_tree,
+)
+from repro.topology.tree import TreeError
+
+
+class TestPaperTrees:
+    def test_example_structure(self):
+        t = paper_example_tree()
+        assert t.n == 8
+        assert t.children[0] == (1, 4)
+        assert t.children[1] == (2, 3)
+        assert t.children[4] == (5, 6, 7)
+
+    def test_livelock_structure(self):
+        t = paper_livelock_tree()
+        assert t.n == 3
+        assert t.children[0] == (1, 2)
+        assert t.is_leaf(1) and t.is_leaf(2)
+
+
+class TestFamilies:
+    def test_path_shape(self):
+        t = path_tree(5)
+        assert t.height() == 4
+        assert all(t.degree(p) <= 2 for p in range(5))
+
+    def test_star_shape(self):
+        t = star_tree(6)
+        assert t.degree(0) == 5
+        assert all(t.degree(p) == 1 for p in range(1, 6))
+
+    def test_balanced_count(self):
+        t = balanced_tree(2, 3)
+        assert t.n == 15  # 1+2+4+8
+        assert t.height() == 3
+
+    def test_balanced_height_zero(self):
+        assert balanced_tree(3, 0).n == 1
+
+    def test_binary_heap_parent(self):
+        t = binary_tree(7)
+        for i in range(1, 7):
+            assert t.parent[i] == (i - 1) // 2
+
+    def test_caterpillar_count(self):
+        t = caterpillar_tree(4, 2)
+        assert t.n == 4 + 8
+
+    def test_broom_count(self):
+        t = broom_tree(3, 4)
+        assert t.n == 7
+        assert t.degree(2) == 5  # end of handle: 1 parent + 4 bristles
+
+    def test_invalid_sizes(self):
+        for fn in (path_tree, star_tree, binary_tree):
+            with pytest.raises(TreeError):
+                fn(0)
+        with pytest.raises(TreeError):
+            caterpillar_tree(0, 1)
+        with pytest.raises(TreeError):
+            broom_tree(0, 1)
+        with pytest.raises(TreeError):
+            balanced_tree(0, 2)
+
+
+class TestRandomTrees:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 25])
+    def test_random_tree_valid(self, n):
+        t = random_tree(n, seed=1)
+        assert t.n == n
+        t.validate()
+
+    def test_random_tree_deterministic(self):
+        a = random_tree(12, seed=4)
+        b = random_tree(12, seed=4)
+        assert a.parent == b.parent
+
+    def test_random_tree_seed_sensitivity(self):
+        assert random_tree(12, seed=1).parent != random_tree(12, seed=2).parent
+
+    def test_recursive_tree_valid(self):
+        t = random_recursive_tree(20, seed=0)
+        t.validate()
+        assert t.n == 20
+
+    def test_recursive_is_shallow_vs_path(self):
+        t = random_recursive_tree(64, seed=0)
+        assert t.height() < 63

@@ -1,0 +1,68 @@
+"""Connected graphs for the §5 extension."""
+
+import pytest
+
+from repro.topology.graphs import (
+    Graph,
+    grid_graph,
+    random_connected_graph,
+    ring_graph,
+)
+
+
+class TestGenerators:
+    def test_random_connected(self):
+        g = random_connected_graph(15, extra_edges=5, seed=1)
+        assert g.n == 15
+        assert g.is_connected()
+        assert len(g.edges) == 14 + 5
+
+    def test_zero_extra_edges_is_tree(self):
+        g = random_connected_graph(10, 0, seed=2)
+        assert len(g.edges) == 9
+
+    def test_deterministic(self):
+        assert random_connected_graph(10, 3, seed=7).edges == \
+               random_connected_graph(10, 3, seed=7).edges
+
+    def test_ring_graph(self):
+        g = ring_graph(6)
+        assert all(g.degree(p) == 2 for p in range(6))
+        assert g.is_connected()
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.is_connected()
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestBfs:
+    def test_distances(self):
+        g = ring_graph(6)
+        assert g.distances(0) == [0, 1, 2, 3, 2, 1]
+
+    def test_bfs_tree_parent_one_level_up(self):
+        g = random_connected_graph(12, 6, seed=3)
+        t = g.bfs_tree(0)
+        d = g.distances(0)
+        for p in range(1, 12):
+            assert d[t.parent[p]] == d[p] - 1
+
+    def test_bfs_tree_lowest_id_tiebreak(self):
+        g = grid_graph(2, 2)  # nodes 0 1 / 2 3; node 3 reachable via 1 or 2
+        t = g.bfs_tree(0)
+        assert t.parent[3] == 1
+
+    def test_disconnected_detection(self):
+        g = Graph(4, {(0, 1), (2, 3)})
+        assert not g.is_connected()

@@ -1,0 +1,95 @@
+"""OrientedTree construction, labeling, and validation."""
+
+import pytest
+
+from repro.topology.tree import OrientedTree, TreeError
+
+
+class TestConstruction:
+    def test_from_parent_map_list(self):
+        t = OrientedTree.from_parent_map([0, 0, 1], root=0)
+        assert t.parent == (0, 0, 1)
+        assert t.children == ((1,), (2,), ())
+
+    def test_from_parent_map_dict(self):
+        t = OrientedTree.from_parent_map({1: 0, 2: 0}, root=0)
+        assert t.children[0] == (1, 2)
+
+    def test_from_edges(self):
+        t = OrientedTree.from_edges(4, [(0, 1), (1, 2), (1, 3)], root=0)
+        assert t.parent == (0, 0, 1, 1)
+
+    def test_single_node(self):
+        t = OrientedTree.from_parent_map([0], root=0)
+        assert t.n == 1 and t.degree(0) == 0
+
+    def test_rejects_cycle(self):
+        with pytest.raises(TreeError):
+            OrientedTree(root=0, children=((1,), (2,), (1,)))
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TreeError):
+            OrientedTree.from_edges(4, [(0, 1), (2, 3)], root=0)
+
+    def test_rejects_wrong_edge_count(self):
+        with pytest.raises(TreeError):
+            OrientedTree.from_edges(3, [(0, 1)], root=0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TreeError):
+            OrientedTree.from_edges(2, [(0, 0)], root=0)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(TreeError):
+            OrientedTree(root=5, children=((), ()))
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(TreeError):
+            OrientedTree.from_parent_map([0, 9], root=0)
+
+
+class TestLabeling:
+    def test_parent_is_channel_zero(self, paper_tree):
+        for p in range(paper_tree.n):
+            if p != paper_tree.root:
+                assert paper_tree.neighbor(p, 0) == paper_tree.parent[p]
+
+    def test_root_children_order(self, paper_tree):
+        assert paper_tree.neighbor(0, 0) == 1  # a on channel 0
+        assert paper_tree.neighbor(0, 1) == 4  # d on channel 1
+
+    def test_label_of_inverse(self, paper_tree):
+        for p in range(paper_tree.n):
+            for lbl in range(paper_tree.degree(p)):
+                q = paper_tree.neighbor(p, lbl)
+                assert paper_tree.label_of(p, q) == lbl
+
+    def test_degree_counts(self, paper_tree):
+        assert [paper_tree.degree(p) for p in range(8)] == [2, 3, 1, 1, 4, 1, 1, 1]
+
+    def test_validate_passes(self, any_tree):
+        any_tree.validate()
+
+
+class TestQueries:
+    def test_depth(self, paper_tree):
+        assert paper_tree.depth(0) == 0
+        assert paper_tree.depth(2) == 2
+        assert paper_tree.depth(7) == 2
+
+    def test_height(self, paper_tree):
+        assert paper_tree.height() == 2
+
+    def test_is_leaf(self, paper_tree):
+        assert paper_tree.is_leaf(2)
+        assert not paper_tree.is_leaf(1)
+
+    def test_edges_count(self, any_tree):
+        assert len(list(any_tree.edges())) == any_tree.n - 1
+
+    def test_subtree(self, paper_tree):
+        assert set(paper_tree.subtree(4)) == {4, 5, 6, 7}
+        assert set(paper_tree.subtree(0)) == set(range(8))
+
+    def test_neighbors_order(self, paper_tree):
+        assert paper_tree.neighbors(1) == (0, 2, 3)

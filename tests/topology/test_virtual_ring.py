@@ -1,0 +1,71 @@
+"""The Euler tour / virtual ring (Figs. 1 and 4)."""
+
+import pytest
+
+from repro.topology import build_virtual_ring, path_tree, star_tree
+
+
+class TestPaperRing:
+    def test_length(self, paper_tree):
+        ring = build_virtual_ring(paper_tree)
+        assert ring.length == 2 * (paper_tree.n - 1) == 14
+
+    def test_fig1_node_sequence(self, paper_tree):
+        # r a b a c a r d e d f d g d  (paper Fig. 4)
+        ring = build_virtual_ring(paper_tree)
+        assert ring.node_sequence() == [0, 1, 2, 1, 3, 1, 0, 4, 5, 4, 6, 4, 7, 4]
+
+    def test_starts_at_root_channel_zero(self, paper_tree):
+        ring = build_virtual_ring(paper_tree)
+        first = ring.stops[0]
+        assert first.pid == 0 and first.out_label == 0
+
+    def test_occurrences_equal_degree(self, paper_tree):
+        ring = build_virtual_ring(paper_tree)
+        for p in range(paper_tree.n):
+            assert ring.occurrences(p) == paper_tree.degree(p)
+
+
+class TestRingProperties:
+    def test_each_directed_edge_once(self, any_tree):
+        ring = build_virtual_ring(any_tree)
+        chans = ring.channel_sequence()
+        assert len(chans) == len(set(chans)) == 2 * (any_tree.n - 1)
+
+    def test_consecutive_stops_connected(self, any_tree):
+        ring = build_virtual_ring(any_tree)
+        stops = ring.stops
+        for i, s in enumerate(stops):
+            nxt = stops[(i + 1) % len(stops)]
+            assert s.next_pid == nxt.pid
+            # arrival label consistency
+            assert any_tree.neighbor(nxt.pid, nxt.in_label) == s.pid
+
+    def test_forwarding_rule(self, any_tree):
+        ring = build_virtual_ring(any_tree)
+        for s in ring:
+            assert s.out_label == (s.in_label + 1) % any_tree.degree(s.pid)
+
+    def test_single_node_ring_empty(self):
+        ring = build_virtual_ring(path_tree(1))
+        assert ring.length == 0
+
+    def test_two_node(self):
+        ring = build_virtual_ring(path_tree(2))
+        assert ring.node_sequence() == [0, 1]
+
+    def test_index_of(self, paper_tree):
+        ring = build_virtual_ring(paper_tree)
+        assert ring.index_of(0, 0) == 0
+        with pytest.raises(KeyError):
+            ring.index_of(0, 5)
+
+    def test_distance(self):
+        ring = build_virtual_ring(star_tree(4))
+        assert ring.distance(0, 0) == 0
+        # star ring: 0 1 0 2 0 3
+        assert ring.distance(1, 2) == 2
+
+    def test_iter_and_len(self, paper_tree):
+        ring = build_virtual_ring(paper_tree)
+        assert len(list(ring)) == len(ring)

@@ -1,0 +1,52 @@
+"""ASCII rendering."""
+
+from repro.topology import build_virtual_ring, paper_example_tree
+from repro.viz import render_configuration, render_ring, render_tree
+from tests.conftest import make_params, saturated_engine
+
+NAMES = dict(enumerate("r a b c d e f g".split()))
+
+
+class TestRenderTree:
+    def test_contains_all_nodes_and_labels(self, paper_tree):
+        out = render_tree(paper_tree, NAMES)
+        for name in NAMES.values():
+            assert name in out
+        assert "--0-->" in out and "--3-->" in out
+
+    def test_annotations(self, paper_tree):
+        out = render_tree(paper_tree, NAMES, annotate={2: "Req(2)"})
+        assert "Req(2)" in out
+
+    def test_default_numeric_labels(self, paper_tree):
+        out = render_tree(paper_tree)
+        assert "7" in out
+
+
+class TestRenderRing:
+    def test_fig4_sequence(self, paper_tree):
+        out = render_ring(build_virtual_ring(paper_tree), NAMES)
+        assert out.startswith("r -0-> a")
+        assert out.count("r") == 3  # r appears deg(r)=2 times + closing
+
+    def test_empty_ring(self):
+        from repro.topology import path_tree
+        out = render_ring(build_virtual_ring(path_tree(1)))
+        assert out == ""
+
+
+class TestRenderConfiguration:
+    def test_shows_states_and_tokens(self, paper_tree):
+        params = make_params(paper_tree)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        out = render_configuration(engine, paper_tree, NAMES)
+        assert "census" in out
+        assert "●" in out      # resource tokens in channels
+        assert "State" in out
+
+    def test_census_line_counts(self, paper_tree):
+        params = make_params(paper_tree, l=3)
+        engine, _ = saturated_engine(paper_tree, params, init="tokens")
+        out = render_configuration(engine, paper_tree, NAMES)
+        assert "resource=3" in out
+        assert "pusher=1" in out
