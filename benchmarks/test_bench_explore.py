@@ -1,0 +1,109 @@
+"""Explorer throughput: snapshot codec vs. deepcopy-fork reference.
+
+The exhaustive explorer historically produced every child configuration
+with ``Engine.fork()`` — a full ``copy.deepcopy`` per transition — which
+dominated runtime and capped reachable depth.  The snapshot codec
+(restore → step → snapshot on one reusable engine) must beat that by a
+wide margin on the paper's own instances while visiting the *identical*
+state space; this bench measures both in the same run and enforces a
+coarse regression floor on the ratio.
+"""
+
+import time
+
+import pytest
+
+from repro import KLParams
+from repro.analysis import safety_ok
+from repro.analysis.explore import explore
+from repro.apps.interface import IdleApplication
+from repro.apps.workloads import HogWorkload, OneShotWorkload
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.scenarios import FIG2_NEEDS
+from repro.topology import paper_example_tree, paper_livelock_tree
+
+#: comfortably below the ~14x observed even on slow shared CI, loud on a
+#: real regression (and the acceptance floor for this PR)
+MIN_SPEEDUP = 5.0
+
+
+def fig2_instance():
+    """Naive protocol on the Fig. 1/2/4 paper tree with the Fig. 2 needs."""
+    tree = paper_example_tree()
+    params = KLParams(k=3, l=5, n=tree.n)
+    apps = [
+        OneShotWorkload(FIG2_NEEDS[p], cs_duration=0)
+        if p in FIG2_NEEDS
+        else IdleApplication()
+        for p in range(tree.n)
+    ]
+    eng = build_naive_engine(tree, params, apps)
+    for p in range(tree.n):
+        eng.step_pid(p, -1)
+    return eng, params
+
+
+def fig3_instance():
+    """Priority variant on the Fig. 3 livelock tree with hogs."""
+    tree = paper_livelock_tree()
+    params = KLParams(k=1, l=2, n=3)
+    apps = [None, HogWorkload(1), HogWorkload(1)]
+    eng = build_priority_engine(tree, params, apps)
+    for p in range(3):
+        eng.step_pid(p, -1)
+    return eng, params
+
+
+def timed(eng, params, *, depth, cap, method):
+    inv = lambda e: safety_ok(e, params) or "unsafe"
+    t0 = time.perf_counter()
+    res = explore(
+        eng, inv, max_depth=depth, max_configurations=cap, method=method
+    )
+    return res, time.perf_counter() - t0
+
+
+def test_bench_explore_snapshot_vs_fork(benchmark, report):
+    cases = [
+        ("fig2 naive (paper tree)", fig2_instance, 14, 4_000),
+        ("fig3 priority (livelock tree)", fig3_instance, 16, 4_000),
+    ]
+    rows = []
+    speedups = []
+    for label, make, depth, cap in cases:
+        eng, params = make()
+        snap, t_snap = timed(eng, params, depth=depth, cap=cap, method="snapshot")
+        fork, t_fork = timed(eng, params, depth=depth, cap=cap, method="fork")
+        # identical state space: the codec must not change what is explored
+        assert (snap.configurations, snap.transitions, snap.violation) == (
+            fork.configurations,
+            fork.transitions,
+            fork.violation,
+        )
+        assert snap.exhausted == fork.exhausted
+        speedup = t_fork / max(t_snap, 1e-9)
+        speedups.append(speedup)
+        rows.append(
+            (label, depth, snap.configurations, snap.transitions,
+             t_snap, t_fork, f"{speedup:.1f}x")
+        )
+    report(
+        "EXPLORE — snapshot codec vs. deepcopy-fork reference (same run)",
+        ["instance", "depth", "configs", "transitions",
+         "snapshot s", "fork s", "speedup"],
+        rows,
+    )
+    # regression floor on the paper-tree instance (the large one)
+    assert speedups[0] >= MIN_SPEEDUP, (
+        f"snapshot explorer only {speedups[0]:.1f}x faster than the "
+        f"deepcopy reference (floor {MIN_SPEEDUP}x)"
+    )
+
+    eng, params = fig2_instance()
+    benchmark.pedantic(
+        lambda: timed(eng, params, depth=12, cap=4_000, method="snapshot"),
+        rounds=3,
+        iterations=1,
+    )
+    assert benchmark.stats["mean"] < 2.0

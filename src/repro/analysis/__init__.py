@@ -2,6 +2,7 @@
 
 from .census import TokenCensus, population_correct, take_census
 from .explore import ExplorationResult, canonical_digest, explore
+from .fuzz import FuzzResult, fuzz, replay_schedule
 from .harness import (
     ConvergenceResult,
     WaitingTimeResult,
@@ -24,6 +25,9 @@ __all__ = [
     "ExplorationResult",
     "canonical_digest",
     "explore",
+    "FuzzResult",
+    "fuzz",
+    "replay_schedule",
     "SweepCell",
     "SweepResult",
     "run_sweep",

@@ -13,6 +13,38 @@ This turns claims like "the naive protocol never violates safety, under
 *any* schedule" into exhaustively verified facts for small n — the
 strongest check a simulation harness can offer short of a proof.
 
+How transitions are expanded
+----------------------------
+Exploration works on a *single reusable engine*: each stored
+configuration is a compact :class:`~repro.sim.engine.EngineState`
+snapshot, and a transition is restore → :meth:`Engine.step_pid` →
+snapshot.  This replaces the historical per-child ``Engine.fork()``
+(a full ``copy.deepcopy`` of engine, processes, channels and apps),
+which dominated runtime and capped reachable depth; the deepcopy path
+is kept as the reference implementation (``method="fork"``) and the
+differential test suite holds the two paths to identical results.
+
+Search strategies
+-----------------
+* ``strategy="bfs"`` (default) — breadth-first with per-depth
+  frontiers; violations are reported at their *minimal* depth.
+* ``strategy="dfs"`` — depth-first with an explicit stack; memory is
+  bounded by the search depth times the branching factor instead of the
+  frontier width, which makes materially deeper dives feasible.  With a
+  depth bound and global deduplication DFS may skip states it first met
+  on a long path (the classic bounded-DFS caveat), so ``exhausted=True``
+  is claimed only when the bound never truncated anything — in that
+  case the reachable set closed and the two strategies agree.
+
+When to use what
+----------------
+Use :func:`explore` when the instance is small enough that the
+reachable set (or its depth-``D`` slice) fits in memory — the result is
+a *verified* fact.  For larger instances, longer horizons or
+probabilistic confidence, use :func:`repro.analysis.fuzz.fuzz`
+(randomized schedule walks); exhaustive and fuzz share the invariant
+convention, so the same predicate serves both.
+
 Depth/width guards keep the search bounded; exploration is only
 practical for a handful of processes and tokens (the state space grows
 exponentially), which is precisely the regime the paper's figures
@@ -21,7 +53,6 @@ live in.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -85,7 +116,8 @@ class ExplorationResult:
     exhausted: bool
     #: first invariant violation, as (depth, message), or None
     violation: tuple[int, str] | None = None
-    #: per-depth frontier sizes (diagnostics)
+    #: per-depth frontier sizes (diagnostics); for DFS, newly discovered
+    #: states per depth
     frontier_sizes: list[int] = field(default_factory=list)
 
     @property
@@ -100,21 +132,35 @@ def _moves(engine: Engine) -> list[tuple[int, int]]:
     For each process: one receive move per non-empty incoming channel,
     plus the no-receive move (``-1``) — the paper's "does nothing"
     option, needed so loop-tail actions can fire without a message.
+    Every process gets the silent move, including leaves (degree 1 with
+    empty channels) and isolated processes (degree 0).
     """
     out = []
     for pid in range(engine.n):
-        deg = engine.network.degree(pid)
-        any_pending = False
-        for lbl in range(deg):
+        for lbl in range(engine.network.degree(pid)):
             if len(engine.network.in_channel(pid, lbl)):
                 out.append((pid, lbl))
-                any_pending = True
         # the silent step matters when local actions are enabled; always
         # include it — dedup prunes the no-ops cheaply.
         out.append((pid, -1))
-        if not any_pending and deg == 0:
-            pass
     return out
+
+
+def _verdict(v) -> str | None:
+    """The shared invariant-verdict convention (explore and fuzz alike):
+    ``False`` or a string is a violation message, anything else holds."""
+    if v is False:
+        return "invariant returned False"
+    if isinstance(v, str):
+        return v
+    return None
+
+
+def _check(
+    invariant: Callable[[Engine], bool | str | None], e: Engine, depth: int
+) -> tuple[int, str] | None:
+    msg = _verdict(invariant(e))
+    return None if msg is None else (depth, msg)
 
 
 def explore(
@@ -123,35 +169,109 @@ def explore(
     *,
     max_depth: int = 12,
     max_configurations: int = 200_000,
+    strategy: str = "bfs",
+    method: str = "snapshot",
 ) -> ExplorationResult:
-    """Breadth-first exploration of every schedule from the current state.
+    """Explore every schedule from the current state, up to ``max_depth``.
 
     ``invariant(engine)`` is evaluated at every distinct reachable
     configuration; it may return ``False`` (violation), a string
     (violation with a message), or anything truthy/None for "holds".
-    The input engine is not mutated (exploration works on deep copies).
+    The input engine is not mutated (exploration works on a private
+    copy).
+
+    ``strategy`` selects breadth-first (``"bfs"``, default — minimal
+    violation depths, frontier kept per depth) or depth-first
+    (``"dfs"`` — explicit stack, memory bounded by depth × branching,
+    for deeper dives; see the module docstring for the dedup caveat).
+
+    ``method`` selects how child configurations are produced:
+    ``"snapshot"`` (default) expands restore→step→snapshot on one
+    reusable engine via the state codec; ``"fork"`` is the historical
+    deepcopy-per-child reference, kept for differential testing and for
+    processes that predate the codec.
 
     Returns an :class:`ExplorationResult`; ``exhausted`` is ``True`` when
     the reachable set closed before ``max_depth`` — in that case the
     invariant holds in *every* reachable configuration, full stop.
     """
-    root = engine.fork()
+    if strategy not in ("bfs", "dfs"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if method not in ("snapshot", "fork"):
+        raise ValueError(f"unknown method {method!r}")
+    work = engine.fork()
+    bad = _check(invariant, work, 0)
+    if bad is not None:
+        return ExplorationResult(1, 0, False, bad, [1])
+    if method == "fork":
+        return _explore_bfs_fork(
+            work, invariant, max_depth, max_configurations
+        ) if strategy == "bfs" else _explore_dfs(
+            work, invariant, max_depth, max_configurations, fork=True
+        )
+    if strategy == "dfs":
+        return _explore_dfs(work, invariant, max_depth, max_configurations)
+    return _explore_bfs_snapshot(work, invariant, max_depth, max_configurations)
+
+
+def _explore_bfs_snapshot(
+    work: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    max_depth: int,
+    max_configurations: int,
+) -> ExplorationResult:
+    """BFS over EngineState snapshots on a single reusable engine."""
+    seen: set[tuple] = {canonical_digest(work)}
+    frontier = [work.save_state()]
+    transitions = 0
+    frontier_sizes: list[int] = []
+
+    for depth in range(1, max_depth + 1):
+        nxt = []
+        for state in frontier:
+            work.load_state(state)
+            moves = _moves(work)
+            for i, (pid, chan) in enumerate(moves):
+                if i:
+                    work.load_state(state)
+                work.step_pid(pid, chan)
+                transitions += 1
+                digest = canonical_digest(work)
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                bad = _check(invariant, work, depth)
+                if bad is not None:
+                    return ExplorationResult(
+                        len(seen), transitions, False, bad,
+                        frontier_sizes + [len(nxt)],
+                    )
+                nxt.append(work.save_state())
+                if len(seen) >= max_configurations:
+                    return ExplorationResult(
+                        len(seen), transitions, False, None,
+                        frontier_sizes + [len(nxt)],
+                    )
+        frontier_sizes.append(len(nxt))
+        frontier = nxt
+        if not frontier:
+            return ExplorationResult(
+                len(seen), transitions, True, None, frontier_sizes
+            )
+    return ExplorationResult(len(seen), transitions, False, None, frontier_sizes)
+
+
+def _explore_bfs_fork(
+    root: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    max_depth: int,
+    max_configurations: int,
+) -> ExplorationResult:
+    """Reference implementation: BFS with one deepcopy fork per child."""
     seen: set[tuple] = {canonical_digest(root)}
     frontier: list[Engine] = [root]
     transitions = 0
     frontier_sizes: list[int] = []
-
-    def check(e: Engine, depth: int) -> tuple[int, str] | None:
-        v = invariant(e)
-        if v is False:
-            return (depth, "invariant returned False")
-        if isinstance(v, str):
-            return (depth, v)
-        return None
-
-    bad = check(root, 0)
-    if bad is not None:
-        return ExplorationResult(1, 0, False, bad, [1])
 
     for depth in range(1, max_depth + 1):
         nxt: list[Engine] = []
@@ -164,7 +284,7 @@ def explore(
                 if digest in seen:
                     continue
                 seen.add(digest)
-                bad = check(child, depth)
+                bad = _check(invariant, child, depth)
                 if bad is not None:
                     return ExplorationResult(
                         len(seen), transitions, False, bad,
@@ -183,3 +303,71 @@ def explore(
                 len(seen), transitions, True, None, frontier_sizes
             )
     return ExplorationResult(len(seen), transitions, False, None, frontier_sizes)
+
+
+def _explore_dfs(
+    work: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    max_depth: int,
+    max_configurations: int,
+    *,
+    fork: bool = False,
+) -> ExplorationResult:
+    """Depth-first exploration with an explicit stack (deep, memory-lean).
+
+    The stack holds (state, depth) pairs; memory is proportional to the
+    open path's branching, not the width of a depth slice.  A state
+    popped at ``max_depth`` is not expanded; if that ever happens,
+    ``exhausted`` stays ``False`` because deeper configurations may
+    exist.  Violation depths are the depth at which DFS *found* the
+    configuration, which need not be minimal.
+    """
+    seen: set[tuple] = {canonical_digest(work)}
+    per_depth = [0] * (max_depth + 1)
+    stack: list[tuple[object, int]] = [
+        (work if fork else work.save_state(), 0)
+    ]
+    transitions = 0
+    truncated = False
+
+    while stack:
+        state, depth = stack.pop()
+        if depth >= max_depth:
+            truncated = True
+            continue
+        if fork:
+            parent: Engine = state  # type: ignore[assignment]
+            moves = _moves(parent)
+        else:
+            work.load_state(state)  # type: ignore[arg-type]
+            moves = _moves(work)
+        for i, (pid, chan) in enumerate(moves):
+            if fork:
+                child = parent.fork()
+            else:
+                if i:
+                    work.load_state(state)  # type: ignore[arg-type]
+                child = work
+            child.step_pid(pid, chan)
+            transitions += 1
+            digest = canonical_digest(child)
+            if digest in seen:
+                continue
+            seen.add(digest)
+            per_depth[depth + 1] += 1
+            bad = _check(invariant, child, depth + 1)
+            if bad is not None:
+                last = max(d for d in range(max_depth + 1) if per_depth[d])
+                return ExplorationResult(
+                    len(seen), transitions, False, bad, per_depth[1 : last + 1]
+                )
+            stack.append((child if fork else child.save_state(), depth + 1))
+            if len(seen) >= max_configurations:
+                last = max(d for d in range(max_depth + 1) if per_depth[d])
+                return ExplorationResult(
+                    len(seen), transitions, False, None, per_depth[1 : last + 1]
+                )
+    last = max((d for d in range(max_depth + 1) if per_depth[d]), default=0)
+    return ExplorationResult(
+        len(seen), transitions, not truncated, None, per_depth[1 : last + 1]
+    )

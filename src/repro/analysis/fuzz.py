@@ -1,0 +1,150 @@
+"""Randomized schedule fuzzing (swarm verification for the daemon model).
+
+:func:`repro.analysis.explore.explore` enumerates *every* schedule of a
+small instance — a verified fact, but only for toy sizes and shallow
+horizons because the state space grows exponentially.  This module
+covers the complementary regime, in the spirit of Holzmann's swarm
+verification for SPIN: run ``N`` independent seeded random walks of
+depth ``D`` over the scheduling choices, check the invariant after
+every step, and report the first violating *schedule* as a replayable
+artifact.
+
+When to use exhaustive vs. fuzz
+-------------------------------
+* **Exhaustive** (:func:`~repro.analysis.explore.explore`): instance
+  small (≲ 4 processes, ≲ 3 tokens), horizon shallow, and you want a
+  proof-grade "holds under ALL schedules" answer (``exhausted=True``).
+* **Fuzz** (:func:`fuzz`): anything bigger — tens of processes,
+  thousands of steps — where exhaustive search cannot reach but a
+  violating schedule, if one exists at realistic depths, is likely to
+  be hit by enough independent walks.  A passing fuzz run is evidence,
+  not proof; a failing one is a *deterministic counterexample*.
+
+Walks are driven by process id only (each chosen process performs its
+normal round-robin channel scan), so a counterexample is exactly a pid
+sequence — replayable bit-for-bit through
+:class:`~repro.sim.scheduler.ScriptedScheduler` via
+:func:`replay_schedule`, or pasted into any harness.  Reset between
+walks uses the engine state codec
+(:meth:`~repro.sim.engine.Engine.save_state`), so an ``N × D`` campaign
+costs one deepcopy total, not ``N``.
+
+Everything is deterministic: walk ``w`` of seed ``s`` draws from
+``default_rng([s, w])``, so a violation reproduces from ``(seed,
+walk)`` alone and a clean campaign replays step-count-for-step-count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sim.engine import Engine
+from ..sim.scheduler import ScriptedScheduler
+from .explore import _verdict
+
+__all__ = ["FuzzResult", "fuzz", "replay_schedule"]
+
+
+@dataclass(slots=True)
+class FuzzResult:
+    """Outcome of one fuzzing campaign."""
+
+    #: walks requested
+    walks: int
+    #: per-walk depth bound (steps)
+    depth: int
+    #: master seed of the campaign
+    seed: int
+    #: total steps executed across all walks
+    steps_total: int
+    #: steps actually taken by each completed or violating walk
+    walk_lengths: list[int] = field(default_factory=list)
+    #: first violation, as (walk index, step, message), or None;
+    #: step 0 means the initial configuration itself violates
+    violation: tuple[int, int, str] | None = None
+    #: pid schedule reproducing the violation (empty for step 0), or None
+    schedule: list[int] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """No walk hit an invariant violation."""
+        return self.violation is None
+
+
+def fuzz(
+    engine: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    *,
+    walks: int = 64,
+    depth: int = 256,
+    seed: int = 0,
+) -> FuzzResult:
+    """Run ``walks`` seeded random schedule walks of up to ``depth`` steps.
+
+    ``invariant`` follows the :func:`~repro.analysis.explore.explore`
+    convention: ``False`` or a string is a violation, anything else
+    holds.  It is evaluated on the initial configuration and after every
+    step of every walk.  The input engine is never mutated.
+
+    On violation the campaign stops and the result carries the walk
+    index, the step number and the pid ``schedule`` that reaches the
+    violating configuration from the input engine's current state —
+    feed it to :func:`replay_schedule` (or a
+    :class:`~repro.sim.scheduler.ScriptedScheduler` of your own) to
+    reproduce the failure deterministically.
+    """
+    if walks < 1:
+        raise ValueError("walks must be >= 1")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    work = engine.fork()
+    msg = _verdict(invariant(work))
+    if msg is not None:
+        return FuzzResult(walks, depth, seed, 0, [], (0, 0, msg), [])
+    start = work.save_state()
+    steps_total = 0
+    walk_lengths: list[int] = []
+    n = work.n
+    for w in range(walks):
+        rng = np.random.default_rng([seed, w])
+        work.load_state(start)
+        # one vectorized draw per walk: the whole schedule up front
+        script = rng.integers(0, n, size=depth)
+        for step in range(1, depth + 1):
+            work.step_pid(int(script[step - 1]))
+            steps_total += 1
+            msg = _verdict(invariant(work))
+            if msg is not None:
+                walk_lengths.append(step)
+                return FuzzResult(
+                    walks,
+                    depth,
+                    seed,
+                    steps_total,
+                    walk_lengths,
+                    (w, step, msg),
+                    [int(p) for p in script[:step]],
+                )
+        walk_lengths.append(depth)
+    return FuzzResult(walks, depth, seed, steps_total, walk_lengths)
+
+
+def replay_schedule(engine: Engine, schedule: list[int]) -> Engine:
+    """Replay a fuzz counterexample on a fork of ``engine``.
+
+    Installs the pid ``schedule`` as a
+    :class:`~repro.sim.scheduler.ScriptedScheduler` on a fork of the
+    engine (the input is untouched), runs exactly ``len(schedule)``
+    steps through the normal :meth:`Engine.step` path, and returns the
+    forked engine in the violating configuration.  Because a fuzz walk
+    drives :meth:`Engine.step_pid` with the default round-robin channel
+    scan — the same receive rule the engine itself applies — the replay
+    is bit-for-bit identical to the walk that found the violation.
+    """
+    replay = engine.fork()
+    replay.scheduler = ScriptedScheduler(replay.n, schedule)
+    replay.run(len(schedule))
+    return replay

@@ -105,6 +105,52 @@ class Application(abc.ABC):
         if self.requests and self.requests[-1].exited_at is None:
             self.requests[-1].exited_at = now
 
+    # -- state codec -------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Compact immutable encoding of the application's mutable state.
+
+        Captures the request ledger and CS bookkeeping; subclasses add
+        their own variables via :meth:`_extra_state` /
+        :meth:`_set_extra_state` rather than overriding this pair, so the
+        record encoding stays in one place.  The engine reference is
+        deliberately not part of the snapshot (restore never re-attaches).
+        """
+        recs = tuple(
+            (
+                r.need,
+                r.requested_at,
+                r.cs_total_at_request,
+                r.entered_at,
+                r.cs_total_at_enter,
+                r.exited_at,
+            )
+            for r in self.requests
+        )
+        return (recs, self._cs_since, self._extra_state())
+
+    def restore_state(self, snap: tuple) -> None:
+        """Reinstate the state captured by :meth:`snapshot_state`."""
+        recs, self._cs_since, extra = snap
+        self.requests = [
+            RequestRecord(
+                need=need,
+                requested_at=req_at,
+                cs_total_at_request=cs_req,
+                entered_at=ent_at,
+                cs_total_at_enter=cs_ent,
+                exited_at=ex_at,
+            )
+            for need, req_at, cs_req, ent_at, cs_ent, ex_at in recs
+        ]
+        self._set_extra_state(extra)
+
+    def _extra_state(self) -> tuple:
+        """Subclass-specific mutable variables (immutable encoding)."""
+        return ()
+
+    def _set_extra_state(self, extra: tuple) -> None:
+        """Reinstate what :meth:`_extra_state` captured."""
+
     def _done_after(self, duration: int) -> bool:
         """``ReleaseCS()`` helper: true once ``duration`` steps passed in CS.
 

@@ -60,6 +60,12 @@ class SaturatedWorkload(Application):
         super().on_exit_cs(now)
         self._last_exit = now
 
+    def _extra_state(self):
+        return (self._last_exit,)
+
+    def _set_extra_state(self, extra):
+        (self._last_exit,) = extra
+
 
 class OneShotWorkload(Application):
     """Requests ``need`` units once, at or after step ``at``."""
@@ -79,6 +85,12 @@ class OneShotWorkload(Application):
 
     def release_cs(self, now: int) -> bool:
         return self._done_after(self.cs_duration)
+
+    def _extra_state(self):
+        return (self._done,)
+
+    def _set_extra_state(self, extra):
+        (self._done,) = extra
 
 
 class StochasticWorkload(Application):
@@ -116,6 +128,19 @@ class StochasticWorkload(Application):
     def release_cs(self, now: int) -> bool:
         return self._done_after(self._cs_len)
 
+    def _extra_state(self):
+        # The generator state dict is mutable; deep-copy so the snapshot
+        # stays frozen while the live stream keeps advancing.
+        import copy
+
+        return (self._cs_len, copy.deepcopy(self.rng.bit_generator.state))
+
+    def _set_extra_state(self, extra):
+        import copy
+
+        self._cs_len, rng_state = extra
+        self.rng.bit_generator.state = copy.deepcopy(rng_state)
+
 
 class ScriptedWorkload(Application):
     """Replays an explicit schedule of requests.
@@ -149,6 +174,12 @@ class ScriptedWorkload(Application):
         """True once every scripted request has been issued."""
         return self._i >= len(self.script)
 
+    def _extra_state(self):
+        return (self._i, self._cs_len)
+
+    def _set_extra_state(self, extra):
+        self._i, self._cs_len = extra
+
 
 class HogWorkload(Application):
     """Requests ``need`` units once and never releases the CS.
@@ -173,3 +204,9 @@ class HogWorkload(Application):
         # Never release once genuinely inside the CS; if a fault put the
         # protocol in state ``In`` without entry, ReleaseCS() holds.
         return self.cs_elapsed is None
+
+    def _extra_state(self):
+        return (self._done,)
+
+    def _set_extra_state(self, extra):
+        (self._done,) = extra

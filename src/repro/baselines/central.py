@@ -138,6 +138,13 @@ class CentralClient(Process):
             if self.app is not None:
                 self.app.on_exit_cs(now)
 
+    # -- state codec ----------------------------------------------------------
+    def snapshot(self) -> tuple:
+        return (self.state, self.need, self.granted)
+
+    def restore(self, snap: tuple) -> None:
+        self.state, self.need, self.granted = snap
+
     # -- oracle hooks ---------------------------------------------------------
     def reserved_tokens(self) -> list[tuple[int, int]]:
         # Unit identity is synthesized from pid: the coordinator model
@@ -219,6 +226,14 @@ class CentralCoordinator(CentralClient):
             self.ctx.bump("exit_cs")
             if self.app is not None:
                 self.app.on_exit_cs(now)
+
+    def snapshot(self) -> tuple:
+        return (super().snapshot(), self.free, tuple(self.queue))
+
+    def restore(self, snap: tuple) -> None:
+        base, self.free, queue = snap
+        super().restore(base)
+        self.queue = deque(queue)
 
     def scramble(self, rng: np.random.Generator) -> None:
         super().scramble(rng)

@@ -112,6 +112,13 @@ class RingProcess(_RingTokenMixin, PriorityProcess):
             # around the ring can still be replaced by a root resend.
             self.send(SUCC, m)
 
+    def snapshot(self) -> tuple:
+        return (super().snapshot(), self.myc)
+
+    def restore(self, snap: tuple) -> None:
+        base, self.myc = snap
+        super().restore(base)
+
     def scramble(self, rng: np.random.Generator) -> None:
         super().scramble(rng)
         self.myc = int(rng.integers(0, ring_myc_modulus(self.params)))
@@ -221,6 +228,31 @@ class RingRoot(_RingTokenMixin, PriorityProcess):
             self.send(SUCC, Ctrl(c=self.myc, r=self.reset, pt=0, ppr=0))
             self.ctx.restart_timer()
             self.ctx.bump("timeout")
+
+    def snapshot(self) -> tuple:
+        return (
+            super().snapshot(),
+            self.myc,
+            self.reset,
+            self.stoken,
+            self.sprio,
+            self.spush,
+            self.circulations,
+            self.resets,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        (
+            base,
+            self.myc,
+            self.reset,
+            self.stoken,
+            self.sprio,
+            self.spush,
+            self.circulations,
+            self.resets,
+        ) = snap
+        super().restore(base)
 
     def scramble(self, rng: np.random.Generator) -> None:
         super().scramble(rng)

@@ -13,6 +13,9 @@ Commands
     one cell).
 ``figures``
     Reproduce the paper's Figs. 1–4 in the terminal.
+``fuzz``
+    Hunt for invariant-violating schedules with seeded random walks
+    (swarm verification); prints a replayable pid schedule on failure.
 
 Every command accepts ``--seed`` and is fully deterministic.
 """
@@ -84,6 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=doc)
         _add_common(p)
     sub.add_parser("figures", help="reproduce the paper's figures in the terminal")
+    p = sub.add_parser(
+        "fuzz", help="fuzz schedules for invariant violations (swarm verification)"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--variant",
+        choices=["naive", "pusher", "priority", "selfstab"],
+        default="priority",
+        help="protocol variant under test (default: priority)",
+    )
+    p.add_argument("--walks", type=int, default=64, help="independent random walks")
+    p.add_argument("--depth", type=int, default=400, help="steps per walk")
     return parser
 
 
@@ -157,11 +172,66 @@ def cmd_figures(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .analysis import fuzz, safety_ok, take_census
+    from .core.naive import build_naive_engine
+    from .core.priority import build_priority_engine
+    from .core.pusher import build_pusher_engine
+
+    tree = _tree_from_args(args)
+    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+    apps = [SaturatedWorkload(1 + p % params.k, cs_duration=2) for p in range(tree.n)]
+    if args.variant == "selfstab":
+        engine = build_selfstab_engine(tree, params, apps, init="tokens")
+    else:
+        build = {
+            "naive": build_naive_engine,
+            "pusher": build_pusher_engine,
+            "priority": build_priority_engine,
+        }[args.variant]
+        engine = build(tree, params, apps)
+
+    # Safety must hold for every variant; token conservation only for the
+    # controller-less ones (the self-stabilizing root may legitimately
+    # mint or flush tokens mid-recovery).  A single-process network has
+    # no channels and therefore no tokens at all — conservation is
+    # vacuous there, not violated.
+    expected = {
+        "naive": lambda c: c.res == params.l,
+        "pusher": lambda c: c.res == params.l and c.push == 1,
+        "priority": lambda c: c.as_tuple() == (params.l, 1, 1),
+        "selfstab": lambda c: True,
+    }[args.variant]
+    if tree.n == 1:
+        expected = lambda c: True
+
+    def invariant(e):
+        if not safety_ok(e, params):
+            return "safety violated"
+        if not expected(take_census(e)):
+            return f"token census broken: {take_census(e).as_tuple()}"
+        return True
+
+    walks, depth = max(args.walks, 1), max(args.depth, 1)
+    res = fuzz(engine, invariant, walks=walks, depth=depth, seed=args.seed)
+    print(f"variant          : {args.variant} (n={tree.n}, k={params.k}, l={params.l})")
+    print(f"walks x depth    : {walks} x {depth} (seed {args.seed})")
+    print(f"steps executed   : {res.steps_total}")
+    if res.ok:
+        print("violation        : none found")
+        return 0
+    w, step, msg = res.violation
+    print(f"violation        : walk {w}, step {step}: {msg}")
+    print(f"replay schedule  : {res.schedule}")
+    return 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "converge": cmd_converge,
     "wait": cmd_wait,
     "figures": cmd_figures,
+    "fuzz": cmd_fuzz,
 }
 
 

@@ -160,6 +160,17 @@ class TokenProcessBase(Process):
                 self.app.on_exit_cs(self.ctx.now)
 
     # ------------------------------------------------------------------
+    # State codec
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Encode ``State``, ``Need`` and ``RSet`` (entries are shared tuples)."""
+        return (self.state, self.need, tuple(self.rset))
+
+    def restore(self, snap: tuple) -> None:
+        self.state, self.need, rset = snap
+        self.rset = list(rset)
+
+    # ------------------------------------------------------------------
     # Fault injection & introspection
     # ------------------------------------------------------------------
     def scramble(self, rng: np.random.Generator) -> None:

@@ -207,6 +207,38 @@ class ComposedNode(Process):
     def holds_priority(self) -> bool:
         return self.excl.holds_priority()
 
+    def snapshot(self) -> tuple:
+        """Encode both layers: tree view, virtual map, exclusion state.
+
+        ``excl.degree`` is included explicitly — topology changes clamp
+        it (:meth:`_clamp_exclusion_state`), so unlike plain processes it
+        is mutable here.
+        """
+        return (
+            self.dist,
+            tuple(self.heard),
+            self.parent_label,
+            self._local_steps,
+            tuple(self.vmap),
+            self.excl.degree,
+            self.excl.snapshot(),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        (
+            self.dist,
+            heard,
+            self.parent_label,
+            self._local_steps,
+            vmap,
+            excl_degree,
+            excl_snap,
+        ) = snap
+        self.heard = list(heard)
+        self.vmap = list(vmap)
+        self.excl.degree = excl_degree
+        self.excl.restore(excl_snap)
+
     def scramble(self, rng: np.random.Generator) -> None:
         """Corrupt both layers."""
         self.dist = 0 if self.is_root else int(rng.integers(0, self.params.n + 1))

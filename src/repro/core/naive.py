@@ -27,7 +27,12 @@ __all__ = ["NaiveProcess", "build_naive_engine"]
 
 
 class NaiveProcess(TokenProcessBase):
-    """Naive variant: only ``ResT`` messages exist; all are handled by the base."""
+    """Naive variant: only ``ResT`` messages exist; all are handled by the base.
+
+    The snapshot/restore codec is likewise fully inherited: the naive
+    process carries exactly the base ``(State, Need, RSet)`` state, so
+    ``TokenProcessBase.snapshot`` already encodes everything.
+    """
 
 
 def build_naive_engine(

@@ -91,6 +91,14 @@ class PriorityProcess(PusherProcess):
             self._handle_priot(q, msg)
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        return (super().snapshot(), self.prio, self._prio_uid)
+
+    def restore(self, snap: tuple) -> None:
+        base, self.prio, self._prio_uid = snap
+        super().restore(base)
+
+    # ------------------------------------------------------------------
     def scramble(self, rng: np.random.Generator) -> None:
         super().scramble(rng)
         if self.degree and rng.random() < 0.5:

@@ -45,6 +45,8 @@ class PusherProcess(TokenProcessBase):
     """
 
     #: "prose" (Prio = ⊥ exempts the holder) or "listing" (Prio ≠ ⊥).
+    #: A class attribute, not per-process state — the snapshot/restore
+    #: codec is inherited unchanged from ``TokenProcessBase``.
     pusher_guard: str = "prose"
 
     def _pusher_forces_release(self) -> bool:

@@ -216,6 +216,34 @@ class SelfStabRoot(PriorityProcess):
             self.ctx.record("timeout", self.succ)
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        return (
+            super().snapshot(),
+            self.myc,
+            self.succ,
+            self.reset,
+            self.stoken,
+            self.sprio,
+            self.spush,
+            self.circulations,
+            self.resets,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        (
+            base,
+            self.myc,
+            self.succ,
+            self.reset,
+            self.stoken,
+            self.sprio,
+            self.spush,
+            self.circulations,
+            self.resets,
+        ) = snap
+        super().restore(base)
+
+    # ------------------------------------------------------------------
     def scramble(self, rng: np.random.Generator) -> None:
         super().scramble(rng)
         self.myc = int(rng.integers(0, self.params.garbage_myc_bound))
@@ -284,6 +312,14 @@ class SelfStabProcess(PriorityProcess):
                 ppr = self.params.clamp_small(ppr + 1)
             self.send(self.succ, Ctrl(c=self.myc, r=m.r, pt=pt, ppr=ppr))
         # otherwise: invalid and not from the parent — ignored.
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        return (super().snapshot(), self.myc, self.succ)
+
+    def restore(self, snap: tuple) -> None:
+        base, self.myc, self.succ = snap
+        super().restore(base)
 
     # ------------------------------------------------------------------
     def scramble(self, rng: np.random.Generator) -> None:

@@ -1,7 +1,7 @@
 """Message-passing simulation substrate (engine, channels, schedulers, faults)."""
 
 from .channel import Channel, ChannelStats
-from .engine import Context, Engine
+from .engine import Context, Engine, EngineState
 from .network import Network
 from .process import Process
 from .rng import derive_seed, make_rng, spawn
@@ -20,6 +20,7 @@ __all__ = [
     "ChannelStats",
     "Context",
     "Engine",
+    "EngineState",
     "Network",
     "Process",
     "derive_seed",

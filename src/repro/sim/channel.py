@@ -65,6 +65,27 @@ class Channel:
         """Drop all queued messages (fault injection only)."""
         self.queue.clear()
 
+    # -- state codec ------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Compact encoding of the queue and traffic counters.
+
+        Messages are frozen dataclasses, so the snapshot shares them with
+        the live queue — copying the tuple is O(queue length) with no
+        per-message allocation.
+        """
+        st = self.stats
+        return (tuple(self.queue), st.sent, st.delivered, st.peak_occupancy)
+
+    def restore(self, snap: tuple) -> None:
+        """Reinstate the queue and counters captured by :meth:`snapshot`."""
+        queue, sent, delivered, peak = snap
+        self.queue.clear()
+        self.queue.extend(queue)
+        st = self.stats
+        st.sent = sent
+        st.delivered = delivered
+        st.peak_occupancy = peak
+
     def __len__(self) -> int:
         return len(self.queue)
 

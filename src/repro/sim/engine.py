@@ -22,7 +22,31 @@ from .process import Process
 from .scheduler import RoundRobinScheduler, Scheduler
 from .trace import NullTrace, Trace
 
-__all__ = ["Context", "Engine"]
+__all__ = ["Context", "Engine", "EngineState"]
+
+
+class EngineState:
+    """Opaque compact snapshot of one :class:`Engine` configuration.
+
+    Produced by :meth:`Engine.save_state` and consumed by
+    :meth:`Engine.load_state`.  Every field is an immutable tuple (frozen
+    messages are shared, not copied), so saved states can be stored by
+    the hundred-thousand — this is what lets the exhaustive explorer
+    keep whole frontiers in memory where ``fork()`` engines would not
+    fit.
+    """
+
+    __slots__ = (
+        "now",
+        "total_cs_entries",
+        "scan",
+        "timer_start",
+        "counters",
+        "sent_by_type",
+        "procs",
+        "apps",
+        "chans",
+    )
 
 
 class Context:
@@ -98,6 +122,10 @@ class Engine:
         self.sent_by_type: dict[str, int] = defaultdict(int)
         self._scan = [0] * network.n
         self._timer_start = [0] * network.n
+        #: fixed channel order for the state codec (dict insertion order
+        #: is deterministic for a given topology, so snapshots taken on
+        #: one engine load into any engine built from the same builder)
+        self._chan_list = list(network.channels.values())
         if timeout_interval is None:
             ring_len = max(2 * (network.n - 1), 1)
             # > one circulation even under round-robin latency (n steps/hop),
@@ -194,13 +222,78 @@ class Engine:
         """An independent deep copy of the entire simulation state.
 
         Forks share nothing mutable with the original: processes,
-        channels, apps, timers and counters are all copied.  Used by the
-        exhaustive explorer and handy for what-if experiments (run two
-        futures from the same configuration).
+        channels, apps, timers and counters are all copied — including
+        the scheduler and trace, which :meth:`save_state` deliberately
+        leaves out.  This is the full-fidelity *reference* copy; the
+        exploration hot paths use the much cheaper
+        :meth:`save_state`/:meth:`load_state` codec instead, and the
+        differential tests hold the two equivalent.
         """
         import copy
 
         return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------
+    # State codec (cheap fork/restore for exploration and fuzzing)
+    # ------------------------------------------------------------------
+    def save_state(self) -> EngineState:
+        """Snapshot the full simulation state as compact tuples.
+
+        Captures time, timers, scan positions, counters, every process's
+        :meth:`Process.snapshot`, every application's
+        ``snapshot_state()`` and every channel queue.  NOT captured:
+        the scheduler (exploration drives :meth:`step_pid` directly) and
+        the trace (tracing during exploration would be quadratic);
+        use :meth:`fork` when those matter.
+        """
+        st = EngineState()
+        st.now = self.now
+        st.total_cs_entries = self.total_cs_entries
+        st.scan = tuple(self._scan)
+        st.timer_start = tuple(self._timer_start)
+        st.counters = tuple((k, tuple(v)) for k, v in self.counters.items())
+        st.sent_by_type = tuple(self.sent_by_type.items())
+        st.procs = tuple(p.snapshot() for p in self.processes)
+        st.apps = tuple(
+            None if getattr(p, "app", None) is None else p.app.snapshot_state()
+            for p in self.processes
+        )
+        st.chans = tuple(c.snapshot() for c in self._chan_list)
+        return st
+
+    def load_state(self, state: EngineState) -> "Engine":
+        """Reinstate a configuration captured by :meth:`save_state`.
+
+        The engine must have the same topology and process classes as
+        the one that saved the state (loading across engines built by
+        the same builder is supported and used by the replay helpers);
+        a size mismatch raises rather than half-restoring.
+        Returns self for chaining.
+        """
+        if len(state.procs) != len(self.processes) or len(state.chans) != len(
+            self._chan_list
+        ):
+            raise ValueError(
+                "state was saved on an engine with a different topology"
+            )
+        self.now = state.now
+        self.total_cs_entries = state.total_cs_entries
+        self._scan[:] = state.scan
+        self._timer_start[:] = state.timer_start
+        self.counters.clear()
+        for kind, vals in state.counters:
+            self.counters[kind] = list(vals)
+        self.sent_by_type.clear()
+        for name, count in state.sent_by_type:
+            self.sent_by_type[name] = count
+        for proc, snap in zip(self.processes, state.procs, strict=True):
+            proc.restore(snap)
+        for proc, snap in zip(self.processes, state.apps, strict=True):
+            if snap is not None:
+                proc.app.restore_state(snap)
+        for chan, snap in zip(self._chan_list, state.chans, strict=True):
+            chan.restore(snap)
+        return self
 
     def cs_entries(self, pid: int | None = None) -> int:
         """CS entries of one process, or total if ``pid`` is ``None``."""

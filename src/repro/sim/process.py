@@ -61,6 +61,29 @@ class Process(abc.ABC):
         """Loop-tail actions; default none."""
 
     # ------------------------------------------------------------------
+    # State codec (snapshot/restore contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Encode every mutable protocol variable as a compact value.
+
+        The returned value must be immutable (tuples of scalars and
+        tuples all the way down) so snapshots can be stored, hashed and
+        shared freely; :meth:`restore` must accept it and reproduce the
+        exact local state.  Together with the channel and engine codecs
+        this is what makes :meth:`repro.sim.engine.Engine.save_state`
+        cheap enough to replace ``fork()`` in exploration hot paths.
+
+        Subclasses with mutable state MUST override both methods and
+        extend the parent's encoding (``(super().snapshot(), extra...)``
+        nesting keeps layers independent).  The stateless base encodes
+        nothing.
+        """
+        return ()
+
+    def restore(self, snap: tuple) -> None:
+        """Reinstate the local state captured by :meth:`snapshot`."""
+
+    # ------------------------------------------------------------------
     # Introspection for the oracle / traces
     # ------------------------------------------------------------------
     def state_summary(self) -> dict[str, Any]:

@@ -77,6 +77,107 @@ class TestExploreMechanics:
         assert canonical_digest(eng) == before
 
 
+class TestMoves:
+    def test_isolated_process_gets_silent_move(self):
+        """Degree-0 (single-process network): the silent ``-1`` move is
+        the only move, and it must be offered (regression for the old
+        dead ``deg == 0`` branch in ``_moves``)."""
+        from repro.analysis.explore import _moves
+
+        eng, _ = naive_engine(n=1)
+        assert _moves(eng) == [(0, -1)]
+
+    def test_leaf_with_empty_channels_gets_silent_move(self):
+        from repro.analysis.explore import _moves
+
+        eng, _ = naive_engine(n=3)
+        for ch in eng.network.all_channels():
+            ch.clear()
+        moves = _moves(eng)
+        # no pending messages anywhere: exactly one silent move each,
+        # including the leaf (pid 2, degree 1) and the root
+        assert moves == [(0, -1), (1, -1), (2, -1)]
+
+    def test_every_process_keeps_silent_move_alongside_receives(self):
+        from repro.analysis.explore import _moves
+
+        eng, _ = naive_engine()  # token in root's outgoing channel 0
+        moves = _moves(eng)
+        for pid in range(eng.n):
+            assert (pid, -1) in moves
+
+
+class TestExploreEdgeCases:
+    def test_violation_at_depth_zero(self):
+        """An initially-violated invariant reports depth 0 without
+        expanding a single transition."""
+        eng, _ = naive_engine()
+        res = explore(eng, lambda e: "broken from the start", max_depth=10)
+        assert res.violation == (0, "broken from the start")
+        assert res.configurations == 1
+        assert res.transitions == 0
+        assert not res.exhausted
+        assert res.frontier_sizes == [1]
+
+    def test_max_configurations_truncation_reported(self):
+        """Hitting the width cap stops the search with ``exhausted=False``
+        and no violation — explicitly 'truncated', not 'verified'."""
+        eng, params = naive_engine(n=3, l=2, needs={1: 1, 2: 1})
+        res = explore(eng, lambda e: True, max_depth=20, max_configurations=10)
+        assert res.configurations == 10
+        assert not res.exhausted
+        assert res.violation is None
+        # identical truncation point under the fork reference
+        ref = explore(
+            eng, lambda e: True, max_depth=20, max_configurations=10,
+            method="fork",
+        )
+        assert ref.configurations == res.configurations
+        assert ref.transitions == res.transitions
+
+    def test_exhaustion_on_fig3_livelock_tree(self):
+        """Fig. 3 tree with hogs: the reachable set closes, so
+        ``exhausted=True`` upgrades the invariant to a verified fact."""
+        from repro.topology import paper_livelock_tree
+
+        tree = paper_livelock_tree()
+        params = KLParams(k=1, l=2, n=3)
+        apps = [None, HogWorkload(1), HogWorkload(1)]
+        eng = build_priority_engine(tree, params, apps)
+        for p in range(3):
+            eng.step_pid(p, -1)
+        res = explore(
+            eng, lambda e: safety_ok(e, params) or "unsafe", max_depth=20
+        )
+        assert res.exhausted
+        assert res.ok
+        # the frontier emptied strictly before the bound
+        assert len(res.frontier_sizes) <= 20
+        assert res.frontier_sizes[-1] == 0
+
+    def test_bad_strategy_and_method_rejected(self):
+        eng, _ = naive_engine()
+        with pytest.raises(ValueError):
+            explore(eng, lambda e: True, strategy="idfs")
+        with pytest.raises(ValueError):
+            explore(eng, lambda e: True, method="teleport")
+
+    def test_dfs_deep_dive_closes_small_space(self):
+        """DFS with a deep bound closes the no-requester space exactly as
+        BFS does, with memory bounded by the path not the frontier."""
+        eng, _ = naive_engine()
+        bfs = explore(eng, lambda e: True, max_depth=40)
+        dfs = explore(eng, lambda e: True, max_depth=40, strategy="dfs")
+        assert bfs.exhausted and dfs.exhausted
+        assert bfs.configurations == dfs.configurations
+
+    def test_dfs_input_engine_not_mutated(self):
+        eng, _ = naive_engine()
+        before = canonical_digest(eng)
+        explore(eng, lambda e: True, max_depth=15, strategy="dfs")
+        assert canonical_digest(eng) == before
+
+
 class TestExhaustiveSafety:
     def test_naive_safety_under_all_schedules(self):
         """Exhaustive: the naive protocol with two 1-unit requesters on a

@@ -52,3 +52,22 @@ class TestCommands:
         rc = main(["demo", "--tree", "balanced", "--n", "8", "--l", "2",
                    "--steps", "5000"])
         assert rc == 0
+
+    def test_fuzz_clean(self, capsys):
+        rc = main(["fuzz", "--tree", "paper", "--variant", "priority",
+                   "--l", "3", "--walks", "6", "--depth", "120"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "violation        : none found" in out
+        assert "walks x depth    : 6 x 120" in out
+
+    def test_fuzz_variants_accepted(self, capsys):
+        for variant in ("naive", "pusher", "selfstab"):
+            rc = main(["fuzz", "--tree", "path", "--n", "5", "--variant",
+                       variant, "--walks", "3", "--depth", "80"])
+            assert rc == 0
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.variant == "priority"
+        assert args.walks == 64 and args.depth == 400
