@@ -1,14 +1,40 @@
-"""Oracle: token census, safety invariants, metrics, experiment harness."""
+"""Analysis layer: the oracle plus every campaign shape built on it.
+
+Submodules
+----------
+``census`` / ``invariants`` / ``metrics``
+    The oracle: token census, safety/domain invariants, run metrics and
+    the paper's Theorem 2 waiting-time bound.
+``harness``
+    One-call experiment runners (convergence T1, waiting time T2) and
+    picklable sweep-cell adapters around them.
+``sweeps`` / ``stats``
+    Parameter-grid sweeps with numpy aggregation; power-law fits,
+    bootstrap CIs and per-cell CI tables.
+``explore``
+    Bounded-exhaustive schedule exploration (BFS/DFS) over the
+    snapshot/restore state codec — proof-grade for small instances.
+``fuzz``
+    Seeded random-walk schedule fuzzing (swarm verification) with
+    replayable pid-schedule counterexamples.
+``parallel``
+    Multi-core campaign runner sharding sweeps, fuzz campaigns and
+    explorations across worker processes with serial-identical merges.
+``trajectories``
+    Token tracking and circulation lap times.
+"""
 
 from .census import TokenCensus, population_correct, take_census
 from .explore import ExplorationResult, canonical_digest, explore
-from .fuzz import FuzzResult, fuzz, replay_schedule
+from .fuzz import FuzzResult, campaign_result, fuzz, replay_schedule, run_walk_range
 from .harness import (
     ConvergenceResult,
     WaitingTimeResult,
+    convergence_sweep_runner,
     run_convergence,
     run_waiting_time,
     stabilize,
+    waiting_sweep_runner,
 )
 from .invariants import SafetyReport, check_safety, domains_ok, safety_ok, units_in_use
 from .metrics import (
@@ -17,8 +43,18 @@ from .metrics import (
     priority_holder_bound,
     waiting_time_bound,
 )
-from .stats import PowerLawFit, bootstrap_ci, fit_power_law, r_squared
-from .sweeps import SweepCell, SweepResult, run_sweep
+from .parallel import (
+    CampaignError,
+    ShardProgress,
+    WorkerFailure,
+    explore_parallel,
+    fork_available,
+    fuzz_parallel,
+    parallel_map,
+    run_sweep_parallel,
+)
+from .stats import PowerLawFit, bootstrap_ci, cell_cis, fit_power_law, r_squared
+from .sweeps import SweepCell, SweepResult, aggregate_grid, run_sweep
 from .trajectories import TokenTrajectory, TokenVisit, lap_times, track_tokens
 
 __all__ = [
@@ -28,11 +64,23 @@ __all__ = [
     "FuzzResult",
     "fuzz",
     "replay_schedule",
+    "run_walk_range",
+    "campaign_result",
     "SweepCell",
     "SweepResult",
     "run_sweep",
+    "aggregate_grid",
+    "ShardProgress",
+    "WorkerFailure",
+    "CampaignError",
+    "fork_available",
+    "parallel_map",
+    "run_sweep_parallel",
+    "fuzz_parallel",
+    "explore_parallel",
     "PowerLawFit",
     "bootstrap_ci",
+    "cell_cis",
     "fit_power_law",
     "r_squared",
     "TokenTrajectory",
@@ -47,6 +95,8 @@ __all__ = [
     "run_convergence",
     "run_waiting_time",
     "stabilize",
+    "convergence_sweep_runner",
+    "waiting_sweep_runner",
     "SafetyReport",
     "check_safety",
     "domains_ok",

@@ -171,6 +171,9 @@ def explore(
     max_configurations: int = 200_000,
     strategy: str = "bfs",
     method: str = "snapshot",
+    workers: int | None = None,
+    progress: Callable | None = None,
+    min_frontier: int = 64,
 ) -> ExplorationResult:
     """Explore every schedule from the current state, up to ``max_depth``.
 
@@ -191,6 +194,16 @@ def explore(
     deepcopy-per-child reference, kept for differential testing and for
     processes that predate the codec.
 
+    ``workers`` > 1 partitions each BFS frontier across worker
+    processes via :func:`repro.analysis.parallel.explore_parallel`
+    (level-synchronous, results identical to serial BFS); it requires
+    the default ``strategy="bfs"`` / ``method="snapshot"`` combination.
+    Levels with fewer than ``min_frontier`` states are expanded
+    in-process (forking a pool for a handful of states costs more than
+    it saves; lower it to force pooling).  ``progress`` receives
+    :class:`~repro.analysis.parallel.ShardProgress` events, including
+    one per in-process level.
+
     Returns an :class:`ExplorationResult`; ``exhausted`` is ``True`` when
     the reachable set closed before ``max_depth`` — in that case the
     invariant holds in *every* reachable configuration, full stop.
@@ -199,6 +212,18 @@ def explore(
         raise ValueError(f"unknown strategy {strategy!r}")
     if method not in ("snapshot", "fork"):
         raise ValueError(f"unknown method {method!r}")
+    if workers is not None and workers > 1:
+        if strategy != "bfs" or method != "snapshot":
+            raise ValueError(
+                "workers > 1 requires strategy='bfs' and method='snapshot'"
+            )
+        from .parallel import explore_parallel
+
+        return explore_parallel(
+            engine, invariant,
+            max_depth=max_depth, max_configurations=max_configurations,
+            workers=workers, progress=progress, min_frontier=min_frontier,
+        )
     work = engine.fork()
     bad = _check(invariant, work, 0)
     if bad is not None:

@@ -45,7 +45,13 @@ from ..sim.engine import Engine
 from ..sim.scheduler import ScriptedScheduler
 from .explore import _verdict
 
-__all__ = ["FuzzResult", "fuzz", "replay_schedule"]
+__all__ = [
+    "FuzzResult",
+    "fuzz",
+    "replay_schedule",
+    "run_walk_range",
+    "campaign_result",
+]
 
 
 @dataclass(slots=True)
@@ -81,6 +87,8 @@ def fuzz(
     walks: int = 64,
     depth: int = 256,
     seed: int = 0,
+    workers: int | None = None,
+    progress: Callable | None = None,
 ) -> FuzzResult:
     """Run ``walks`` seeded random schedule walks of up to ``depth`` steps.
 
@@ -95,7 +103,22 @@ def fuzz(
     feed it to :func:`replay_schedule` (or a
     :class:`~repro.sim.scheduler.ScriptedScheduler` of your own) to
     reproduce the failure deterministically.
+
+    ``workers`` > 1 shards the walk range across worker processes via
+    :func:`repro.analysis.parallel.fuzz_parallel`; because walk ``w``
+    draws from ``default_rng([seed, w])`` regardless of which worker
+    runs it, the result (including any counterexample) is identical to
+    the serial campaign.  ``progress`` receives
+    :class:`~repro.analysis.parallel.ShardProgress` events.
     """
+    if workers is not None and workers > 1:
+        from .parallel import fuzz_parallel
+
+        return fuzz_parallel(
+            engine, invariant,
+            walks=walks, depth=depth, seed=seed,
+            workers=workers, progress=progress,
+        )
     if walks < 1:
         raise ValueError("walks must be >= 1")
     if depth < 1:
@@ -105,31 +128,64 @@ def fuzz(
     if msg is not None:
         return FuzzResult(walks, depth, seed, 0, [], (0, 0, msg), [])
     start = work.save_state()
-    steps_total = 0
-    walk_lengths: list[int] = []
-    n = work.n
-    for w in range(walks):
+    hit = run_walk_range(work, start, invariant, 0, walks, depth, seed)
+    return campaign_result(walks, depth, seed, hit)
+
+
+def run_walk_range(
+    engine: Engine,
+    start,
+    invariant: Callable[[Engine], bool | str | None],
+    lo: int,
+    hi: int,
+    depth: int,
+    seed: int,
+) -> tuple[int, int, str, list[int]] | None:
+    """Run walks ``lo..hi`` from ``start`` (mutating ``engine``).
+
+    The single walk loop shared by the serial campaign and each worker
+    shard of :func:`repro.analysis.parallel.fuzz_parallel` — walk ``w``
+    always draws its schedule from ``default_rng([seed, w])``, so who
+    runs it cannot change what it executes.  Returns the range's
+    earliest violation as ``(walk, step, message, schedule)``, or
+    ``None`` if every walk completed clean.
+    """
+    n = engine.n
+    for w in range(lo, hi):
         rng = np.random.default_rng([seed, w])
-        work.load_state(start)
+        engine.load_state(start)
         # one vectorized draw per walk: the whole schedule up front
         script = rng.integers(0, n, size=depth)
         for step in range(1, depth + 1):
-            work.step_pid(int(script[step - 1]))
-            steps_total += 1
-            msg = _verdict(invariant(work))
+            engine.step_pid(int(script[step - 1]))
+            msg = _verdict(invariant(engine))
             if msg is not None:
-                walk_lengths.append(step)
-                return FuzzResult(
-                    walks,
-                    depth,
-                    seed,
-                    steps_total,
-                    walk_lengths,
-                    (w, step, msg),
-                    [int(p) for p in script[:step]],
-                )
-        walk_lengths.append(depth)
-    return FuzzResult(walks, depth, seed, steps_total, walk_lengths)
+                return (w, step, msg, [int(p) for p in script[:step]])
+    return None
+
+
+def campaign_result(
+    walks: int,
+    depth: int,
+    seed: int,
+    hit: tuple[int, int, str, list[int]] | None,
+) -> FuzzResult:
+    """Build the campaign :class:`FuzzResult` from the earliest violation.
+
+    Serial and parallel campaigns share this reconstruction: every walk
+    before the violating one completed all ``depth`` steps, so the step
+    totals and per-walk lengths follow from ``(walk, step)`` alone.
+    """
+    if hit is None:
+        return FuzzResult(walks, depth, seed, walks * depth, [depth] * walks)
+    w, step, msg, schedule = hit
+    return FuzzResult(
+        walks, depth, seed,
+        w * depth + step,
+        [depth] * w + [step],
+        (w, step, msg),
+        schedule,
+    )
 
 
 def replay_schedule(engine: Engine, schedule: list[int]) -> Engine:

@@ -34,6 +34,8 @@ __all__ = [
     "WaitingTimeResult",
     "run_waiting_time",
     "stabilize",
+    "convergence_sweep_runner",
+    "waiting_sweep_runner",
 ]
 
 
@@ -150,6 +152,51 @@ def stabilize(
         max_steps,
         check_every=64,
     )
+
+
+def convergence_sweep_runner(
+    *, seed: int, tree: OrientedTree, params: KLParams, max_steps: int = 60_000
+) -> dict[str, float]:
+    """Sweep-cell adapter around :func:`run_convergence`.
+
+    A module-level function (not a closure) so sweep cells built on it
+    stay picklable under any multiprocessing start method — the shape
+    :func:`repro.analysis.sweeps.run_sweep` and the ``sweep`` CLI
+    subcommand feed to the parallel campaign runner.
+    """
+    res = run_convergence(tree, params, seed=seed, max_steps=max_steps)
+    return {
+        "converged": float(res.converged),
+        "stab_step": float(res.stabilization_step)
+        if res.stabilization_step is not None else float("nan"),
+        "resets": float(res.resets),
+        "circulations": float(res.circulations),
+    }
+
+
+def waiting_sweep_runner(
+    *, seed: int, tree: OrientedTree, params: KLParams,
+    measure_steps: int = 30_000,
+) -> dict[str, float] | None:
+    """Sweep-cell adapter around :func:`run_waiting_time`.
+
+    Returns ``None`` (a missing sweep cell) when warmup fails to
+    stabilize instead of aborting the whole campaign.
+    """
+    try:
+        res = run_waiting_time(
+            tree, params, seed=seed, measure_steps=measure_steps
+        )
+    except RuntimeError:
+        return None
+    return {
+        "max_wait": float(res.max_waiting)
+        if res.max_waiting is not None else float("nan"),
+        "bound": float(res.bound),
+        "within_bound": float(res.within_bound),
+        "satisfied": float(res.metrics.satisfied),
+        "msgs_per_cs": float(res.metrics.messages_per_cs),
+    }
 
 
 @dataclass(slots=True)

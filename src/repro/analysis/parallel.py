@@ -1,0 +1,508 @@
+"""Multi-core campaign runner for sweeps, fuzz campaigns, and exploration.
+
+Everything in :mod:`repro.analysis` is deterministic per seed, and every
+campaign shape — a parameter sweep, a swarm-verification fuzz run, a
+bounded-exhaustive exploration — is embarrassingly parallel at some
+granularity.  This module shards those campaigns across worker
+*processes* (the GIL rules out threads for pure-python stepping) while
+keeping one hard guarantee:
+
+    **the merged result is byte-identical to the serial run**, for any
+    worker count, any shard size, and any worker finish order.
+
+How sharding works
+------------------
+Workers are started with the ``fork`` start method (the default on
+Linux), so they inherit the parent's memory image at fork time:
+engines, invariant closures, application objects and frontier snapshots
+never cross the process boundary going *in* — a worker receives only an
+index range.  Coming *out*, workers ship compact picklable records:
+metric dicts for sweeps, ``(walk, step, message, schedule)`` tuples for
+fuzz, and :class:`~repro.sim.engine.EngineState` tuples for exploration
+(cheap to pickle by design — every field is a flat tuple of frozen
+messages and scalars).
+
+Deterministic merging
+---------------------
+Each campaign's merge step replays the *serial* algorithm's visit order
+over the workers' records:
+
+* **sweeps** — results are indexed by ``(cell, seed)``; metric-name
+  inference scans the grid in the same cell-major order as
+  :func:`repro.analysis.sweeps.run_sweep`.
+* **fuzz** — walk ``w`` draws from ``default_rng([seed, w])`` no matter
+  which worker runs it; the reported violation is the one with the
+  minimal walk index, and the serial result (step totals, walk lengths)
+  is reconstructed exactly.
+* **explore** — workers expand a contiguous partition of the BFS
+  frontier and return per-move ``(digest, verdict, state)`` records;
+  the parent replays them in frontier order against the global seen-set,
+  so dedup winners, violation choice, and the transition count at an
+  early stop all match the serial explorer bit-for-bit.
+
+Progress and failures
+---------------------
+Every campaign accepts a ``progress`` callback receiving
+:class:`ShardProgress` events as shards complete (the CLI renders these
+on stderr).  A worker that raises does not poison the pool silently:
+the traceback is captured per shard and re-raised in the parent as
+:class:`CampaignError` listing every failed shard.
+
+Fallback
+--------
+When the ``fork`` start method is unavailable (non-POSIX platforms) or
+``workers`` is ``None``/``0``/``1``, every entry point runs the serial
+code path in-process — identical output, no subprocesses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..sim.engine import Engine
+from .explore import ExplorationResult, _check, _moves, _verdict, canonical_digest
+from .fuzz import FuzzResult, campaign_result, run_walk_range
+from .sweeps import SweepCell, SweepResult, aggregate_grid
+
+__all__ = [
+    "ShardProgress",
+    "WorkerFailure",
+    "CampaignError",
+    "fork_available",
+    "parallel_map",
+    "run_sweep_parallel",
+    "fuzz_parallel",
+    "explore_parallel",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared infrastructure
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ShardProgress:
+    """One progress event: shard ``shard`` of ``shards`` finished.
+
+    ``done``/``total`` count finished vs. scheduled shards (finish
+    order, not shard order), and ``note`` carries a campaign-specific
+    human-readable detail ("walks 32-48: clean", "depth 3: 211 states").
+    """
+
+    campaign: str
+    shard: int
+    shards: int
+    done: int
+    total: int
+    note: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFailure:
+    """A worker exception, captured per shard."""
+
+    shard: int
+    error: str
+    traceback: str
+
+
+class CampaignError(RuntimeError):
+    """Raised when one or more worker shards failed.
+
+    Carries every captured :class:`WorkerFailure` so a campaign over
+    hundreds of shards reports all failures at once instead of the
+    first one the pool happened to surface.
+    """
+
+    def __init__(self, campaign: str, failures: Sequence[WorkerFailure]):
+        self.campaign = campaign
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} worker shard(s) failed in {campaign!r}:"]
+        for f in self.failures:
+            first = f.error.strip().splitlines()[0] if f.error.strip() else "?"
+            lines.append(f"  shard {f.shard}: {first}")
+        lines.append("(full tracebacks in CampaignError.failures)")
+        super().__init__("\n".join(lines))
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Payload slot inherited by forked workers.  Set immediately before the
+#: pool is created and cleared right after; workers read it exactly once.
+#: This is what lets non-picklable payloads (engines bound to contexts,
+#: invariant closures) reach workers without ever being pickled.
+_PAYLOAD: Any = None
+
+
+def _run_shard(task: tuple[int, Callable[..., Any], tuple]) -> tuple[int, bool, Any]:
+    """Worker entry point: run one shard against the inherited payload.
+
+    Returns ``(shard_index, ok, result_or_failure)`` — exceptions are
+    captured here so a bad shard reports instead of killing the pool.
+    """
+    shard, fn, args = task
+    try:
+        return shard, True, fn(_PAYLOAD, *args)
+    except Exception as exc:  # noqa: BLE001 — re-raised in parent as CampaignError
+        return shard, False, WorkerFailure(
+            shard, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+        )
+
+
+def parallel_map(
+    campaign: str,
+    fn: Callable[..., Any],
+    payload: Any,
+    shard_args: Sequence[tuple],
+    *,
+    workers: int,
+    progress: Callable[[ShardProgress], None] | None = None,
+    note: Callable[[int, Any], str] | None = None,
+    stop: Callable[[Any], bool] | None = None,
+) -> list[Any]:
+    """Run ``fn(payload, *shard_args[i])`` across a fork-worker pool.
+
+    ``payload`` is inherited by workers through the fork (never
+    pickled); ``shard_args`` and each shard's return value must pickle.
+    Results come back **in shard order** regardless of finish order.
+    ``stop(result)`` may request early termination: shards already
+    yielded keep their results, unfinished ones are ``None`` (used by
+    the fuzz campaign to stop once the minimal violating shard is in).
+
+    ``fn`` must be a module-level function (workers import it by
+    reference); campaign-specific state goes in ``payload``.
+    Worker exceptions are collected and re-raised as
+    :class:`CampaignError` after the pool drains.
+    """
+    global _PAYLOAD
+    n = len(shard_args)
+    results: list[Any] = [None] * n
+    failures: list[WorkerFailure] = []
+    tasks = [(i, fn, args) for i, args in enumerate(shard_args)]
+    ctx = multiprocessing.get_context("fork")
+    _PAYLOAD = payload
+    pool = ctx.Pool(min(workers, n))
+    try:
+        done = 0
+        # Ordered imap: when `stop` fires on a shard, every earlier
+        # shard has already been consumed clean, so cancelling the
+        # rest can only discard later (larger-index) work — this is
+        # what makes early fuzz cancellation minimal-walk-safe.
+        for shard, ok, out in pool.imap(_run_shard, tasks):
+            done += 1
+            if ok:
+                results[shard] = out
+            else:
+                failures.append(out)
+            if progress is not None:
+                detail = out.error if not ok else (
+                    note(shard, out) if note is not None else ""
+                )
+                progress(ShardProgress(campaign, shard, n, done, n, detail))
+            if ok and stop is not None and stop(out):
+                break
+    finally:
+        _PAYLOAD = None
+        # Always terminate AND join: leaving a pool's helper threads
+        # alive past return is how the next fork inherits a held lock
+        # and deadlocks — the cleanup must complete before the next
+        # campaign (or exploration level) forks again.
+        pool.terminate()
+        pool.join()
+    if failures:
+        failures.sort(key=lambda f: f.shard)
+        raise CampaignError(campaign, failures)
+    return results
+
+
+def _shard_ranges(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous ranges.
+
+    Ranges are balanced to within one element and concatenate, in
+    order, back to ``range(total)`` — the property every deterministic
+    merge below relies on.
+    """
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    out = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def _effective_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` argument; 0/1/None or no fork → serial."""
+    if workers is None or workers <= 1:
+        return 1
+    if not fork_available():  # pragma: no cover - non-POSIX fallback
+        return 1
+    return workers
+
+
+# ---------------------------------------------------------------------------
+# Sweeps: shard the (cell, seed) grid
+# ---------------------------------------------------------------------------
+
+def _sweep_shard(payload, lo: int, hi: int):
+    """Evaluate grid points ``lo..hi`` (flat cell-major index) of a sweep."""
+    runner, cells, seeds = payload
+    out = []
+    for flat in range(lo, hi):
+        i, j = divmod(flat, len(seeds))
+        out.append(runner(seed=seeds[j], **cells[i].kwargs))
+    return out
+
+
+def run_sweep_parallel(
+    runner: Callable[..., Mapping[str, float] | None],
+    cells: Sequence[SweepCell],
+    seeds: Iterable[int],
+    *,
+    metrics: Sequence[str] | None = None,
+    workers: int,
+    progress: Callable[[ShardProgress], None] | None = None,
+) -> SweepResult:
+    """Parallel :func:`repro.analysis.sweeps.run_sweep` over worker shards.
+
+    The flat ``(cell, seed)`` grid is split into contiguous shards, one
+    task per grid point inside each shard.  Merging indexes results by
+    grid position and re-runs the serial metric-inference scan
+    (cell-major, first non-``None`` wins), so labels, metric order and
+    the value array are identical to the serial sweep.
+    """
+    cells = list(cells)
+    seeds = list(seeds)
+    if not cells:
+        raise ValueError("sweep needs at least one cell")
+    if not seeds:
+        raise ValueError("sweep needs at least one seed")
+    total = len(cells) * len(seeds)
+    workers = _effective_workers(workers)
+    ranges = _shard_ranges(total, workers * 4)
+    flat: list[Mapping[str, float] | None]
+    if workers == 1:
+        flat = _sweep_shard((runner, cells, seeds), 0, total)
+    else:
+        shards = parallel_map(
+            "sweep",
+            _sweep_shard,
+            (runner, cells, seeds),
+            ranges,
+            workers=workers,
+            progress=progress,
+            note=lambda s, out: f"cells {ranges[s][0]}-{ranges[s][1]} done",
+        )
+        flat = [r for shard in shards for r in shard]
+    # Aggregation is the exact serial path: shared with run_sweep.
+    return aggregate_grid(flat, cells, seeds, metrics)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz: shard the walk range
+# ---------------------------------------------------------------------------
+
+def _fuzz_shard(payload, lo: int, hi: int):
+    """Run walks ``lo..hi`` of a fuzz campaign on this worker's engine.
+
+    Delegates to :func:`repro.analysis.fuzz.run_walk_range` — the
+    *same* walk loop the serial campaign runs, so the two code paths
+    cannot drift apart.
+    """
+    engine, start, invariant, depth, seed = payload
+    return run_walk_range(engine, start, invariant, lo, hi, depth, seed)
+
+
+def fuzz_parallel(
+    engine: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    *,
+    walks: int = 64,
+    depth: int = 256,
+    seed: int = 0,
+    workers: int,
+    progress: Callable[[ShardProgress], None] | None = None,
+) -> FuzzResult:
+    """Parallel :func:`repro.analysis.fuzz.fuzz` over walk-range shards.
+
+    Each worker owns a contiguous walk range on its own forked copy of
+    the engine.  Because every walk's schedule is a pure function of
+    ``(seed, walk)``, the set of violations is shard-independent; the
+    merge keeps the violation with the **minimal walk index** and
+    reconstructs the serial result exactly (in the serial campaign,
+    every walk before the violating one completed all ``depth`` steps).
+    Shards after the earliest violating one are cancelled — their
+    outcome cannot affect the result.
+    """
+    if walks < 1:
+        raise ValueError("walks must be >= 1")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    work = engine.fork()
+    msg = _verdict(invariant(work))
+    if msg is not None:
+        return FuzzResult(walks, depth, seed, 0, [], (0, 0, msg), [])
+    start = work.save_state()
+    workers = _effective_workers(workers)
+    ranges = _shard_ranges(walks, workers * 4)
+    payload = (work, start, invariant, depth, seed)
+    if workers == 1:
+        hits: list = []
+        for lo, hi in ranges:
+            hits.append(_fuzz_shard(payload, lo, hi))
+            if hits[-1] is not None:
+                break
+    else:
+        hits = parallel_map(
+            "fuzz",
+            _fuzz_shard,
+            payload,
+            ranges,
+            workers=workers,
+            progress=progress,
+            note=lambda s, out: (
+                f"walks {ranges[s][0]}-{ranges[s][1]}: "
+                + ("clean" if out is None else f"violation at walk {out[0]}")
+            ),
+            stop=lambda out: out is not None,
+        )
+    violations = [h for h in hits if h is not None]
+    hit = min(violations, key=lambda v: v[0]) if violations else None
+    return campaign_result(walks, depth, seed, hit)
+
+
+# ---------------------------------------------------------------------------
+# Explore: shard the BFS frontier, level by level
+# ---------------------------------------------------------------------------
+
+def _explore_shard(payload, lo: int, hi: int):
+    """Expand frontier states ``lo..hi``; return per-move records.
+
+    For each assigned state, in move order, the record is ``None`` when
+    the child digest was already known (globally at fork time, or
+    earlier within this shard) or ``(digest, verdict, state)`` for a
+    shard-new configuration.  The parent replays these records in
+    serial order; cross-shard duplicates are resolved there.
+    """
+    engine, invariant, frontier, seen = payload
+    records = []
+    local_seen: set = set()
+    for idx in range(lo, hi):
+        state = frontier[idx]
+        engine.load_state(state)
+        moves = _moves(engine)
+        row = []
+        for i, (pid, chan) in enumerate(moves):
+            if i:
+                engine.load_state(state)
+            engine.step_pid(pid, chan)
+            digest = canonical_digest(engine)
+            if digest in seen or digest in local_seen:
+                row.append(None)
+                continue
+            local_seen.add(digest)
+            row.append((digest, _verdict(invariant(engine)), engine.save_state()))
+        records.append(row)
+    return records
+
+
+def explore_parallel(
+    engine: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    *,
+    max_depth: int = 12,
+    max_configurations: int = 200_000,
+    workers: int,
+    progress: Callable[[ShardProgress], None] | None = None,
+    min_frontier: int = 64,
+) -> ExplorationResult:
+    """Parallel BFS exploration (snapshot method) over frontier partitions.
+
+    Level-synchronous: at each depth the frontier is split into
+    contiguous partitions, one per worker, and a **fresh pool is forked
+    per level** so workers inherit the up-to-date global seen-set (and
+    skip already-known configurations without shipping them back).
+    The parent merges per-move records in frontier order, reproducing
+    the serial explorer's dedup winners, minimal-depth violation, and
+    transition counts exactly — including where an early stop
+    (violation or the ``max_configurations`` cap) lands.
+
+    Levels smaller than ``min_frontier`` states are expanded in-process:
+    forking a pool for a handful of states costs more than it saves,
+    and the serial and parallel expansions are interchangeable.
+    """
+    workers = _effective_workers(workers)
+    work = engine.fork()
+    bad = _check(invariant, work, 0)
+    if bad is not None:
+        return ExplorationResult(1, 0, False, bad, [1])
+    seen: set = {canonical_digest(work)}
+    frontier = [work.save_state()]
+    transitions = 0
+    frontier_sizes: list[int] = []
+
+    for depth in range(1, max_depth + 1):
+        ranges = _shard_ranges(len(frontier), workers)
+        payload = (work, invariant, frontier, seen)
+        if workers == 1 or len(frontier) < min_frontier:
+            shards = [_explore_shard(payload, lo, hi) for lo, hi in ranges]
+            if progress is not None:
+                why = (
+                    "workers=1" if workers == 1
+                    else f"frontier < min_frontier={min_frontier}"
+                )
+                progress(ShardProgress(
+                    "explore", 0, 1, 1, 1,
+                    f"depth {depth}: {len(frontier)} state(s) expanded "
+                    f"in-process ({why})",
+                ))
+        else:
+            shards = parallel_map(
+                "explore",
+                _explore_shard,
+                payload,
+                ranges,
+                workers=workers,
+                progress=progress,
+                note=lambda s, out: (
+                    f"depth {depth}: states {ranges[s][0]}-{ranges[s][1]} expanded"
+                ),
+            )
+        nxt = []
+        for row in (r for shard in shards for r in shard):
+            for item in row:
+                transitions += 1
+                if item is None:
+                    continue
+                digest, msg, state = item
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                if msg is not None:
+                    return ExplorationResult(
+                        len(seen), transitions, False, (depth, msg),
+                        frontier_sizes + [len(nxt)],
+                    )
+                nxt.append(state)
+                if len(seen) >= max_configurations:
+                    return ExplorationResult(
+                        len(seen), transitions, False, None,
+                        frontier_sizes + [len(nxt)],
+                    )
+        frontier_sizes.append(len(nxt))
+        frontier = nxt
+        if not frontier:
+            return ExplorationResult(
+                len(seen), transitions, True, None, frontier_sizes
+            )
+    return ExplorationResult(len(seen), transitions, False, None, frontier_sizes)

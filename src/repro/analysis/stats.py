@@ -16,7 +16,13 @@ import numpy as np
 
 from ..sim.rng import make_rng
 
-__all__ = ["PowerLawFit", "fit_power_law", "bootstrap_ci", "r_squared"]
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "bootstrap_ci",
+    "r_squared",
+    "cell_cis",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,3 +87,33 @@ def bootstrap_ci(
     lo = float(np.percentile(boots, 100 * (1 - confidence) / 2))
     hi = float(np.percentile(boots, 100 * (1 + confidence) / 2))
     return lo, hi
+
+
+def cell_cis(
+    result,
+    metric: str,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | None = 0,
+) -> list[tuple[str, float, float, float]]:
+    """Per-cell ``(label, mean, lo, hi)`` rows for one sweep metric.
+
+    Bootstraps over the seed axis of a
+    :class:`~repro.analysis.sweeps.SweepResult` (NaN seeds dropped per
+    cell); cells with no finite samples report NaN bounds.  Determinism
+    follows :func:`bootstrap_ci`: one integer seed fixes every interval,
+    so serial and parallel sweeps print identical tables.
+    """
+    col = result.values[:, :, result.metrics.index(metric)]
+    rows: list[tuple[str, float, float, float]] = []
+    for i, label in enumerate(result.labels):
+        vals = col[i][np.isfinite(col[i])]
+        if vals.size == 0:
+            rows.append((label, float("nan"), float("nan"), float("nan")))
+            continue
+        lo, hi = bootstrap_ci(
+            vals, confidence=confidence, n_boot=n_boot, seed=seed
+        )
+        rows.append((label, float(vals.mean()), lo, hi))
+    return rows

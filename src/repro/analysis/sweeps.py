@@ -13,7 +13,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "aggregate_grid"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +82,8 @@ def run_sweep(
     seeds: Iterable[int],
     *,
     metrics: Sequence[str] | None = None,
+    workers: int | None = None,
+    progress: Callable | None = None,
 ) -> SweepResult:
     """Run ``runner(seed=…, **cell.kwargs)`` over the grid and aggregate.
 
@@ -89,32 +91,62 @@ def run_sweep(
     ``None`` to record a missing cell/seed).  ``metrics`` fixes the
     metric order; by default it is inferred from the first non-``None``
     result (later unknown keys are ignored, missing keys become NaN).
+
+    ``workers`` > 1 shards the (cell, seed) grid across worker
+    processes via :func:`repro.analysis.parallel.run_sweep_parallel`;
+    the aggregated result is identical to the serial sweep for any
+    worker count.  ``progress`` receives
+    :class:`~repro.analysis.parallel.ShardProgress` events.
     """
+    if workers is not None and workers > 1:
+        from .parallel import run_sweep_parallel
+
+        return run_sweep_parallel(
+            runner, cells, seeds,
+            metrics=metrics, workers=workers, progress=progress,
+        )
+    cells = list(cells)
     seeds = list(seeds)
     if not cells:
         raise ValueError("sweep needs at least one cell")
     if not seeds:
         raise ValueError("sweep needs at least one seed")
-    results: list[list[Mapping[str, float] | None]] = []
+    flat = [
+        runner(seed=seeds[j], **cells[i].kwargs)
+        for i in range(len(cells))
+        for j in range(len(seeds))
+    ]
+    return aggregate_grid(flat, cells, seeds, metrics)
+
+
+def aggregate_grid(
+    flat: Sequence[Mapping[str, float] | None],
+    cells: Sequence[SweepCell],
+    seeds: Sequence[int],
+    metrics: Sequence[str] | None,
+) -> SweepResult:
+    """Aggregate a flat cell-major list of run outputs into a SweepResult.
+
+    The single aggregation path shared by the serial sweep and the
+    parallel campaign runner — metric order is inferred from the first
+    non-``None`` result in cell-major order (unless ``metrics`` fixes
+    it), so a sweep's table cannot depend on how the grid was executed.
+    """
     inferred: list[str] | None = list(metrics) if metrics is not None else None
-    for cell in cells:
-        row = []
-        for seed in seeds:
-            out = runner(seed=seed, **cell.kwargs)
-            if out is not None and inferred is None:
-                inferred = list(out.keys())
-            row.append(out)
-        results.append(row)
+    if inferred is None:
+        inferred = next(
+            (list(out.keys()) for out in flat if out is not None), None
+        )
     if inferred is None:
         raise ValueError("every run returned None; no metrics to aggregate")
     values = np.full((len(cells), len(seeds), len(inferred)), np.nan)
-    for i, row in enumerate(results):
-        for j, out in enumerate(row):
-            if out is None:
-                continue
-            for m, name in enumerate(inferred):
-                if name in out and out[name] is not None:
-                    values[i, j, m] = float(out[name])
+    for pos, out in enumerate(flat):
+        if out is None:
+            continue
+        i, j = divmod(pos, len(seeds))
+        for m, name in enumerate(inferred):
+            if name in out and out[name] is not None:
+                values[i, j, m] = float(out[name])
     return SweepResult(
         labels=[c.label for c in cells], metrics=inferred, values=values
     )

@@ -13,11 +13,22 @@ Commands
     one cell).
 ``figures``
     Reproduce the paper's Figs. 1–4 in the terminal.
+``sweep``
+    Run a convergence or waiting-time experiment over a grid of tree
+    sizes × seeds and print the aggregated table (optionally with
+    bootstrap confidence intervals).
 ``fuzz``
     Hunt for invariant-violating schedules with seeded random walks
     (swarm verification); prints a replayable pid schedule on failure.
+``explore``
+    Exhaustively enumerate every schedule of a small instance up to a
+    depth bound and check safety/census invariants at each reachable
+    configuration (model checking in miniature).
 
-Every command accepts ``--seed`` and is fully deterministic.
+``sweep``, ``fuzz`` and ``explore`` accept ``--workers N`` to shard the
+campaign across worker processes (results are identical to the serial
+run for any worker count) and ``--progress`` to report shard completion
+on stderr.  Every command accepts ``--seed`` and is fully deterministic.
 """
 
 from __future__ import annotations
@@ -49,16 +60,41 @@ from .viz import render_tree
 __all__ = ["main", "build_parser"]
 
 
-def _tree_from_args(args: argparse.Namespace):
-    if args.tree == "paper":
+def _build_tree(kind: str, n: int, seed: int):
+    if kind == "paper":
         return paper_example_tree()
-    if args.tree == "path":
-        return path_tree(args.n)
-    if args.tree == "star":
-        return star_tree(args.n)
-    if args.tree == "balanced":
-        return balanced_tree(2, max(args.n.bit_length() - 1, 1))
-    return random_tree(args.n, seed=args.seed)
+    if kind == "path":
+        return path_tree(n)
+    if kind == "star":
+        return star_tree(n)
+    if kind == "balanced":
+        return balanced_tree(2, max(n.bit_length() - 1, 1))
+    return random_tree(n, seed=seed)
+
+
+def _tree_from_args(args: argparse.Namespace):
+    return _build_tree(args.tree, args.n, args.seed)
+
+
+def _progress_printer(args: argparse.Namespace):
+    """Shard-progress callback printing to stderr, or None when off."""
+    if not getattr(args, "progress", False):
+        return None
+    if (getattr(args, "workers", None) or 1) <= 1:
+        # Serial campaigns have no shards, hence no events to report.
+        print("note: --progress shows shard events only with --workers > 1",
+              file=sys.stderr)
+        return None
+
+    def _print(ev) -> None:
+        note = f": {ev.note}" if ev.note else ""
+        print(
+            f"[{ev.campaign}] shard {ev.shard + 1}/{ev.shards} "
+            f"done ({ev.done}/{ev.total}){note}",
+            file=sys.stderr,
+        )
+
+    return _print
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -70,6 +106,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cmax", type=int, default=2, help="initial channel garbage bound")
     p.add_argument("--seed", type=int, default=0, help="experiment seed")
     p.add_argument("--steps", type=int, default=60_000, help="measured steps")
+
+
+def _add_campaign(p: argparse.ArgumentParser) -> None:
+    """Flags shared by the campaign-style commands (sweep/fuzz/explore)."""
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the campaign (default: serial; any "
+             "worker count yields identical results)",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="report per-shard campaign progress on stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=doc)
         _add_common(p)
     sub.add_parser("figures", help="reproduce the paper's figures in the terminal")
+
+    p = sub.add_parser(
+        "sweep",
+        help="aggregate an experiment over a grid of tree sizes x seeds",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--experiment", choices=["converge", "wait"], default="converge",
+        help="experiment per grid cell (default: converge)",
+    )
+    p.add_argument(
+        "--sizes", default="6,9,12",
+        help="comma-separated tree sizes, one sweep cell each (default: 6,9,12)",
+    )
+    p.add_argument("--seeds", type=int, default=3,
+                   help="seeds per cell (default: 3)")
+    p.add_argument("--ci", action="store_true",
+                   help="print 95%% bootstrap confidence intervals")
+    _add_campaign(p)
+
     p = sub.add_parser(
         "fuzz", help="fuzz schedules for invariant violations (swarm verification)"
     )
@@ -99,6 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--walks", type=int, default=64, help="independent random walks")
     p.add_argument("--depth", type=int, default=400, help="steps per walk")
+    _add_campaign(p)
+
+    p = sub.add_parser(
+        "explore",
+        help="exhaustively check every schedule of a small instance",
+    )
+    _add_common(p)
+    p.set_defaults(n=4, l=2)  # exhaustive search wants toy instances
+    p.add_argument(
+        "--variant",
+        choices=["naive", "pusher", "priority"],
+        default="priority",
+        help="protocol variant under test (default: priority; selfstab is "
+             "excluded — its timeout makes configurations time-dependent)",
+    )
+    p.add_argument("--max-depth", type=int, default=8,
+                   help="schedule depth bound (default: 8)")
+    p.add_argument("--max-configs", type=int, default=200_000,
+                   help="configuration cap (default: 200000)")
+    p.add_argument("--min-frontier", type=int, default=64,
+                   help="smallest frontier worth forking workers for "
+                        "(default: 64; smaller levels expand in-process)")
+    _add_campaign(p)
     return parser
 
 
@@ -172,37 +264,44 @@ def cmd_figures(_: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fuzz(args: argparse.Namespace) -> int:
-    from .analysis import fuzz, safety_ok, take_census
+def _variant_engine(variant: str, tree, params: KLParams, *, cs_duration: int):
+    """Build a clean-start engine of the requested protocol variant."""
     from .core.naive import build_naive_engine
     from .core.priority import build_priority_engine
     from .core.pusher import build_pusher_engine
 
-    tree = _tree_from_args(args)
-    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
-    apps = [SaturatedWorkload(1 + p % params.k, cs_duration=2) for p in range(tree.n)]
-    if args.variant == "selfstab":
-        engine = build_selfstab_engine(tree, params, apps, init="tokens")
-    else:
-        build = {
-            "naive": build_naive_engine,
-            "pusher": build_pusher_engine,
-            "priority": build_priority_engine,
-        }[args.variant]
-        engine = build(tree, params, apps)
+    apps = [
+        SaturatedWorkload(1 + p % params.k, cs_duration=cs_duration)
+        for p in range(tree.n)
+    ]
+    if variant == "selfstab":
+        return build_selfstab_engine(tree, params, apps, init="tokens")
+    build = {
+        "naive": build_naive_engine,
+        "pusher": build_pusher_engine,
+        "priority": build_priority_engine,
+    }[variant]
+    return build(tree, params, apps)
 
-    # Safety must hold for every variant; token conservation only for the
-    # controller-less ones (the self-stabilizing root may legitimately
-    # mint or flush tokens mid-recovery).  A single-process network has
-    # no channels and therefore no tokens at all — conservation is
-    # vacuous there, not violated.
+
+def _variant_invariant(variant: str, params: KLParams, n: int):
+    """Safety + token-census invariant for one protocol variant.
+
+    Safety must hold for every variant; token conservation only for the
+    controller-less ones (the self-stabilizing root may legitimately
+    mint or flush tokens mid-recovery).  A single-process network has
+    no channels and therefore no tokens at all — conservation is
+    vacuous there, not violated.
+    """
+    from .analysis import safety_ok, take_census
+
     expected = {
         "naive": lambda c: c.res == params.l,
         "pusher": lambda c: c.res == params.l and c.push == 1,
         "priority": lambda c: c.as_tuple() == (params.l, 1, 1),
         "selfstab": lambda c: True,
-    }[args.variant]
-    if tree.n == 1:
+    }[variant]
+    if n == 1:
         expected = lambda c: True
 
     def invariant(e):
@@ -212,8 +311,92 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             return f"token census broken: {take_census(e).as_tuple()}"
         return True
 
+    return invariant
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import (
+        SweepCell,
+        cell_cis,
+        convergence_sweep_runner,
+        run_sweep,
+        waiting_sweep_runner,
+    )
+
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        print(f"bad --sizes value: {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes:
+        print("need at least one size", file=sys.stderr)
+        return 2
+    if any(n < 1 for n in sizes):
+        print(f"--sizes must be >= 1, got {args.sizes!r}", file=sys.stderr)
+        return 2
+    cells = []
+    labels_seen = set()
+    for n in sizes:
+        tree = _build_tree(args.tree, n, args.seed)
+        label = f"{args.tree}-n{tree.n}"
+        if label in labels_seen:
+            # fixed-size families (paper; balanced rounds to powers of
+            # two) can map several requested sizes to one tree — re-
+            # running an identical cell would only duplicate rows/work.
+            print(f"note: --sizes {n} duplicates cell {label}; skipped",
+                  file=sys.stderr)
+            continue
+        labels_seen.add(label)
+        params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+        kwargs = {"tree": tree, "params": params}
+        if args.experiment == "converge":
+            kwargs["max_steps"] = max(args.steps, 50_000)
+        else:
+            kwargs["measure_steps"] = args.steps
+        cells.append(SweepCell(label, kwargs))
+    runner = {
+        "converge": convergence_sweep_runner,
+        "wait": waiting_sweep_runner,
+    }[args.experiment]
+    seeds = [args.seed + i for i in range(max(args.seeds, 1))]
+    res = run_sweep(
+        runner, cells, seeds,
+        workers=args.workers, progress=_progress_printer(args),
+    )
+    print(f"experiment       : {args.experiment} "
+          f"({len(cells)} cells x {len(seeds)} seeds, "
+          f"workers {args.workers or 1})")
+    widths = max(len(lbl) for lbl in res.labels)
+    header = "cell".ljust(widths)
+    for m in res.metrics:
+        header += f"  {m:>12}"
+    print(header)
+    for i, row in enumerate(res.rows(*res.metrics)):
+        line = row[0].ljust(widths)
+        for v in row[1:]:
+            line += f"  {v:>12.2f}"
+        print(line)
+    if args.ci:
+        for m in res.metrics:
+            print(f"95% CI for {m}:")
+            for label, mean, lo, hi in cell_cis(res, m):
+                print(f"  {label.ljust(widths)}  {mean:>10.2f}  "
+                      f"[{lo:.2f}, {hi:.2f}]")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .analysis import fuzz
+
+    tree = _tree_from_args(args)
+    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+    engine = _variant_engine(args.variant, tree, params, cs_duration=2)
+    invariant = _variant_invariant(args.variant, params, tree.n)
     walks, depth = max(args.walks, 1), max(args.depth, 1)
-    res = fuzz(engine, invariant, walks=walks, depth=depth, seed=args.seed)
+    res = fuzz(
+        engine, invariant, walks=walks, depth=depth, seed=args.seed,
+        workers=args.workers, progress=_progress_printer(args),
+    )
     print(f"variant          : {args.variant} (n={tree.n}, k={params.k}, l={params.l})")
     print(f"walks x depth    : {walks} x {depth} (seed {args.seed})")
     print(f"steps executed   : {res.steps_total}")
@@ -226,12 +409,44 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .analysis import explore
+
+    tree = _tree_from_args(args)
+    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
+    # cs_duration=0 keeps applications time-independent, the digest
+    # soundness requirement spelled out in analysis/explore.py.
+    engine = _variant_engine(args.variant, tree, params, cs_duration=0)
+    invariant = _variant_invariant(args.variant, params, tree.n)
+    res = explore(
+        engine, invariant,
+        max_depth=args.max_depth, max_configurations=args.max_configs,
+        workers=args.workers, progress=_progress_printer(args),
+        min_frontier=args.min_frontier,
+    )
+    print(f"variant          : {args.variant} (n={tree.n}, k={params.k}, l={params.l})")
+    print(f"depth bound      : {args.max_depth}")
+    print(f"configurations   : {res.configurations}")
+    print(f"transitions      : {res.transitions}")
+    print(f"frontier sizes   : {res.frontier_sizes}")
+    print(f"exhausted        : {res.exhausted}"
+          + (" (invariant verified over ALL schedules)" if res.exhausted else ""))
+    if res.ok:
+        print("violation        : none found")
+        return 0
+    depth, msg = res.violation
+    print(f"violation        : depth {depth}: {msg}")
+    return 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "converge": cmd_converge,
     "wait": cmd_wait,
     "figures": cmd_figures,
+    "sweep": cmd_sweep,
     "fuzz": cmd_fuzz,
+    "explore": cmd_explore,
 }
 
 

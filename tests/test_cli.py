@@ -71,3 +71,63 @@ class TestCommands:
         args = build_parser().parse_args(["fuzz"])
         assert args.variant == "priority"
         assert args.walks == 64 and args.depth == 400
+        assert args.workers is None and args.progress is False
+
+    def test_fuzz_workers_identical_output(self, capsys):
+        argv = ["fuzz", "--tree", "paper", "--variant", "priority",
+                "--l", "3", "--walks", "6", "--depth", "120"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_sweep_converge(self, capsys):
+        rc = main(["sweep", "--tree", "path", "--sizes", "5,6",
+                   "--seeds", "2", "--steps", "50000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "path-n5" in out and "path-n6" in out
+        assert "converged" in out and "stab_step" in out
+
+    def test_sweep_wait_with_ci_and_workers(self, capsys):
+        rc = main(["sweep", "--experiment", "wait", "--tree", "star",
+                   "--sizes", "5", "--seeds", "2", "--k", "1", "--l", "1",
+                   "--steps", "8000", "--ci", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "max_wait" in out and "95% CI" in out
+
+    def test_sweep_bad_sizes(self, capsys):
+        assert main(["sweep", "--sizes", "nope"]) == 2
+
+    def test_sweep_fixed_tree_collapses_duplicate_cells(self, capsys):
+        rc = main(["sweep", "--tree", "paper", "--sizes", "6,9", "--l", "3",
+                   "--seeds", "1"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out.count("paper-n8") == 1
+        assert "duplicates cell paper-n8" in captured.err
+
+    def test_explore_exhaustive(self, capsys):
+        rc = main(["explore", "--tree", "path", "--n", "3", "--k", "1",
+                   "--l", "1", "--variant", "naive", "--max-depth", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "exhausted        : True" in out
+        assert "violation        : none found" in out
+
+    def test_explore_workers_identical_output(self, capsys):
+        argv = ["explore", "--tree", "star", "--n", "3", "--variant",
+                "priority", "--max-depth", "5"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "configurations" in serial
+
+    def test_explore_defaults_are_toy_sized(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.n == 4 and args.l == 2
+        assert args.variant == "priority" and args.max_depth == 8
