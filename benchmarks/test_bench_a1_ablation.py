@@ -6,7 +6,6 @@ workload grid and measures what each layer buys: progress (deadlock
 freedom), starvation freedom, and fault recovery.
 """
 
-import pytest
 
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.core.naive import build_naive_engine

@@ -7,7 +7,6 @@ token creations per 100k steps after stabilization) — the faithfulness
 deviation documented in DESIGN.md.
 """
 
-import pytest
 
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.analysis import stabilize, take_census

@@ -8,7 +8,6 @@ is fragile; tree and ring are comparable, with the tree's virtual ring
 (length 2(n-1) vs n) costing a constant factor.
 """
 
-import pytest
 
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.analysis import collect_metrics, stabilize

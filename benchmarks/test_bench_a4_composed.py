@@ -8,7 +8,6 @@ stabilization is dominated by the exclusion layer; service matches the
 plain tree protocol on the induced tree.
 """
 
-import pytest
 
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.analysis import collect_metrics

@@ -9,7 +9,6 @@ recovery from a *lost* controller.  Expected shape: a U-curve in total
 cost with a wide flat optimum around the auto-sized interval.
 """
 
-import pytest
 
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.analysis import stabilize

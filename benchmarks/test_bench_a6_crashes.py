@@ -8,7 +8,6 @@ safety persists; service resumes only when the process recovers, at
 which point the crash retroactively looks like a transient fault.
 """
 
-import pytest
 
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.analysis import safety_ok, stabilize

@@ -8,7 +8,6 @@ the protocol variants' core invariants — safety and token conservation
 under ALL schedules.
 """
 
-import pytest
 
 from repro import KLParams
 from repro.analysis import safety_ok, take_census

@@ -11,7 +11,6 @@ coarse regression floor on the ratio.
 
 import time
 
-import pytest
 
 from repro import KLParams
 from repro.analysis import safety_ok
@@ -56,7 +55,9 @@ def fig3_instance():
 
 
 def timed(eng, params, *, depth, cap, method):
-    inv = lambda e: safety_ok(e, params) or "unsafe"
+    def inv(e):
+        return safety_ok(e, params) or "unsafe"
+
     t0 = time.perf_counter()
     res = explore(
         eng, inv, max_depth=depth, max_configurations=cap, method=method

@@ -5,10 +5,8 @@ tree and checks it against the analytic Euler tour; benchmarks one full
 simulated circulation.
 """
 
-import pytest
 
 from repro.scenarios import run_fig1_circulation
-from repro.topology import build_virtual_ring, paper_example_tree
 
 NAMES = dict(enumerate("r a b c d e f g".split()))
 

@@ -48,7 +48,9 @@ def fuzz_instance(n=14, seed=2):
 
 
 def campaign(eng, params, *, walks, depth, workers=None):
-    inv = lambda e: safety_ok(e, params) or "unsafe"
+    def inv(e):
+        return safety_ok(e, params) or "unsafe"
+
     t0 = time.perf_counter()
     res = fuzz(eng, inv, walks=walks, depth=depth, seed=0, workers=workers)
     return res, time.perf_counter() - t0

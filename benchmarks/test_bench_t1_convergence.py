@@ -7,7 +7,6 @@ paper proves convergence; the regenerated table shows it empirically and
 how the time scales with n.
 """
 
-import pytest
 
 from repro import KLParams
 from repro.analysis import run_convergence

@@ -8,7 +8,6 @@ shows the bound's shape (quadratic in n, linear in l) with a large
 constant-factor slack, as expected from a worst-case result.
 """
 
-import pytest
 
 from repro import KLParams
 from repro.analysis import run_waiting_time

@@ -12,7 +12,6 @@ the loop — which is exactly the self-stabilization pitch.
 Run:  python examples/datacenter_leases.py
 """
 
-import numpy as np
 
 from repro import (
     KLParams,

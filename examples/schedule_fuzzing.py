@@ -65,7 +65,9 @@ def hunt_counterexample():
     print("=" * 60)
     eng, params = make_engine()
     # Saturated requesters with l=4 free units: someone WILL enter.
-    invariant = lambda e: e.total_cs_entries == 0 or "a process entered its CS"
+    def invariant(e):
+        return e.total_cs_entries == 0 or "a process entered its CS"
+
     res = fuzz(eng, invariant, walks=8, depth=400, seed=0)
     assert not res.ok, "expected a violation"
     walk, step, msg = res.violation

@@ -60,6 +60,13 @@ from .sim import (
     ScriptedScheduler,
     Trace,
 )
+from .spec import (
+    BuiltScenario,
+    ScenarioBuilder,
+    ScenarioSpec,
+    SpecError,
+    scenario_spec,
+)
 from .topology import (
     OrientedTree,
     VirtualRing,
@@ -79,6 +86,12 @@ __all__ = [
     "build_pusher_engine",
     "build_priority_engine",
     "build_selfstab_engine",
+    # spec
+    "ScenarioSpec",
+    "ScenarioBuilder",
+    "BuiltScenario",
+    "SpecError",
+    "scenario_spec",
     # sim
     "Engine",
     "RandomScheduler",

@@ -30,10 +30,12 @@ from .fuzz import FuzzResult, campaign_result, fuzz, replay_schedule, run_walk_r
 from .harness import (
     ConvergenceResult,
     WaitingTimeResult,
+    convergence_spec_runner,
     convergence_sweep_runner,
     run_convergence,
     run_waiting_time,
     stabilize,
+    waiting_spec_runner,
     waiting_sweep_runner,
 )
 from .invariants import SafetyReport, check_safety, domains_ok, safety_ok, units_in_use
@@ -54,7 +56,7 @@ from .parallel import (
     run_sweep_parallel,
 )
 from .stats import PowerLawFit, bootstrap_ci, cell_cis, fit_power_law, r_squared
-from .sweeps import SweepCell, SweepResult, aggregate_grid, run_sweep
+from .sweeps import SweepCell, SweepResult, aggregate_grid, run_sweep, spec_grid
 from .trajectories import TokenTrajectory, TokenVisit, lap_times, track_tokens
 
 __all__ = [
@@ -70,6 +72,7 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "aggregate_grid",
+    "spec_grid",
     "ShardProgress",
     "WorkerFailure",
     "CampaignError",
@@ -97,6 +100,8 @@ __all__ = [
     "stabilize",
     "convergence_sweep_runner",
     "waiting_sweep_runner",
+    "convergence_spec_runner",
+    "waiting_spec_runner",
     "SafetyReport",
     "check_safety",
     "domains_ok",

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.messages import PrioT, PushT, ResT
 from ..core.params import KLParams
 from ..sim.engine import Engine
 

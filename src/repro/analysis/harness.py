@@ -14,6 +14,7 @@ Two canonical experiment shapes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from ..apps.interface import Application
 from ..apps.workloads import SaturatedWorkload
@@ -23,6 +24,7 @@ from ..sim.engine import Engine
 from ..sim.faults import scramble_configuration
 from ..sim.rng import derive_seed
 from ..sim.scheduler import RandomScheduler, Scheduler
+from ..spec.spec import ScenarioSpec
 from ..topology.tree import OrientedTree
 from .census import population_correct, take_census
 from .invariants import safety_ok
@@ -36,7 +38,16 @@ __all__ = [
     "stabilize",
     "convergence_sweep_runner",
     "waiting_sweep_runner",
+    "convergence_spec_runner",
+    "waiting_spec_runner",
 ]
+
+
+def _resolve_spec(spec: ScenarioSpec | Mapping[str, Any]) -> ScenarioSpec:
+    """Accept a :class:`ScenarioSpec` or its compact dict form."""
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    return ScenarioSpec.from_dict(spec)
 
 
 @dataclass(slots=True)
@@ -74,8 +85,8 @@ def _first_suffix_true(samples: list[tuple[int, bool]]) -> int | None:
 
 
 def run_convergence(
-    tree: OrientedTree,
-    params: KLParams,
+    tree: OrientedTree | None = None,
+    params: KLParams | None = None,
     *,
     seed: int = 0,
     max_steps: int = 200_000,
@@ -84,6 +95,7 @@ def run_convergence(
     scheduler: Scheduler | None = None,
     timeout_interval: int | None = None,
     scramble: bool = True,
+    spec: ScenarioSpec | Mapping[str, Any] | None = None,
 ) -> ConvergenceResult:
     """Run the self-stabilizing protocol from an arbitrary configuration.
 
@@ -91,19 +103,31 @@ def run_convergence(
     sample of the final quarter of the run (an empirical stand-in for
     "forever"); the stabilization step is the earliest sample from which
     correctness held through the end.
+
+    The scenario comes either from ``(tree, params, …)`` arguments or
+    from a declarative ``spec`` (a :class:`~repro.spec.ScenarioSpec` or
+    its dict form), which then governs the entire engine construction —
+    ``seed``, ``apps``, ``scheduler``, ``timeout_interval`` and
+    ``scramble`` are all ignored in that case (put them in the spec).
     """
-    if apps is None:
-        apps = [
-            SaturatedWorkload(need=min(1 + p % params.k, params.k), cs_duration=2)
-            for p in range(tree.n)
-        ]
-    if scheduler is None:
-        scheduler = RandomScheduler(tree.n, seed=derive_seed(seed, "sched"))
-    engine = build_selfstab_engine(
-        tree, params, apps, scheduler, timeout_interval=timeout_interval
-    )
-    if scramble:
-        scramble_configuration(engine, params, derive_seed(seed, "faults"))
+    if spec is not None:
+        built = _resolve_spec(spec).build()
+        engine, tree, params = built.engine, built.tree, built.params
+    elif tree is None or params is None:
+        raise ValueError("run_convergence needs (tree, params) or spec=")
+    else:
+        if apps is None:
+            apps = [
+                SaturatedWorkload(need=min(1 + p % params.k, params.k), cs_duration=2)
+                for p in range(tree.n)
+            ]
+        if scheduler is None:
+            scheduler = RandomScheduler(tree.n, seed=derive_seed(seed, "sched"))
+        engine = build_selfstab_engine(
+            tree, params, apps, scheduler, timeout_interval=timeout_interval
+        )
+        if scramble:
+            scramble_configuration(engine, params, derive_seed(seed, "faults"))
     if sample_every is None:
         sample_every = max(1, max_steps // 400)
 
@@ -154,6 +178,29 @@ def stabilize(
     )
 
 
+def _convergence_metrics(res: ConvergenceResult) -> dict[str, float]:
+    """The sweep-table metric dict shared by both convergence runners."""
+    return {
+        "converged": float(res.converged),
+        "stab_step": float(res.stabilization_step)
+        if res.stabilization_step is not None else float("nan"),
+        "resets": float(res.resets),
+        "circulations": float(res.circulations),
+    }
+
+
+def _waiting_metrics(res: "WaitingTimeResult") -> dict[str, float]:
+    """The sweep-table metric dict shared by both waiting-time runners."""
+    return {
+        "max_wait": float(res.max_waiting)
+        if res.max_waiting is not None else float("nan"),
+        "bound": float(res.bound),
+        "within_bound": float(res.within_bound),
+        "satisfied": float(res.metrics.satisfied),
+        "msgs_per_cs": float(res.metrics.messages_per_cs),
+    }
+
+
 def convergence_sweep_runner(
     *, seed: int, tree: OrientedTree, params: KLParams, max_steps: int = 60_000
 ) -> dict[str, float]:
@@ -165,13 +212,7 @@ def convergence_sweep_runner(
     subcommand feed to the parallel campaign runner.
     """
     res = run_convergence(tree, params, seed=seed, max_steps=max_steps)
-    return {
-        "converged": float(res.converged),
-        "stab_step": float(res.stabilization_step)
-        if res.stabilization_step is not None else float("nan"),
-        "resets": float(res.resets),
-        "circulations": float(res.circulations),
-    }
+    return _convergence_metrics(res)
 
 
 def waiting_sweep_runner(
@@ -189,14 +230,39 @@ def waiting_sweep_runner(
         )
     except RuntimeError:
         return None
-    return {
-        "max_wait": float(res.max_waiting)
-        if res.max_waiting is not None else float("nan"),
-        "bound": float(res.bound),
-        "within_bound": float(res.within_bound),
-        "satisfied": float(res.metrics.satisfied),
-        "msgs_per_cs": float(res.metrics.messages_per_cs),
-    }
+    return _waiting_metrics(res)
+
+
+def convergence_spec_runner(
+    *, seed: int, spec: Mapping[str, Any], max_steps: int = 60_000
+) -> dict[str, float]:
+    """Spec-driven sweep-cell runner around :func:`run_convergence`.
+
+    ``spec`` is a serialized :class:`~repro.spec.ScenarioSpec` (the
+    compact dict a :class:`~repro.analysis.sweeps.SweepCell` carries and
+    the parallel campaign runner ships to workers); the per-run ``seed``
+    replaces the spec's master seed, so every scheduler/fault sub-stream
+    derives exactly as in the non-spec runner.
+    """
+    s = _resolve_spec(spec).with_seed(seed)
+    res = run_convergence(spec=s, max_steps=max_steps)
+    return _convergence_metrics(res)
+
+
+def waiting_spec_runner(
+    *, seed: int, spec: Mapping[str, Any], measure_steps: int = 30_000
+) -> dict[str, float] | None:
+    """Spec-driven sweep-cell runner around :func:`run_waiting_time`.
+
+    Returns ``None`` (a missing sweep cell) when warmup fails to
+    stabilize instead of aborting the whole campaign.
+    """
+    s = _resolve_spec(spec).with_seed(seed)
+    try:
+        res = run_waiting_time(spec=s, measure_steps=measure_steps)
+    except RuntimeError:
+        return None
+    return _waiting_metrics(res)
 
 
 @dataclass(slots=True)
@@ -220,8 +286,8 @@ class WaitingTimeResult:
 
 
 def run_waiting_time(
-    tree: OrientedTree,
-    params: KLParams,
+    tree: OrientedTree | None = None,
+    params: KLParams | None = None,
     *,
     seed: int = 0,
     measure_steps: int = 100_000,
@@ -229,24 +295,37 @@ def run_waiting_time(
     cs_duration: int = 1,
     scheduler: Scheduler | None = None,
     timeout_interval: int | None = None,
+    spec: ScenarioSpec | Mapping[str, Any] | None = None,
 ) -> WaitingTimeResult:
     """Measure waiting times of a stabilized system under saturation.
 
     ``needs[p]`` is each process's per-request demand (default: everyone
     requests 1 unit, the worst-case regime of the Theorem 2 proof).
+    With a declarative ``spec`` the entire engine construction comes
+    from it instead — ``seed``, ``needs``, ``cs_duration``,
+    ``scheduler`` and ``timeout_interval`` are all ignored (put them in
+    the spec).
     """
-    if needs is None:
-        needs = [1] * tree.n
-    apps: list[Application | None] = [
-        SaturatedWorkload(need=needs[p], cs_duration=cs_duration)
-        for p in range(tree.n)
-    ]
-    if scheduler is None:
-        scheduler = RandomScheduler(tree.n, seed=derive_seed(seed, "sched"))
-    engine = build_selfstab_engine(
-        tree, params, apps, scheduler,
-        timeout_interval=timeout_interval, init="tokens",
-    )
+    if spec is not None:
+        built = _resolve_spec(spec).build()
+        engine, tree, params, apps = (
+            built.engine, built.tree, built.params, built.apps,
+        )
+    elif tree is None or params is None:
+        raise ValueError("run_waiting_time needs (tree, params) or spec=")
+    else:
+        if needs is None:
+            needs = [1] * tree.n
+        apps = [
+            SaturatedWorkload(need=needs[p], cs_duration=cs_duration)
+            for p in range(tree.n)
+        ]
+        if scheduler is None:
+            scheduler = RandomScheduler(tree.n, seed=derive_seed(seed, "sched"))
+        engine = build_selfstab_engine(
+            tree, params, apps, scheduler,
+            timeout_interval=timeout_interval, init="tokens",
+        )
     if not stabilize(engine, params):
         raise RuntimeError("system failed to stabilize during warmup")
     warmup_end = engine.now

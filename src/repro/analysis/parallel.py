@@ -62,8 +62,6 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-import numpy as np
-
 from ..sim.engine import Engine
 from .explore import ExplorationResult, _check, _moves, _verdict, canonical_digest
 from .fuzz import FuzzResult, campaign_result, run_walk_range
@@ -255,12 +253,18 @@ def _effective_workers(workers: int | None) -> int:
 # ---------------------------------------------------------------------------
 
 def _sweep_shard(payload, lo: int, hi: int):
-    """Evaluate grid points ``lo..hi`` (flat cell-major index) of a sweep."""
+    """Evaluate grid points ``lo..hi`` (flat cell-major index) of a sweep.
+
+    Cells dispatch through :meth:`SweepCell.run`, so spec-driven cells
+    reach workers as compact serialized :class:`~repro.spec.ScenarioSpec`
+    mappings and the engine is constructed in-worker via
+    ``ScenarioSpec.build()``.
+    """
     runner, cells, seeds = payload
     out = []
     for flat in range(lo, hi):
         i, j = divmod(flat, len(seeds))
-        out.append(runner(seed=seeds[j], **cells[i].kwargs))
+        out.append(cells[i].run(runner, seed=seeds[j]))
     return out
 
 

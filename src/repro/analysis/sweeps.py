@@ -9,19 +9,57 @@ arrays — vectorized with numpy per the project's performance guidance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["SweepCell", "SweepResult", "run_sweep", "aggregate_grid"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..spec.spec import ScenarioSpec
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "aggregate_grid", "spec_grid"]
 
 
 @dataclass(frozen=True, slots=True)
 class SweepCell:
-    """One grid point: a label plus keyword arguments for the runner."""
+    """One grid point: a label plus keyword arguments for the runner.
+
+    Spec-driven sweeps additionally carry ``spec`` — a serialized
+    :class:`~repro.spec.ScenarioSpec` override mapping for this cell —
+    which :meth:`run` forwards to the runner as the ``spec`` keyword.
+    The dict form is deliberate: it is compact, picklable, and exactly
+    what the parallel campaign runner ships to worker processes.
+    """
 
     label: str
     kwargs: Mapping[str, Any] = field(default_factory=dict)
+    spec: Mapping[str, Any] | None = None
+
+    def run(self, runner: Callable[..., Any], *, seed: int) -> Any:
+        """Evaluate this cell: ``runner(seed=…, **kwargs[, spec=…])``."""
+        kw = dict(self.kwargs)
+        if self.spec is not None:
+            kw["spec"] = self.spec
+        return runner(seed=seed, **kw)
+
+
+def spec_grid(
+    base: "ScenarioSpec",
+    overrides: Sequence[tuple[str, Mapping[str, Any]]],
+    *,
+    kwargs: Mapping[str, Any] | None = None,
+) -> list[SweepCell]:
+    """Derive one :class:`SweepCell` per ``(label, override-mapping)``.
+
+    Each override is applied to ``base`` via
+    :meth:`~repro.spec.ScenarioSpec.override` (dotted paths, e.g.
+    ``{"topology.args.n": 9}``), and the resulting spec is stored in its
+    serialized dict form.  ``kwargs`` are shared runner arguments (e.g.
+    ``{"max_steps": 50_000}``).
+    """
+    return [
+        SweepCell(label, dict(kwargs or {}), base.override(ov).to_dict())
+        for label, ov in overrides
+    ]
 
 
 @dataclass(slots=True)
@@ -112,7 +150,7 @@ def run_sweep(
     if not seeds:
         raise ValueError("sweep needs at least one seed")
     flat = [
-        runner(seed=seeds[j], **cells[i].kwargs)
+        cells[i].run(runner, seed=seeds[j])
         for i in range(len(cells))
         for j in range(len(seeds))
     ]

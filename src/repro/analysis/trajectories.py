@@ -9,7 +9,6 @@ long a reservation can be hogged).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 
 from ..core.messages import PrioT, PushT, ResT, Token

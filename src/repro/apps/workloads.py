@@ -20,8 +20,10 @@ from typing import Sequence
 
 import numpy as np
 
-from ..sim.rng import make_rng
-from .interface import Application
+from ..core.params import KLParams
+from ..sim.rng import derive_seed, make_rng
+from ..spec.registry import register_workload
+from .interface import Application, IdleApplication
 
 __all__ = [
     "SaturatedWorkload",
@@ -210,3 +212,108 @@ class HogWorkload(Application):
 
     def _set_extra_state(self, extra):
         (self._done,) = extra
+
+
+# ----------------------------------------------------------------------
+# Spec-layer factories.  Each registered workload builds one process's
+# application from ``(pid, params, **args)``; ``need=None`` defaults to
+# the paper's heterogeneous pattern ``1 + pid % k`` so a single spec
+# line reproduces the mixed-demand regime of the experiments.
+# ----------------------------------------------------------------------
+def _default_need(pid: int, params: KLParams) -> int:
+    return 1 + pid % params.k
+
+
+@register_workload(
+    "saturated",
+    doc="always re-requests; need defaults to the 1 + pid % k mix",
+)
+def _saturated_workload(
+    pid: int,
+    params: KLParams,
+    *,
+    need: int | None = None,
+    cs_duration: int = 1,
+    think_time: int = 0,
+) -> Application:
+    if need is None:
+        need = _default_need(pid, params)
+    return SaturatedWorkload(need, cs_duration=cs_duration, think_time=think_time)
+
+
+@register_workload("oneshot", doc="a single request of `need` units at step `at`")
+def _oneshot_workload(
+    pid: int,
+    params: KLParams,
+    *,
+    need: int | None = None,
+    at: int = 0,
+    cs_duration: int = 1,
+) -> Application:
+    if need is None:
+        need = _default_need(pid, params)
+    return OneShotWorkload(need, at=at, cs_duration=cs_duration)
+
+
+@register_workload(
+    "stochastic",
+    doc="Bernoulli(p) arrivals, uniform needs/durations; per-pid substream",
+)
+def _stochastic_workload(
+    pid: int,
+    params: KLParams,
+    *,
+    p: float = 0.25,
+    max_need: int | None = None,
+    max_cs: int = 8,
+    seed: int = 0,
+) -> Application:
+    if max_need is None:
+        max_need = params.k
+    return StochasticWorkload(
+        p, max_need, max_cs=max_cs, seed=derive_seed(seed, f"stoch.{pid}")
+    )
+
+
+@register_workload(
+    "scripted",
+    doc="explicit (at, need, cs_duration) request script, e.g. script=0/2/3;9/1/2",
+)
+def _scripted_workload(
+    pid: int,
+    params: KLParams,
+    *,
+    script: Sequence = (),
+) -> Application:
+    if not isinstance(script, (list, tuple)):
+        raise ValueError(
+            "script must be (at, need, cs_duration) triples, "
+            "e.g. script=0/2/3;9/1/2"
+        )
+    rows = list(script)
+    if rows and not isinstance(rows[0], (list, tuple)):
+        rows = [rows]  # a single flat triple from the CLI string syntax
+    if not all(isinstance(r, (list, tuple)) and len(r) == 3 for r in rows):
+        raise ValueError(
+            "script must be (at, need, cs_duration) triples, "
+            "e.g. script=0/2/3;9/1/2"
+        )
+    return ScriptedWorkload([tuple(int(x) for x in row) for row in rows])
+
+
+@register_workload("hog", doc="requests once and never leaves the CS (the set I)")
+def _hog_workload(
+    pid: int,
+    params: KLParams,
+    *,
+    need: int | None = None,
+    at: int = 0,
+) -> Application:
+    if need is None:
+        need = params.k
+    return HogWorkload(need, at=at)
+
+
+@register_workload("idle", doc="never requests (a pure forwarder)")
+def _idle_workload(pid: int, params: KLParams) -> Application:
+    return IdleApplication()

@@ -32,6 +32,7 @@ from ..sim.network import Network
 from ..sim.process import Process
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace
+from ..spec.registry import register_variant
 from ..topology.tree import OrientedTree
 
 __all__ = [
@@ -247,6 +248,15 @@ class CentralCoordinator(CentralClient):
         return s
 
 
+@register_variant(
+    "central",
+    doc="centralized-coordinator baseline (message routing over the tree)",
+    # The baseline has no circulating tokens and no scramble support, so
+    # neither the census invariant nor the fuzz/explore campaigns apply.
+    expected_census=None,
+    fuzzable=False,
+    explorable=False,
+)
 def build_central_engine(
     tree: OrientedTree,
     params: KLParams,

@@ -36,6 +36,7 @@ from ..sim.engine import Engine
 from ..sim.network import Network
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace
+from ..spec.registry import register_variant
 
 __all__ = ["RingRoot", "RingProcess", "build_ring_engine", "ring_myc_modulus"]
 
@@ -272,6 +273,28 @@ class RingRoot(_RingTokenMixin, PriorityProcess):
             spush=self.spush,
         )
         return s
+
+
+@register_variant(
+    "ring",
+    doc="oriented-ring baseline; only the tree's size is used (n-process ring)",
+    expected_census=None,
+    fuzzable=False,
+    explorable=False,
+)
+def _ring_variant(
+    tree,
+    params: KLParams,
+    apps: list[Application | None],
+    scheduler: Scheduler | None = None,
+    *,
+    trace: Trace | None = None,
+    **options,
+) -> Engine:
+    """Spec adapter: run the ring baseline on a ring of ``tree.n`` processes."""
+    return build_ring_engine(
+        tree.n, params, apps, scheduler, trace=trace, **options
+    )
 
 
 def build_ring_engine(

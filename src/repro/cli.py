@@ -3,7 +3,7 @@
 Commands
 --------
 ``demo``
-    Run the self-stabilizing protocol on a chosen tree under a saturated
+    Run the self-stabilizing protocol on a chosen tree under a chosen
     workload and print service statistics.
 ``converge``
     Start from a seeded arbitrary configuration and report the
@@ -24,6 +24,18 @@ Commands
     Exhaustively enumerate every schedule of a small instance up to a
     depth bound and check safety/census invariants at each reachable
     configuration (model checking in miniature).
+``list``
+    Enumerate every registered variant, topology, workload, fault and
+    named scenario with a one-line description.
+
+Every scenario-taking command parses its flags into a declarative
+:class:`~repro.spec.ScenarioSpec` and constructs the engine exclusively
+through ``spec.build()``.  ``--dump-spec FILE`` writes that spec as a
+JSON manifest (without running) and ``--spec FILE`` replays a manifest
+exactly — the pair is the reproducibility contract.  ``--tree`` and
+``--workload`` accept registry spec strings such as
+``caterpillar:spine=4,legs=2`` or ``stochastic:p=0.3,max_need=2``
+(``repro list`` shows all registered keys).
 
 ``sweep``, ``fuzz`` and ``explore`` accept ``--workers N`` to shard the
 campaign across worker processes (results are identical to the serial
@@ -34,46 +46,223 @@ on stderr.  Every command accepts ``--seed`` and is fully deterministic.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import Sequence
+from pathlib import Path
+from typing import Callable, Sequence
 
-from .analysis import (
-    collect_metrics,
-    run_convergence,
-    run_waiting_time,
-    stabilize,
-    take_census,
+from .spec import (
+    FAULTS,
+    SCENARIOS,
+    TOPOLOGIES,
+    VARIANTS,
+    WORKLOADS,
+    ScenarioSpec,
+    SchedulerSpec,
+    SpecError,
+    TopologySpec,
+    WorkloadSpec,
+    parse_kind_args,
 )
-from .apps.workloads import SaturatedWorkload
-from .core.params import KLParams
-from .core.selfstab import build_selfstab_engine
-from .sim.scheduler import RandomScheduler
-from .topology import (
-    balanced_tree,
-    paper_example_tree,
-    path_tree,
-    random_tree,
-    star_tree,
-)
-from .viz import render_tree
 
 __all__ = ["main", "build_parser"]
 
 
-def _build_tree(kind: str, n: int, seed: int):
-    if kind == "paper":
-        return paper_example_tree()
-    if kind == "path":
-        return path_tree(n)
-    if kind == "star":
-        return star_tree(n)
-    if kind == "balanced":
-        return balanced_tree(2, max(n.bit_length() - 1, 1))
-    return random_tree(n, seed=seed)
+# ----------------------------------------------------------------------
+# Flag → spec translation
+# ----------------------------------------------------------------------
+def _topology_spec(tree_arg: str, n: int, seed: int) -> TopologySpec:
+    """Translate a ``--tree`` value into a validated :class:`TopologySpec`.
+
+    The value is a registry spec string (``kind[:key=value,...]``);
+    generator arguments not given explicitly are filled from ``--n`` /
+    ``--seed`` where the generator accepts them.  ``balanced`` without
+    arguments keeps the historical CLI sizing (binary, height from n).
+    """
+    kind, args = parse_kind_args(tree_arg)
+    provider = TOPOLOGIES.get(kind)  # raises UnknownSpecKey with choices
+    if kind == "balanced" and not args:
+        args = {"branching": 2, "height": max(n.bit_length() - 1, 1)}
+    else:
+        accepted = inspect.signature(provider).parameters
+        if "n" in accepted and "n" not in args:
+            args["n"] = n
+        if "seed" in accepted and "seed" not in args:
+            args["seed"] = seed
+    return TopologySpec(kind, args)
 
 
-def _tree_from_args(args: argparse.Namespace):
-    return _build_tree(args.tree, args.n, args.seed)
+def _workload_spec(text: str | None, default: WorkloadSpec) -> WorkloadSpec:
+    """Translate a ``--workload`` value (or fall back to ``default``)."""
+    if text is None:
+        return default
+    spec = WorkloadSpec.parse(text)
+    WORKLOADS.get(spec.kind)  # validate early, with the full key listing
+    return spec
+
+
+def _variant_options(variant: str) -> dict:
+    """Engine-factory options the historical CLI passed per variant."""
+    VARIANTS.get(variant)  # validate early, with the full key listing
+    if variant == "selfstab":
+        # Clean campaigns start from the legitimate token placement; the
+        # converge experiment overrides this by scrambling afterwards.
+        return {"init": "tokens"}
+    return {}
+
+
+def _demo_spec(args: argparse.Namespace) -> ScenarioSpec:
+    return ScenarioSpec(
+        topology=_topology_spec(args.tree, args.n, args.seed),
+        variant="selfstab",
+        k=args.k,
+        l=args.l,
+        cmax=args.cmax,
+        workload=_workload_spec(
+            getattr(args, "workload", None),
+            WorkloadSpec("saturated", {"cs_duration": 3}),
+        ),
+        scheduler=SchedulerSpec("random", {"seed": args.seed}),
+        seed=args.seed,
+    )
+
+
+def _converge_spec(args: argparse.Namespace) -> ScenarioSpec:
+    from .spec import FaultSpec
+
+    return ScenarioSpec(
+        topology=_topology_spec(args.tree, args.n, args.seed),
+        variant="selfstab",
+        k=args.k,
+        l=args.l,
+        cmax=args.cmax,
+        workload=WorkloadSpec("saturated", {"cs_duration": 2}),
+        faults=(FaultSpec("scramble"),),
+        scheduler=SchedulerSpec("random"),
+        seed=args.seed,
+    )
+
+
+def _wait_spec(args: argparse.Namespace) -> ScenarioSpec:
+    return ScenarioSpec(
+        topology=_topology_spec(args.tree, args.n, args.seed),
+        variant="selfstab",
+        k=args.k,
+        l=args.l,
+        cmax=args.cmax,
+        workload=_workload_spec(
+            getattr(args, "workload", None),
+            WorkloadSpec("saturated", {"need": 1, "cs_duration": 1}),
+        ),
+        scheduler=SchedulerSpec("random"),
+        seed=args.seed,
+        variant_options={"init": "tokens"},
+    )
+
+
+def _campaign_spec(args: argparse.Namespace, *, cs_duration: int) -> ScenarioSpec:
+    """Base spec for the fuzz/explore campaigns (clean start, any variant)."""
+    return ScenarioSpec(
+        topology=_topology_spec(args.tree, args.n, args.seed),
+        variant=args.variant,
+        k=args.k,
+        l=args.l,
+        cmax=args.cmax,
+        workload=WorkloadSpec("saturated", {"cs_duration": cs_duration}),
+        seed=args.seed,
+        variant_options=_variant_options(args.variant),
+    )
+
+
+def _resolve_spec(
+    args: argparse.Namespace, default: Callable[[], ScenarioSpec]
+) -> ScenarioSpec:
+    """The command's scenario: the ``--spec`` manifest, or built from flags."""
+    if getattr(args, "spec", None):
+        try:
+            text = Path(args.spec).read_text()
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file {args.spec!r}: {exc}") from None
+        return ScenarioSpec.from_json(text)
+    return default()
+
+
+def _dump_spec(args: argparse.Namespace, spec: ScenarioSpec) -> bool:
+    """Honor ``--dump-spec``: write the manifest and skip the run."""
+    target = getattr(args, "dump_spec", None)
+    if not target:
+        return False
+    text = spec.to_json(indent=2) + "\n"
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        try:
+            Path(target).write_text(text)
+        except OSError as exc:
+            raise SpecError(f"cannot write spec file {target!r}: {exc}") from None
+        print(f"wrote scenario spec to {target}", file=sys.stderr)
+    return True
+
+
+def _workload_time_dependence(w: WorkloadSpec) -> str | None:
+    """Why ``w`` breaks exploration's digest soundness, or None if safe.
+
+    ``canonical_digest`` excludes engine time, so exploration is only
+    sound for time-independent applications (see analysis/explore.py).
+    Conservative: kinds not known to be time-independent are rejected.
+    """
+    a = w.args
+    if w.kind == "idle":
+        return None
+    if w.kind == "hog":
+        return None if a.get("at", 0) == 0 else "hog needs at=0"
+    if w.kind == "saturated":
+        if a.get("cs_duration", 1) != 0 or a.get("think_time", 0) != 0:
+            return "saturated needs cs_duration=0 and think_time=0"
+        return None
+    if w.kind == "oneshot":
+        if a.get("cs_duration", 1) != 0 or a.get("at", 0) != 0:
+            return "oneshot needs at=0 and cs_duration=0"
+        return None
+    if w.kind == "scripted":
+        rows = a.get("script", [])
+        if rows and not isinstance(rows[0], (list, tuple)):
+            rows = [rows]
+        if all(row[0] == 0 and row[2] == 0 for row in rows):
+            return None
+        return "scripted needs every row's at=0 and cs_duration=0"
+    return f"workload {w.kind!r} is not known to be time-independent"
+
+
+def _check_explore_spec(spec: ScenarioSpec) -> bool:
+    """Reject manifests whose workloads would make exploration unsound."""
+    workloads = [spec.workload] + [w for _, w in spec.workload_overrides]
+    for w in workloads:
+        why = _workload_time_dependence(w)
+        if why is not None:
+            print(
+                f"error: exploration requires time-independent "
+                f"applications (digests exclude engine time): {why}",
+                file=sys.stderr,
+            )
+            return False
+    return True
+
+
+def _check_variant_capability(variant: str, flag: str, activity: str) -> bool:
+    """True when ``variant`` supports the campaign; prints the error if not."""
+    if VARIANTS.entry(variant).meta.get(flag) is not False:
+        return True
+    supported = ", ".join(
+        n for n in VARIANTS.names()
+        if VARIANTS.entry(n).meta.get(flag, True)
+    )
+    print(
+        f"error: variant {variant!r} does not support {activity}; "
+        f"supported variants: {supported}",
+        file=sys.stderr,
+    )
+    return False
 
 
 def _progress_printer(args: argparse.Namespace):
@@ -97,15 +286,39 @@ def _progress_printer(args: argparse.Namespace):
     return _print
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--tree", choices=["paper", "path", "star", "balanced", "random"],
-                   default="random", help="tree family (default: random)")
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_common(p: argparse.ArgumentParser, *, workload: bool = False) -> None:
+    p.add_argument(
+        "--tree", default="random",
+        help="tree family spec string, e.g. paper, path, star, balanced, "
+             "random, caterpillar:spine=4,legs=2 (see `repro list`; "
+             "default: random)",
+    )
     p.add_argument("--n", type=int, default=10, help="number of processes")
     p.add_argument("--k", type=int, default=2, help="max units per request")
     p.add_argument("--l", type=int, default=4, help="total resource units")
     p.add_argument("--cmax", type=int, default=2, help="initial channel garbage bound")
     p.add_argument("--seed", type=int, default=0, help="experiment seed")
     p.add_argument("--steps", type=int, default=60_000, help="measured steps")
+    if workload:
+        p.add_argument(
+            "--workload", default=None,
+            help="workload spec string, e.g. saturated:cs_duration=3, "
+                 "stochastic:p=0.3,max_need=2, scripted:script=0/2/3;9/1/2, "
+                 "hog (see `repro list`)",
+        )
+    p.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="load the scenario from a JSON spec manifest "
+             "(overrides the scenario flags)",
+    )
+    p.add_argument(
+        "--dump-spec", metavar="FILE", default=None,
+        help="write the scenario spec as a JSON manifest ('-' for stdout) "
+             "and exit without running",
+    )
 
 
 def _add_campaign(p: argparse.ArgumentParser) -> None:
@@ -134,8 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
         ("wait", "measure waiting times against the Theorem 2 bound"),
     ):
         p = sub.add_parser(name, help=doc)
-        _add_common(p)
+        _add_common(p, workload=name in ("demo", "wait"))
     sub.add_parser("figures", help="reproduce the paper's figures in the terminal")
+    sub.add_parser(
+        "list",
+        help="enumerate registered variants, topologies, workloads, "
+             "faults and scenarios",
+    )
 
     p = sub.add_parser(
         "sweep",
@@ -143,8 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.add_argument(
-        "--experiment", choices=["converge", "wait"], default="converge",
-        help="experiment per grid cell (default: converge)",
+        "--experiment", choices=["converge", "wait"], default=None,
+        help="experiment per grid cell (default: converge; must be given "
+             "explicitly with --spec, since a manifest describes the "
+             "scenario rather than the experiment)",
     )
     p.add_argument(
         "--sizes", default="6,9,12",
@@ -161,10 +381,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.add_argument(
-        "--variant",
-        choices=["naive", "pusher", "priority", "selfstab"],
-        default="priority",
-        help="protocol variant under test (default: priority)",
+        "--variant", default="priority",
+        help="protocol variant under test (default: priority; see `repro list`)",
     )
     p.add_argument("--walks", type=int, default=64, help="independent random walks")
     p.add_argument("--depth", type=int, default=400, help="steps per walk")
@@ -177,9 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(n=4, l=2)  # exhaustive search wants toy instances
     p.add_argument(
-        "--variant",
-        choices=["naive", "pusher", "priority"],
-        default="priority",
+        "--variant", default="priority",
         help="protocol variant under test (default: priority; selfstab is "
              "excluded — its timeout makes configurations time-dependent)",
     )
@@ -194,20 +410,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
 def cmd_demo(args: argparse.Namespace) -> int:
-    tree = _tree_from_args(args)
-    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
-    print(render_tree(tree))
-    apps = [SaturatedWorkload(1 + p % params.k, cs_duration=3) for p in range(tree.n)]
-    engine = build_selfstab_engine(
-        tree, params, apps, RandomScheduler(tree.n, seed=args.seed)
-    )
-    if not stabilize(engine, params):
+    from .analysis import collect_metrics, stabilize, take_census
+    from .viz import render_tree
+
+    spec = _resolve_spec(args, lambda: _demo_spec(args))
+    if _dump_spec(args, spec):
+        return 0
+    built = spec.build()
+    engine = built.engine
+    print(render_tree(built.tree))
+    if not stabilize(engine, built.params):
         print("failed to stabilize", file=sys.stderr)
         return 1
     t0 = engine.now
     engine.run(args.steps)
-    m = collect_metrics(engine, apps, since_step=t0)
+    m = collect_metrics(engine, built.apps, since_step=t0)
     print(f"stabilized at step {t0}; census {take_census(engine).as_tuple()}")
     print(f"{m.satisfied} requests satisfied in {args.steps} steps "
           f"({m.messages_per_cs:.2f} msgs/CS, "
@@ -216,10 +437,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_converge(args: argparse.Namespace) -> int:
-    tree = _tree_from_args(args)
-    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
-    res = run_convergence(tree, params, seed=args.seed,
-                          max_steps=max(args.steps, 50_000))
+    from .analysis import run_convergence
+
+    spec = _resolve_spec(args, lambda: _converge_spec(args))
+    if _dump_spec(args, spec):
+        return 0
+    res = run_convergence(spec=spec, max_steps=max(args.steps, 50_000))
     print(f"converged        : {res.converged}")
     print(f"stabilized at    : {res.stabilization_step}")
     print(f"safety clean from: {res.safety_clean_from}")
@@ -230,9 +453,12 @@ def cmd_converge(args: argparse.Namespace) -> int:
 
 
 def cmd_wait(args: argparse.Namespace) -> int:
-    tree = _tree_from_args(args)
-    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
-    res = run_waiting_time(tree, params, seed=args.seed, measure_steps=args.steps)
+    from .analysis import run_waiting_time
+
+    spec = _resolve_spec(args, lambda: _wait_spec(args))
+    if _dump_spec(args, spec):
+        return 0
+    res = run_waiting_time(spec=spec, measure_steps=args.steps)
     print(f"max waiting time : {res.max_waiting} (bound {res.bound})")
     print(f"within bound     : {res.within_bound}")
     print(f"satisfied        : {res.metrics.satisfied}")
@@ -264,65 +490,58 @@ def cmd_figures(_: argparse.Namespace) -> int:
     return 0
 
 
-def _variant_engine(variant: str, tree, params: KLParams, *, cs_duration: int):
-    """Build a clean-start engine of the requested protocol variant."""
-    from .core.naive import build_naive_engine
-    from .core.priority import build_priority_engine
-    from .core.pusher import build_pusher_engine
-
-    apps = [
-        SaturatedWorkload(1 + p % params.k, cs_duration=cs_duration)
-        for p in range(tree.n)
-    ]
-    if variant == "selfstab":
-        return build_selfstab_engine(tree, params, apps, init="tokens")
-    build = {
-        "naive": build_naive_engine,
-        "pusher": build_pusher_engine,
-        "priority": build_priority_engine,
-    }[variant]
-    return build(tree, params, apps)
-
-
-def _variant_invariant(variant: str, params: KLParams, n: int):
-    """Safety + token-census invariant for one protocol variant.
-
-    Safety must hold for every variant; token conservation only for the
-    controller-less ones (the self-stabilizing root may legitimately
-    mint or flush tokens mid-recovery).  A single-process network has
-    no channels and therefore no tokens at all — conservation is
-    vacuous there, not violated.
-    """
-    from .analysis import safety_ok, take_census
-
-    expected = {
-        "naive": lambda c: c.res == params.l,
-        "pusher": lambda c: c.res == params.l and c.push == 1,
-        "priority": lambda c: c.as_tuple() == (params.l, 1, 1),
-        "selfstab": lambda c: True,
-    }[variant]
-    if n == 1:
-        expected = lambda c: True
-
-    def invariant(e):
-        if not safety_ok(e, params):
-            return "safety violated"
-        if not expected(take_census(e)):
-            return f"token census broken: {take_census(e).as_tuple()}"
-        return True
-
-    return invariant
+def cmd_list(_: argparse.Namespace) -> int:
+    sections = (
+        ("variants", VARIANTS),
+        ("topologies", TOPOLOGIES),
+        ("workloads", WORKLOADS),
+        ("faults", FAULTS),
+        ("scenarios", SCENARIOS),
+    )
+    for title, registry in sections:
+        print(f"{title}:")
+        entries = registry.entries()
+        width = max((len(e.name) for e in entries), default=0)
+        for e in entries:
+            notes = []
+            if e.meta.get("fuzzable") is False:
+                notes.append("no fuzz")
+            if e.meta.get("explorable") is False:
+                notes.append("no explore")
+            suffix = f"  [{', '.join(notes)}]" if notes else ""
+            print(f"  {e.name.ljust(width)}  {e.doc}{suffix}")
+        print()
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import (
         SweepCell,
         cell_cis,
-        convergence_sweep_runner,
+        convergence_spec_runner,
         run_sweep,
-        waiting_sweep_runner,
+        waiting_spec_runner,
     )
 
+    if args.spec and args.experiment is None:
+        # A manifest carries the scenario, not the campaign shape, and
+        # several commands dump identically-shaped specs — guessing the
+        # experiment here would silently run the wrong runner.
+        print(
+            "error: --experiment is required with --spec "
+            "(the manifest describes the scenario, not which experiment "
+            "to run over it)",
+            file=sys.stderr,
+        )
+        return 2
+    experiment = args.experiment or "converge"
+    base = _resolve_spec(
+        args,
+        lambda: _converge_spec(args) if experiment == "converge"
+        else _wait_spec(args),
+    )
+    if _dump_spec(args, base):
+        return 0
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
     except ValueError:
@@ -334,11 +553,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if any(n < 1 for n in sizes):
         print(f"--sizes must be >= 1, got {args.sizes!r}", file=sys.stderr)
         return 2
+    if experiment == "converge":
+        runner, step_arg = convergence_spec_runner, "max_steps"
+        step_value = max(args.steps, 50_000)
+    else:
+        runner, step_arg = waiting_spec_runner, "measure_steps"
+        step_value = args.steps
+    from_file = bool(args.spec)
     cells = []
     labels_seen = set()
     for n in sizes:
-        tree = _build_tree(args.tree, n, args.seed)
-        label = f"{args.tree}-n{tree.n}"
+        if from_file:
+            # Respect the manifest's topology family; resize it when the
+            # generator takes an ``n`` argument, else keep it fixed.
+            provider = TOPOLOGIES.get(base.topology.kind)
+            if "n" in inspect.signature(provider).parameters:
+                cell_spec = base.override({"topology.args.n": n})
+            else:
+                cell_spec = base
+        else:
+            tspec = _topology_spec(args.tree, n, args.seed)
+            cell_spec = base.override({"topology": tspec.to_dict()})
+        tree = cell_spec.build_topology()
+        label = f"{cell_spec.topology.kind}-n{tree.n}"
         if label in labels_seen:
             # fixed-size families (paper; balanced rounds to powers of
             # two) can map several requested sizes to one tree — re-
@@ -347,23 +584,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             continue
         labels_seen.add(label)
-        params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
-        kwargs = {"tree": tree, "params": params}
-        if args.experiment == "converge":
-            kwargs["max_steps"] = max(args.steps, 50_000)
-        else:
-            kwargs["measure_steps"] = args.steps
-        cells.append(SweepCell(label, kwargs))
-    runner = {
-        "converge": convergence_sweep_runner,
-        "wait": waiting_sweep_runner,
-    }[args.experiment]
-    seeds = [args.seed + i for i in range(max(args.seeds, 1))]
+        cells.append(
+            SweepCell(label, {step_arg: step_value}, cell_spec.to_dict())
+        )
+    # Seed repetitions start from the manifest's seed (== args.seed on
+    # the flags path) so a --spec replay reproduces the dumped sweep.
+    seeds = [base.seed + i for i in range(max(args.seeds, 1))]
     res = run_sweep(
         runner, cells, seeds,
         workers=args.workers, progress=_progress_printer(args),
     )
-    print(f"experiment       : {args.experiment} "
+    print(f"experiment       : {experiment} "
           f"({len(cells)} cells x {len(seeds)} seeds, "
           f"workers {args.workers or 1})")
     widths = max(len(lbl) for lbl in res.labels)
@@ -388,17 +619,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .analysis import fuzz
 
-    tree = _tree_from_args(args)
-    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
-    engine = _variant_engine(args.variant, tree, params, cs_duration=2)
-    invariant = _variant_invariant(args.variant, params, tree.n)
+    spec = _resolve_spec(args, lambda: _campaign_spec(args, cs_duration=2))
+    if _dump_spec(args, spec):
+        return 0
+    if not _check_variant_capability(spec.variant, "fuzzable", "fuzzing"):
+        return 2
+    built = spec.build()
+    params, tree = built.params, built.tree
     walks, depth = max(args.walks, 1), max(args.depth, 1)
+    # The walk RNG keys off the manifest's seed (== args.seed on the
+    # flags path) so a --spec replay reruns the exact same campaign.
     res = fuzz(
-        engine, invariant, walks=walks, depth=depth, seed=args.seed,
+        built.engine, built.invariant, walks=walks, depth=depth, seed=spec.seed,
         workers=args.workers, progress=_progress_printer(args),
     )
-    print(f"variant          : {args.variant} (n={tree.n}, k={params.k}, l={params.l})")
-    print(f"walks x depth    : {walks} x {depth} (seed {args.seed})")
+    print(f"variant          : {spec.variant} (n={tree.n}, k={params.k}, l={params.l})")
+    print(f"walks x depth    : {walks} x {depth} (seed {spec.seed})")
     print(f"steps executed   : {res.steps_total}")
     if res.ok:
         print("violation        : none found")
@@ -412,19 +648,27 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     from .analysis import explore
 
-    tree = _tree_from_args(args)
-    params = KLParams(k=args.k, l=args.l, n=tree.n, cmax=args.cmax)
     # cs_duration=0 keeps applications time-independent, the digest
     # soundness requirement spelled out in analysis/explore.py.
-    engine = _variant_engine(args.variant, tree, params, cs_duration=0)
-    invariant = _variant_invariant(args.variant, params, tree.n)
+    spec = _resolve_spec(args, lambda: _campaign_spec(args, cs_duration=0))
+    if _dump_spec(args, spec):
+        return 0
+    if not _check_variant_capability(
+        spec.variant, "explorable",
+        "exhaustive exploration (time-dependent configurations)",
+    ):
+        return 2
+    if not _check_explore_spec(spec):
+        return 2
+    built = spec.build()
+    params, tree = built.params, built.tree
     res = explore(
-        engine, invariant,
+        built.engine, built.invariant,
         max_depth=args.max_depth, max_configurations=args.max_configs,
         workers=args.workers, progress=_progress_printer(args),
         min_frontier=args.min_frontier,
     )
-    print(f"variant          : {args.variant} (n={tree.n}, k={params.k}, l={params.l})")
+    print(f"variant          : {spec.variant} (n={tree.n}, k={params.k}, l={params.l})")
     print(f"depth bound      : {args.max_depth}")
     print(f"configurations   : {res.configurations}")
     print(f"transitions      : {res.transitions}")
@@ -444,6 +688,7 @@ _COMMANDS = {
     "converge": cmd_converge,
     "wait": cmd_wait,
     "figures": cmd_figures,
+    "list": cmd_list,
     "sweep": cmd_sweep,
     "fuzz": cmd_fuzz,
     "explore": cmd_explore,
@@ -453,7 +698,11 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,11 +19,17 @@ from ..sim.network import Network
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace
 from ..topology.tree import OrientedTree
+from ..spec.registry import register_variant
 from .messages import ResT
 from .params import KLParams
 from .base import TokenProcessBase
 
 __all__ = ["NaiveProcess", "build_naive_engine"]
+
+
+def _expected_census(census, params: KLParams) -> bool:
+    """Legitimate population: exactly ℓ resource tokens, nothing else."""
+    return census.res == params.l
 
 
 class NaiveProcess(TokenProcessBase):
@@ -35,6 +41,11 @@ class NaiveProcess(TokenProcessBase):
     """
 
 
+@register_variant(
+    "naive",
+    doc="bare ℓ-token circulation; safe but deadlocks under contention (Fig. 2)",
+    expected_census=_expected_census,
+)
 def build_naive_engine(
     tree: OrientedTree,
     params: KLParams,

@@ -23,6 +23,7 @@ from ..sim.engine import Engine
 from ..sim.network import Network
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace
+from ..spec.registry import register_variant
 from ..topology.tree import OrientedTree
 from .base import REQ
 from .messages import Message, PrioT, PushT, ResT, fresh_uid
@@ -30,6 +31,11 @@ from .params import KLParams
 from .pusher import PusherProcess
 
 __all__ = ["PriorityProcess", "build_priority_engine"]
+
+
+def _expected_census(census, params: KLParams) -> bool:
+    """Legitimate population: exactly (ℓ resource, 1 pusher, 1 priority)."""
+    return census.as_tuple() == (params.l, 1, 1)
 
 
 class PriorityProcess(PusherProcess):
@@ -113,6 +119,11 @@ class PriorityProcess(PusherProcess):
         return s
 
 
+@register_variant(
+    "priority",
+    doc="ℓ tokens + pusher + priority; the correct non-fault-tolerant protocol",
+    expected_census=_expected_census,
+)
 def build_priority_engine(
     tree: OrientedTree,
     params: KLParams,

@@ -24,12 +24,18 @@ from ..sim.engine import Engine
 from ..sim.network import Network
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace
+from ..spec.registry import register_variant
 from ..topology.tree import OrientedTree
 from .base import IN, REQ, TokenProcessBase
 from .messages import Message, PushT, ResT
 from .params import KLParams
 
 __all__ = ["PusherProcess", "build_pusher_engine"]
+
+
+def _expected_census(census, params: KLParams) -> bool:
+    """Legitimate population: ℓ resource tokens plus exactly one pusher."""
+    return census.res == params.l and census.push == 1
 
 
 class PusherProcess(TokenProcessBase):
@@ -73,6 +79,11 @@ class PusherProcess(TokenProcessBase):
         # other kinds: dropped (not part of this variant)
 
 
+@register_variant(
+    "pusher",
+    doc="ℓ tokens + pusher; deadlock-free but can livelock/starve (Fig. 3)",
+    expected_census=_expected_census,
+)
 def build_pusher_engine(
     tree: OrientedTree,
     params: KLParams,

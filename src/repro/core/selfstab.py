@@ -46,6 +46,7 @@ from ..sim.engine import Engine
 from ..sim.network import Network
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace
+from ..spec.registry import register_variant
 from ..topology.tree import OrientedTree
 from .messages import Ctrl, Message, PrioT, PushT, ResT
 from .params import KLParams
@@ -333,6 +334,15 @@ class SelfStabProcess(PriorityProcess):
         return s
 
 
+@register_variant(
+    "selfstab",
+    doc="priority protocol + counter-flushing controller (the paper's Alg. 1-2)",
+    # The controller may legitimately mint or flush tokens mid-recovery,
+    # so only safety is invariant; exploration is excluded because the
+    # root's timeout makes configurations time-dependent.
+    expected_census=None,
+    explorable=False,
+)
 def build_selfstab_engine(
     tree: OrientedTree,
     params: KLParams,

@@ -22,18 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .apps.interface import Application, IdleApplication
-from .apps.workloads import OneShotWorkload, SaturatedWorkload
 from .core.messages import ResT
-from .core.naive import build_naive_engine
-from .core.params import KLParams
 from .core.placement import clear_all_channels, place_tokens
-from .core.priority import build_priority_engine
-from .core.pusher import build_pusher_engine
-from .core.selfstab import build_selfstab_engine
 from .sim.engine import Engine
-from .sim.scheduler import RandomScheduler
-from .topology.generators import paper_example_tree, paper_livelock_tree
+from .spec.builder import ScenarioBuilder
+from .spec.registry import register_scenario
+from .spec.spec import ScenarioSpec, scenario_spec
 from .topology.virtual_ring import build_virtual_ring
 
 __all__ = [
@@ -48,6 +42,63 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
+# Named scenario presets.  Each figure's constructible part (variant,
+# topology, params, request vector, scheduler) is one registry entry;
+# the run_fig* harnesses below build from these specs and then add the
+# parts a declarative spec cannot carry (token placement, the scripted
+# adversarial daemon).
+# ----------------------------------------------------------------------
+@register_scenario(
+    "fig1-circulation",
+    doc="Figs. 1/4: one resource token circling the 8-process example tree",
+)
+def fig1_spec() -> ScenarioSpec:
+    return (
+        ScenarioBuilder()
+        .variant("naive")
+        .topology("paper")
+        .params(k=1, l=1)
+        .workload("idle")
+        .spec()
+    )
+
+
+@register_scenario(
+    "fig2-deadlock",
+    doc="Fig. 2: the request vector a:3 b:2 c:2 d:2 that deadlocks `naive`",
+)
+def fig2_spec(variant: str = "naive", seed: int = 0) -> ScenarioSpec:
+    builder = (
+        ScenarioBuilder()
+        .variant(variant)
+        .topology("paper")
+        .params(k=3, l=5, cmax=2)
+        .workload("idle")
+        .scheduler("random", seed=seed)
+    )
+    for pid, need in FIG2_NEEDS.items():
+        builder.workload_for(pid, "oneshot", need=need)
+    return builder.spec()
+
+
+@register_scenario(
+    "fig3-livelock",
+    doc="Fig. 3: 2-out-of-3 exclusion where the pusher starves process a",
+)
+def fig3_spec(variant: str = "pusher") -> ScenarioSpec:
+    return (
+        ScenarioBuilder()
+        .variant(variant)
+        .topology("livelock")
+        .params(k=2, l=3, cmax=2)
+        # need = 1 + pid % 2 gives the paper's request vector r:1 a:2 b:1
+        .workload("saturated", cs_duration=4)
+        .scheduler("random", seed=0)
+        .spec()
+    )
+
+
+# ----------------------------------------------------------------------
 # Fig. 1 / Fig. 4 — DFS circulation over the virtual ring
 # ----------------------------------------------------------------------
 def run_fig1_circulation() -> dict:
@@ -56,10 +107,8 @@ def run_fig1_circulation() -> dict:
     Returns the simulated hop sequence (``(sender, receiver)`` channel
     pairs), the analytic virtual ring, and whether they coincide.
     """
-    tree = paper_example_tree()
-    params = KLParams(k=1, l=1, n=tree.n)
-    apps: list[Application | None] = [IdleApplication() for _ in range(tree.n)]
-    engine = build_naive_engine(tree, params, apps)
+    built = scenario_spec("fig1-circulation").build()
+    engine, tree = built.engine, built.tree
     # One token, starting at the root's channel 0 (the builder's default
     # placement is exactly that, with l = 1).
     hops: list[tuple[int, int]] = []
@@ -120,22 +169,12 @@ def run_fig2_deadlock(
     scheduler is fair (seeded random), so a surviving deadlock after
     ``steps`` steps is structural, not a scheduling artifact.
     """
-    tree = paper_example_tree()
-    params = KLParams(k=3, l=5, n=tree.n, cmax=2)
-    apps: list[Application | None] = [
-        OneShotWorkload(FIG2_NEEDS[p]) if p in FIG2_NEEDS else IdleApplication()
-        for p in range(tree.n)
-    ]
-    sched = RandomScheduler(tree.n, seed=seed)
-    builders = {
-        "naive": build_naive_engine,
-        "pusher": build_pusher_engine,
-        "priority": build_priority_engine,
-        "selfstab": build_selfstab_engine,
-    }
-    if variant not in builders:
+    if variant not in ("naive", "pusher", "priority", "selfstab"):
+        # `ring`/`central` are registered variants but not tree-token
+        # protocols — the figure's contract stays the four-variant one.
         raise ValueError(f"unknown variant {variant!r}")
-    engine: Engine = builders[variant](tree, params, apps, sched)
+    built = scenario_spec("fig2-deadlock", variant=variant, seed=seed).build()
+    engine, tree = built.engine, built.tree
     clear_all_channels(engine)
     # Register all requests before any token moves (the deadlock is a
     # race the paper's configuration has already lost).
@@ -226,16 +265,8 @@ def run_fig3_livelock(variant: str = "pusher", *, cycles: int = 200) -> Fig3Resu
     """
     if variant not in ("pusher", "priority"):
         raise ValueError(f"unknown variant {variant!r}")
-    tree = paper_livelock_tree()
-    params = KLParams(k=2, l=3, n=tree.n, cmax=2)
-    dur = 4
-    apps: list[Application | None] = [
-        SaturatedWorkload(1, cs_duration=dur),
-        SaturatedWorkload(2, cs_duration=dur),
-        SaturatedWorkload(1, cs_duration=dur),
-    ]
-    build = build_pusher_engine if variant == "pusher" else build_priority_engine
-    engine = build(tree, params, apps, RandomScheduler(tree.n, seed=0))
+    built = scenario_spec("fig3-livelock", variant=variant).build()
+    engine, tree = built.engine, built.tree
     clear_all_channels(engine)
     # Everyone registers its request before any message moves.
     for p in range(tree.n):

@@ -10,7 +10,7 @@ may contain up to ``CMAX`` arbitrary messages — injected by
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..core.messages import Message

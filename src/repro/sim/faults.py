@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.messages import Ctrl, Message, PrioT, PushT, ResT, Token
 from ..core.params import KLParams
+from ..spec.registry import SpecError, register_fault
 from .engine import Engine
 from .rng import make_rng
 
@@ -157,3 +158,79 @@ def duplicate_random_token(
     ch.queue.clear()
     ch.queue.extend(items)
     return True
+
+
+# ----------------------------------------------------------------------
+# Spec-layer injectors.  Each registered fault mutates a freshly built
+# engine from ``(engine, params, seed, **args)``; the seed is supplied
+# by the scenario spec (``derive_seed(spec.seed, "faults")`` unless the
+# fault spec carries an explicit ``seed`` argument).
+# ----------------------------------------------------------------------
+_TOKEN_KINDS: dict[str, type[Token]] = {"res": ResT, "push": PushT, "prio": PrioT}
+
+
+def _token_kind(kind: str) -> type[Token]:
+    try:
+        return _TOKEN_KINDS[kind]
+    except KeyError:
+        # SpecError so a bad manifest reports through the CLI's error
+        # path instead of surfacing a raw traceback.
+        raise SpecError(
+            f"unknown token kind {kind!r}; valid kinds: "
+            f"{', '.join(sorted(_TOKEN_KINDS))}"
+        ) from None
+
+
+@register_fault(
+    "scramble",
+    doc="arbitrary initial configuration: scramble all state + channel garbage",
+)
+def _scramble_fault(
+    engine: Engine, params: KLParams, seed: int, *, channel_garbage: bool = True
+) -> None:
+    scramble_configuration(engine, params, seed, channel_garbage=channel_garbage)
+
+
+@register_fault(
+    "channel-garbage",
+    doc="fill every channel with 0..CMAX arbitrary messages",
+)
+def _channel_garbage_fault(
+    engine: Engine,
+    params: KLParams,
+    seed: int,
+    *,
+    clear_first: bool = True,
+    max_per_channel: int | None = None,
+) -> None:
+    inject_channel_garbage(
+        engine,
+        params,
+        make_rng(seed),
+        clear_first=clear_first,
+        max_per_channel=max_per_channel,
+    )
+
+
+@register_fault("corrupt-process", doc="scramble one process's local state")
+def _corrupt_process_fault(
+    engine: Engine, params: KLParams, seed: int, *, pid: int = 0
+) -> None:
+    corrupt_process(engine, pid, seed)
+
+
+@register_fault("drop-token", doc="delete one random in-flight token (loss fault)")
+def _drop_token_fault(
+    engine: Engine, params: KLParams, seed: int, *, kind: str = "res"
+) -> None:
+    drop_random_token(engine, _token_kind(kind), seed)
+
+
+@register_fault(
+    "duplicate-token",
+    doc="duplicate one random in-flight token (duplication fault)",
+)
+def _duplicate_token_fault(
+    engine: Engine, params: KLParams, seed: int, *, kind: str = "res"
+) -> None:
+    duplicate_random_token(engine, _token_kind(kind), seed)

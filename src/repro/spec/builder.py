@@ -1,0 +1,132 @@
+"""Fluent construction of :class:`~repro.spec.ScenarioSpec`.
+
+The builder is sugar over the frozen spec — every method returns
+``self`` so a scenario reads as one chained sentence, and
+:meth:`ScenarioBuilder.spec` freezes the result::
+
+    spec = (
+        ScenarioBuilder()
+        .variant("selfstab", init="tokens")
+        .topology("random", n=12, seed=3)
+        .params(k=2, l=4, cmax=2)
+        .workload("saturated", cs_duration=3)
+        .workload_for(3, "hog")
+        .fault("scramble")
+        .scheduler("random")
+        .seed(7)
+        .spec()
+    )
+    built = spec.build()          # or ScenarioBuilder().….build()
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .registry import SpecError
+from .spec import (
+    BuiltScenario,
+    FaultSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = ["ScenarioBuilder"]
+
+
+class ScenarioBuilder:
+    """Accumulates scenario components, then freezes a :class:`ScenarioSpec`."""
+
+    def __init__(self) -> None:
+        self._topology: TopologySpec | None = None
+        self._variant = "selfstab"
+        self._variant_options: dict[str, Any] = {}
+        self._k = 1
+        self._l = 1
+        self._cmax = 4
+        self._unbounded = False
+        self._workload = WorkloadSpec("idle")
+        self._overrides: dict[int, WorkloadSpec] = {}
+        self._faults: list[FaultSpec] = []
+        self._scheduler = SchedulerSpec("round_robin")
+        self._seed = 0
+
+    def variant(self, name: str, **options: Any) -> "ScenarioBuilder":
+        """Choose the protocol variant; ``options`` reach its factory."""
+        self._variant = name
+        self._variant_options = dict(options)
+        return self
+
+    def topology(self, kind: str, **args: Any) -> "ScenarioBuilder":
+        """Choose the tree family and its generator arguments."""
+        self._topology = TopologySpec(kind, args)
+        return self
+
+    def params(
+        self,
+        *,
+        k: int | None = None,
+        l: int | None = None,
+        cmax: int | None = None,
+        unbounded_memory: bool | None = None,
+    ) -> "ScenarioBuilder":
+        """Set the (k, ℓ, CMAX) exclusion parameters."""
+        if k is not None:
+            self._k = k
+        if l is not None:
+            self._l = l
+        if cmax is not None:
+            self._cmax = cmax
+        if unbounded_memory is not None:
+            self._unbounded = unbounded_memory
+        return self
+
+    def workload(self, kind: str, **args: Any) -> "ScenarioBuilder":
+        """Set the default workload applied to every process."""
+        self._workload = WorkloadSpec(kind, args)
+        return self
+
+    def workload_for(self, pid: int, kind: str, **args: Any) -> "ScenarioBuilder":
+        """Override the workload for one process."""
+        self._overrides[int(pid)] = WorkloadSpec(kind, args)
+        return self
+
+    def fault(self, kind: str, **args: Any) -> "ScenarioBuilder":
+        """Append a fault injection (applied in call order at build)."""
+        self._faults.append(FaultSpec(kind, args))
+        return self
+
+    def scheduler(self, kind: str, **args: Any) -> "ScenarioBuilder":
+        """Choose the scheduler (random/round_robin/weighted/scripted)."""
+        self._scheduler = SchedulerSpec(kind, args)
+        return self
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        """Set the master seed (scheduler/fault sub-seeds derive from it)."""
+        self._seed = int(seed)
+        return self
+
+    def spec(self) -> ScenarioSpec:
+        """Freeze the accumulated components into a :class:`ScenarioSpec`."""
+        if self._topology is None:
+            raise SpecError("ScenarioBuilder needs a topology(...) before spec()")
+        return ScenarioSpec(
+            topology=self._topology,
+            variant=self._variant,
+            k=self._k,
+            l=self._l,
+            cmax=self._cmax,
+            unbounded_memory=self._unbounded,
+            workload=self._workload,
+            workload_overrides=tuple(sorted(self._overrides.items())),
+            faults=tuple(self._faults),
+            scheduler=self._scheduler,
+            seed=self._seed,
+            variant_options=self._variant_options,
+        )
+
+    def build(self, *, trace: Any = None) -> BuiltScenario:
+        """Shorthand for ``.spec().build()``."""
+        return self.spec().build(trace=trace)

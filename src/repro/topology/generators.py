@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..sim.rng import make_rng
+from ..spec.registry import register_topology
 from .tree import OrientedTree, TreeError
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
 ]
 
 
+@register_topology("paper", doc="the 8-process tree of paper Figs. 1, 2 and 4")
 def paper_example_tree() -> OrientedTree:
     """The 8-process tree of paper Figs. 1, 2 and 4.
 
@@ -54,11 +56,13 @@ def paper_example_tree() -> OrientedTree:
     )
 
 
+@register_topology("livelock", doc="the 3-process tree of paper Fig. 3")
 def paper_livelock_tree() -> OrientedTree:
     """The 3-process tree of paper Fig. 3: root ``r`` with children ``a, b``."""
     return OrientedTree(root=0, children=((1, 2), (), ()))
 
 
+@register_topology("path", doc="path 0-1-...-n-1 rooted at 0 (worst-case diameter)")
 def path_tree(n: int) -> OrientedTree:
     """A path ``0 - 1 - ... - n-1`` rooted at ``0`` (worst-case diameter)."""
     if n < 1:
@@ -66,6 +70,7 @@ def path_tree(n: int) -> OrientedTree:
     return OrientedTree.from_parent_map([max(i - 1, 0) for i in range(n)], root=0)
 
 
+@register_topology("star", doc="star: root 0 adjacent to all other processes")
 def star_tree(n: int) -> OrientedTree:
     """A star: root ``0`` adjacent to all other processes."""
     if n < 1:
@@ -73,6 +78,7 @@ def star_tree(n: int) -> OrientedTree:
     return OrientedTree.from_parent_map([0] * n, root=0)
 
 
+@register_topology("balanced", doc="complete branching-ary tree of the given height")
 def balanced_tree(branching: int, height: int) -> OrientedTree:
     """Complete ``branching``-ary tree of the given height (height 0 = root only)."""
     if branching < 1:
@@ -89,6 +95,7 @@ def balanced_tree(branching: int, height: int) -> OrientedTree:
     return OrientedTree.from_parent_map(parent, root=0)
 
 
+@register_topology("binary", doc="heap-shaped binary tree on n processes")
 def binary_tree(n: int) -> OrientedTree:
     """Heap-shaped binary tree on ``n`` processes (parent of i is (i-1)//2)."""
     if n < 1:
@@ -96,6 +103,7 @@ def binary_tree(n: int) -> OrientedTree:
     return OrientedTree.from_parent_map([max((i - 1) // 2, 0) for i in range(n)], root=0)
 
 
+@register_topology("caterpillar", doc="path of `spine` processes, each with `legs` leaves")
 def caterpillar_tree(spine: int, legs: int) -> OrientedTree:
     """A caterpillar: a path of ``spine`` processes, each with ``legs`` leaves."""
     if spine < 1 or legs < 0:
@@ -111,6 +119,7 @@ def caterpillar_tree(spine: int, legs: int) -> OrientedTree:
     return OrientedTree.from_parent_map(parent, root=0)
 
 
+@register_topology("broom", doc="path of `handle` processes ending in `bristles` leaves")
 def broom_tree(handle: int, bristles: int) -> OrientedTree:
     """A path of ``handle`` processes ending in ``bristles`` leaves.
 
@@ -125,6 +134,7 @@ def broom_tree(handle: int, bristles: int) -> OrientedTree:
     return OrientedTree.from_parent_map(parent, root=0)
 
 
+@register_topology("random", doc="uniform random labeled tree (Pruefer sequence)")
 def random_tree(n: int, seed: int | np.random.Generator | None = 0) -> OrientedTree:
     """Uniform random labeled tree (Prüfer sequence), rooted at ``0``."""
     if n < 1:
@@ -153,6 +163,7 @@ def random_tree(n: int, seed: int | np.random.Generator | None = 0) -> OrientedT
     return OrientedTree.from_edges(n, edges, root=0)
 
 
+@register_topology("recursive", doc="random recursive tree (shallow, root-heavy)")
 def random_recursive_tree(
     n: int, seed: int | np.random.Generator | None = 0
 ) -> OrientedTree:

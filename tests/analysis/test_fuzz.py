@@ -43,7 +43,9 @@ class TestCleanCampaigns:
     def test_same_seed_reproduces_step_for_step(self):
         """A clean campaign replays step-count-for-step-count."""
         eng, params = naive_engine()
-        inv = lambda e: take_census(e).res == params.l or "token minted/lost"
+        def inv(e):
+            return take_census(e).res == params.l or "token minted/lost"
+
         a = fuzz(eng, inv, walks=10, depth=120, seed=42)
         b = fuzz(eng, inv, walks=10, depth=120, seed=42)
         assert a.ok and b.ok
@@ -55,7 +57,9 @@ class TestCleanCampaigns:
         the swarm); witnessed via a violation's schedule."""
         eng, params = naive_engine()
         # impossible invariant: violated as soon as anyone makes progress
-        inv = lambda e: e.now == 0 or "stepped"
+        def inv(e):
+            return e.now == 0 or "stepped"
+
         a = fuzz(eng, inv, walks=1, depth=50, seed=1)
         b = fuzz(eng, inv, walks=1, depth=50, seed=2)
         assert not a.ok and not b.ok
@@ -88,7 +92,9 @@ class TestCounterexamples:
         for p in range(3):
             eng.step_pid(p, -1)
         # violated once any hog reserves its unit and enters its CS
-        inv = lambda e: e.total_cs_entries == 0 or "a hog entered its CS"
+        def inv(e):
+            return e.total_cs_entries == 0 or "a hog entered its CS"
+
         return eng, inv
 
     def test_counterexample_found_and_deterministic(self):

@@ -1,6 +1,5 @@
 """Experiment harness: convergence and waiting-time runners."""
 
-import pytest
 
 from repro.analysis.harness import (
     _first_suffix_true,

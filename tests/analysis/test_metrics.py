@@ -7,7 +7,6 @@ from repro.analysis.metrics import (
     priority_holder_bound,
     waiting_time_bound,
 )
-from repro.apps.workloads import SaturatedWorkload
 from tests.conftest import make_params, saturated_engine
 
 

@@ -23,15 +23,13 @@ from repro.analysis.parallel import (
     _shard_ranges,
     explore_parallel,
     fork_available,
-    fuzz_parallel,
     parallel_map,
-    run_sweep_parallel,
 )
 from repro.analysis.invariants import safety_ok
 from repro.core.naive import build_naive_engine
 from repro.core.priority import build_priority_engine
 from repro.core.pusher import build_pusher_engine
-from repro.topology import paper_example_tree, path_tree, random_tree, star_tree
+from repro.topology import paper_example_tree, path_tree, star_tree
 
 pytestmark = pytest.mark.skipif(
     not fork_available(), reason="parallel campaigns need the fork start method"
@@ -127,7 +125,9 @@ class TestFuzzDeterminism:
         """A genuinely-false invariant yields the same minimal
         counterexample (walk, step, schedule) at any worker count."""
         eng, params = mid_engine(topology, variant)
-        inv = lambda e: e.total_cs_entries == 0 or "a process entered its CS"
+        def inv(e):
+            return e.total_cs_entries == 0 or "a process entered its CS"
+
         serial = fuzz(eng, inv, walks=6, depth=300, seed=0)
         assert not serial.ok
         for workers in (2, 4):
@@ -181,7 +181,9 @@ class TestExploreDeterminism:
 
     def test_violation_identical(self):
         eng, params = small_engine("path", "naive")
-        inv = lambda e: e.total_cs_entries == 0 or "entered CS"
+        def inv(e):
+            return e.total_cs_entries == 0 or "entered CS"
+
         serial = explore(eng, inv, max_depth=6)
         par = explore_parallel(
             eng, inv, max_depth=6, workers=3, min_frontier=1

@@ -179,7 +179,9 @@ class TestExploreDifferential:
     @pytest.mark.parametrize("make", [small_naive, small_priority])
     def test_bfs_triple_identical(self, make):
         eng, params = make()
-        inv = lambda e: safety_ok(e, params) or "safety violated"
+        def inv(e):
+            return safety_ok(e, params) or "safety violated"
+
         snap = explore(eng, inv, max_depth=10)
         fork = explore(eng, inv, max_depth=10, method="fork")
         assert (snap.configurations, snap.transitions, snap.violation) == (
@@ -193,7 +195,9 @@ class TestExploreDifferential:
     def test_bfs_triple_identical_on_violation(self):
         eng, params = small_naive()
         # an invariant that must break: nobody may ever enter the CS
-        inv = lambda e: e.total_cs_entries == 0 or "somebody entered"
+        def inv(e):
+            return e.total_cs_entries == 0 or "somebody entered"
+
         snap = explore(eng, inv, max_depth=10)
         fork = explore(eng, inv, max_depth=10, method="fork")
         assert snap.violation == fork.violation
@@ -206,7 +210,9 @@ class TestExploreDifferential:
     def test_dfs_closes_same_state_space(self):
         """On a closed space, DFS and BFS agree on the reachable count."""
         eng, params = small_naive()
-        inv = lambda e: safety_ok(e, params) or "bad"
+        def inv(e):
+            return safety_ok(e, params) or "bad"
+
         bfs = explore(eng, inv, max_depth=40)
         dfs = explore(eng, inv, max_depth=40, strategy="dfs")
         assert bfs.exhausted and dfs.exhausted
@@ -214,7 +220,9 @@ class TestExploreDifferential:
 
     def test_dfs_fork_and_snapshot_agree(self):
         eng, params = small_priority()
-        inv = lambda e: safety_ok(e, params) or "bad"
+        def inv(e):
+            return safety_ok(e, params) or "bad"
+
         snap = explore(eng, inv, max_depth=30, strategy="dfs")
         fork = explore(eng, inv, max_depth=30, strategy="dfs", method="fork")
         assert (snap.configurations, snap.transitions, snap.violation) == (

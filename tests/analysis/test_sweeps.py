@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.sweeps import SweepCell, SweepResult, run_sweep
+from repro.analysis.sweeps import SweepCell, run_sweep
 
 
 def runner(seed, base=0):
@@ -54,3 +54,133 @@ class TestRunSweep:
     def test_std(self):
         res = run_sweep(runner, [SweepCell("a")], seeds=[0, 2])
         assert res.std("x")[0] == pytest.approx(1.0)
+
+
+class TestSpecGrid:
+    def base_spec(self):
+        from repro.spec import ScenarioBuilder
+
+        return (
+            ScenarioBuilder()
+            .variant("selfstab")
+            .topology("path", n=5)
+            .params(k=2, l=4, cmax=2)
+            .workload("saturated", cs_duration=2)
+            .fault("scramble")
+            .scheduler("random")
+            .spec()
+        )
+
+    def test_spec_grid_derives_cells(self):
+        from repro.analysis import spec_grid
+
+        cells = spec_grid(
+            self.base_spec(),
+            [("n5", {"topology.args.n": 5}), ("n7", {"topology.args.n": 7})],
+            kwargs={"max_steps": 50_000},
+        )
+        assert [c.label for c in cells] == ["n5", "n7"]
+        assert cells[0].kwargs == {"max_steps": 50_000}
+        assert cells[1].spec["topology"]["args"]["n"] == 7
+        # cells carry plain serialized mappings — picklable by construction
+        import pickle
+
+        pickle.loads(pickle.dumps(cells))
+
+    def test_spec_cells_run_through_spec_runner(self):
+        from repro.analysis import convergence_spec_runner, run_sweep, spec_grid
+
+        cells = spec_grid(
+            self.base_spec(),
+            [("n5", {"topology.args.n": 5})],
+            kwargs={"max_steps": 50_000},
+        )
+        res = run_sweep(convergence_spec_runner, cells, seeds=[0, 1])
+        assert res.labels == ["n5"]
+        assert res.mean("converged")[0] == pytest.approx(1.0)
+
+    def test_spec_runner_matches_legacy_runner(self):
+        """The spec path reproduces the historical runner bit-for-bit."""
+        from repro import KLParams
+        from repro.analysis import (
+            convergence_spec_runner,
+            convergence_sweep_runner,
+            run_sweep,
+            spec_grid,
+        )
+        from repro.topology import path_tree
+
+        cells = spec_grid(
+            self.base_spec(),
+            [(f"path-n{n}", {"topology.args.n": n}) for n in (5, 6)],
+            kwargs={"max_steps": 50_000},
+        )
+        legacy = [
+            SweepCell(
+                f"path-n{n}",
+                {
+                    "tree": path_tree(n),
+                    "params": KLParams(k=2, l=4, n=n, cmax=2),
+                    "max_steps": 50_000,
+                },
+            )
+            for n in (5, 6)
+        ]
+        a = run_sweep(convergence_spec_runner, cells, seeds=[0, 1])
+        b = run_sweep(convergence_sweep_runner, legacy, seeds=[0, 1])
+        assert a.labels == b.labels and a.metrics == b.metrics
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_spec_sweep_serial_parallel_identity(self):
+        """Campaign identity driven end-to-end through specs."""
+        from repro.analysis import convergence_spec_runner, run_sweep, spec_grid
+
+        cells = spec_grid(
+            self.base_spec(),
+            [(f"n{n}", {"topology.args.n": n}) for n in (5, 6)],
+            kwargs={"max_steps": 50_000},
+        )
+        serial = run_sweep(convergence_spec_runner, cells, seeds=[0, 1])
+        parallel = run_sweep(
+            convergence_spec_runner, cells, seeds=[0, 1], workers=2
+        )
+        assert serial.labels == parallel.labels
+        assert serial.metrics == parallel.metrics
+        assert np.array_equal(serial.values, parallel.values, equal_nan=True)
+
+    def test_waiting_spec_runner_matches_legacy(self):
+        from repro import KLParams
+        from repro.analysis import (
+            run_sweep,
+            spec_grid,
+            waiting_spec_runner,
+            waiting_sweep_runner,
+        )
+        from repro.spec import ScenarioBuilder
+        from repro.topology import star_tree
+
+        base = (
+            ScenarioBuilder()
+            .variant("selfstab", init="tokens")
+            .topology("star", n=5)
+            .params(k=1, l=1, cmax=2)
+            .workload("saturated", need=1, cs_duration=1)
+            .scheduler("random")
+            .spec()
+        )
+        cells = spec_grid(
+            base, [("star-n5", {})], kwargs={"measure_steps": 8_000}
+        )
+        legacy = [
+            SweepCell(
+                "star-n5",
+                {
+                    "tree": star_tree(5),
+                    "params": KLParams(k=1, l=1, n=5, cmax=2),
+                    "measure_steps": 8_000,
+                },
+            )
+        ]
+        a = run_sweep(waiting_spec_runner, cells, seeds=[0, 1])
+        b = run_sweep(waiting_sweep_runner, legacy, seeds=[0, 1])
+        assert np.array_equal(a.values, b.values, equal_nan=True)

@@ -1,7 +1,5 @@
 """Centralized allocator: correctness and its (non-)fault-tolerance."""
 
-import pytest
-
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.apps.workloads import HogWorkload, OneShotWorkload
 from repro.baselines.central import build_central_engine

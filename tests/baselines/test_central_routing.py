@@ -8,7 +8,7 @@ from repro.baselines.central import (
     _routing_tables,
     build_central_engine,
 )
-from repro.topology import paper_example_tree, path_tree
+from repro.topology import path_tree
 
 
 class TestRoutingTables:

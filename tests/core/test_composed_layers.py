@@ -1,9 +1,7 @@
 """Fine-grained spanning-tree layer behavior in the composition."""
 
-import pytest
-
 from repro import KLParams, RoundRobinScheduler
-from repro.core.composed import Beacon, ComposedNode, build_composed_engine
+from repro.core.composed import Beacon, build_composed_engine
 from repro.topology.graphs import grid_graph, ring_graph
 
 

@@ -38,7 +38,7 @@ class TestChannelOccupancy:
     def test_timeout_storm_bounded_even_with_tiny_interval(self, paper_tree):
         """Even a pathological timeout cannot blow up queues unboundedly:
         duplicate controllers die at validity checks within one lap."""
-        from repro import KLParams, RandomScheduler, SaturatedWorkload
+        from repro import RandomScheduler, SaturatedWorkload
         from repro.core.selfstab import build_selfstab_engine
         params = make_params(paper_tree, k=2, l=3)
         apps = [SaturatedWorkload(1, cs_duration=2) for _ in range(paper_tree.n)]

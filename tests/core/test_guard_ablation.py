@@ -12,7 +12,7 @@ import pytest
 from repro import KLParams
 from repro.apps.workloads import OneShotWorkload
 from repro.core.placement import clear_all_channels, place_tokens
-from repro.core.priority import PriorityProcess, build_priority_engine
+from repro.core.priority import build_priority_engine
 from repro.core.pusher import PusherProcess, build_pusher_engine
 from repro.topology import path_tree
 

@@ -3,7 +3,6 @@
 from repro.analysis import safety_ok, take_census
 from repro.scenarios import FIG2_NEEDS, run_fig2_deadlock
 from repro.topology import paper_example_tree
-from tests.conftest import make_params, saturated_engine
 
 
 class TestFig2Deadlock:

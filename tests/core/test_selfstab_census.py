@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import population_correct, stabilize, take_census
+from repro.analysis import stabilize, take_census
 from repro.core.messages import PrioT, PushT, ResT
 from repro.sim.faults import drop_random_token, duplicate_random_token
 from tests.conftest import make_params, saturated_engine

@@ -4,7 +4,7 @@ from repro import KLParams, RandomScheduler
 from repro.core.messages import Ctrl
 from repro.core.selfstab import build_selfstab_engine
 from repro.sim.trace import Trace
-from repro.topology import build_virtual_ring, paper_example_tree, path_tree
+from repro.topology import build_virtual_ring, path_tree
 from tests.conftest import make_params, saturated_engine
 
 
@@ -18,7 +18,6 @@ class TestBootstrap:
         assert root.circulations >= 1
 
     def test_root_creates_tokens_on_first_census(self, paper_tree):
-        from repro.analysis import take_census
         params = make_params(paper_tree)
         engine, _ = saturated_engine(paper_tree, params)
         root = engine.process(0)

@@ -7,7 +7,7 @@ from repro.analysis import run_waiting_time, stabilize
 from repro.analysis.metrics import priority_holder_bound, waiting_time_bound
 from repro.apps.workloads import HogWorkload, OneShotWorkload, SaturatedWorkload
 from repro.core.selfstab import build_selfstab_engine
-from repro.topology import paper_example_tree, path_tree, star_tree
+from repro.topology import path_tree, star_tree
 from tests.conftest import make_params, saturated_engine
 
 

@@ -1,11 +1,8 @@
 """The §5 remark: unbounded process memory removes the CMAX assumption."""
 
-import pytest
-
 from repro import KLParams
 from repro.analysis import domains_ok, population_correct, stabilize, take_census
 from repro.sim.faults import scramble_configuration
-from repro.topology import paper_example_tree
 from tests.conftest import saturated_engine
 
 
@@ -50,7 +47,6 @@ class TestUnboundedMemory:
     def test_garbage_beyond_root_counter_is_flushed(self, paper_tree):
         """Garbage flags *ahead* of the root's counter are the worst case
         for unbounded counters: the root must climb past them."""
-        from repro.core.messages import Ctrl
         params = make_params(paper_tree)
         engine, _ = saturated_engine(paper_tree, params, seed=5)
         assert stabilize(engine, params)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.messages import Message, ResT
+from repro.core.messages import ResT
 from repro.sim.engine import Engine
 from repro.sim.network import Network
 from repro.sim.process import Process

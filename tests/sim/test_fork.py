@@ -1,6 +1,5 @@
 """Engine forking: independent futures from one configuration."""
 
-from repro.analysis import take_census
 from repro.analysis.explore import canonical_digest
 from tests.conftest import make_params, saturated_engine
 

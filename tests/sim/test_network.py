@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.messages import PrioT, PushT, ResT
 from repro.sim.network import Network
-from repro.topology import paper_example_tree, path_tree
+from repro.topology import path_tree
 
 
 class TestFromTree:

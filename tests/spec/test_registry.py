@@ -1,0 +1,98 @@
+"""Registry mechanics: self-registration, lookups, error quality."""
+
+import pytest
+
+from repro.spec import (
+    FAULTS,
+    SCENARIOS,
+    TOPOLOGIES,
+    VARIANTS,
+    WORKLOADS,
+    Registry,
+    SpecError,
+    UnknownSpecKey,
+)
+
+
+class TestPopulation:
+    def test_core_variants_registered(self):
+        for name in ("naive", "pusher", "priority", "selfstab"):
+            assert name in VARIANTS
+
+    def test_baseline_variants_registered(self):
+        assert "central" in VARIANTS and "ring" in VARIANTS
+
+    def test_every_generator_is_a_topology(self):
+        assert set(TOPOLOGIES.names()) == {
+            "balanced", "binary", "broom", "caterpillar", "livelock",
+            "paper", "path", "random", "recursive", "star",
+        }
+
+    def test_every_workload_registered(self):
+        assert set(WORKLOADS.names()) == {
+            "hog", "idle", "oneshot", "saturated", "scripted", "stochastic",
+        }
+
+    def test_fault_injectors_registered(self):
+        assert set(FAULTS.names()) == {
+            "channel-garbage", "corrupt-process", "drop-token",
+            "duplicate-token", "scramble",
+        }
+
+    def test_figure_scenarios_registered(self):
+        for name in ("fig1-circulation", "fig2-deadlock", "fig3-livelock"):
+            assert name in SCENARIOS
+
+    def test_every_entry_has_a_doc_line(self):
+        for registry in (VARIANTS, TOPOLOGIES, WORKLOADS, FAULTS, SCENARIOS):
+            for entry in registry.entries():
+                assert entry.doc, f"{registry.kind} {entry.name} lacks a doc"
+                assert "\n" not in entry.doc
+
+    def test_variant_meta_flags(self):
+        assert VARIANTS.entry("selfstab").meta["explorable"] is False
+        assert VARIANTS.entry("priority").meta["explorable"] is True
+        assert VARIANTS.entry("central").meta["fuzzable"] is False
+
+
+class TestLookup:
+    def test_unknown_key_lists_choices(self):
+        with pytest.raises(UnknownSpecKey) as exc:
+            VARIANTS.get("frobnicate")
+        msg = str(exc.value)
+        assert "frobnicate" in msg
+        for name in VARIANTS.names():
+            assert name in msg
+
+    def test_unknown_topology_uses_proper_plural(self):
+        with pytest.raises(UnknownSpecKey, match="valid topologies"):
+            TOPOLOGIES.get("nope")
+
+    def test_unknown_key_is_a_spec_error(self):
+        with pytest.raises(SpecError):
+            WORKLOADS.get("nope")
+
+    def test_len_iter_contains(self):
+        assert len(TOPOLOGIES) == 10
+        assert list(TOPOLOGIES) == TOPOLOGIES.names()
+        assert "nope" not in TOPOLOGIES
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("thing")
+        reg.register("x", doc="first")(lambda: None)
+        with pytest.raises(SpecError, match="duplicate"):
+            reg.register("x", doc="second")
+
+    def test_doc_defaults_to_first_docstring_line(self):
+        reg = Registry("thing")
+
+        @reg.register("y")
+        def provider():
+            """One line.
+
+            More detail.
+            """
+
+        assert reg.entry("y").doc == "One line."

@@ -131,3 +131,188 @@ class TestCommands:
         args = build_parser().parse_args(["explore"])
         assert args.n == 4 and args.l == 2
         assert args.variant == "priority" and args.max_depth == 8
+
+
+class TestList:
+    def test_lists_every_registry_section(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("variants:", "topologies:", "workloads:",
+                        "faults:", "scenarios:"):
+            assert section in out
+        for key in ("selfstab", "caterpillar", "stochastic", "scramble",
+                    "fig3-livelock"):
+            assert key in out
+
+    def test_variant_capability_markers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "no explore" in out  # selfstab is excluded from explore
+
+
+class TestRegistryErrors:
+    def test_unknown_tree_lists_choices(self, capsys):
+        assert main(["demo", "--tree", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown topology 'nope'" in err
+        assert "caterpillar" in err and "paper" in err
+
+    def test_unknown_variant_lists_choices(self, capsys):
+        assert main(["fuzz", "--variant", "nope", "--walks", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown variant 'nope'" in err
+        assert "priority" in err and "selfstab" in err
+
+    def test_unknown_workload_lists_choices(self, capsys):
+        assert main(["wait", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'nope'" in err
+        assert "saturated" in err and "hog" in err
+
+    def test_selfstab_explore_rejected_with_reason(self, capsys):
+        assert main(["explore", "--variant", "selfstab"]) == 2
+        err = capsys.readouterr().err
+        assert "selfstab" in err and "explor" in err
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["demo", "--spec", "/nonexistent/spec.json"]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+
+class TestWorkloadFlag:
+    def test_demo_stochastic_workload(self, capsys):
+        rc = main(["demo", "--tree", "paper", "--l", "3", "--steps", "6000",
+                   "--workload", "stochastic:p=0.4,max_need=2"])
+        assert rc == 0
+        assert "requests satisfied" in capsys.readouterr().out
+
+    def test_wait_scripted_workload(self, capsys):
+        rc = main(["wait", "--tree", "star", "--n", "4", "--k", "1", "--l", "2",
+                   "--steps", "6000",
+                   "--workload", "scripted:script=0/1/2;50/1/3"])
+        assert rc == 0
+        assert "within bound" in capsys.readouterr().out
+
+    def test_demo_hog_workload_runs(self, capsys):
+        rc = main(["demo", "--tree", "star", "--n", "5", "--k", "2", "--l", "4",
+                   "--steps", "4000", "--workload", "hog:need=1"])
+        assert rc == 0
+
+
+class TestSpecManifests:
+    def test_dump_then_replay_is_identical(self, tmp_path, capsys):
+        argv = ["demo", "--tree", "paper", "--l", "3", "--steps", "6000",
+                "--seed", "5"]
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        manifest = tmp_path / "demo.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        dumped = capsys.readouterr()
+        assert dumped.out == ""  # --dump-spec writes the file, not a run
+        assert main(["demo", "--spec", str(manifest), "--steps", "6000"]) == 0
+        replayed = capsys.readouterr().out
+        assert replayed == direct
+
+    def test_converge_dump_then_replay_is_identical(self, tmp_path, capsys):
+        argv = ["converge", "--tree", "path", "--n", "6", "--seed", "2"]
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        manifest = tmp_path / "conv.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["converge", "--spec", str(manifest)]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_fuzz_spec_replay_matches_flags(self, tmp_path, capsys):
+        argv = ["fuzz", "--tree", "paper", "--variant", "priority", "--l", "3",
+                "--walks", "4", "--depth", "100"]
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        manifest = tmp_path / "fuzz.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["fuzz", "--spec", str(manifest), "--walks", "4",
+                     "--depth", "100"]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_dump_spec_to_stdout(self, capsys):
+        assert main(["wait", "--dump-spec", "-"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        spec = json.loads(out)
+        assert spec["variant"] == "selfstab"
+        assert spec["variant_options"] == {"init": "tokens"}
+
+    def test_sweep_spec_manifest_drives_grid(self, tmp_path, capsys):
+        # non-default --seed: the replay must reproduce it from the
+        # manifest, not fall back to seed 0
+        argv = ["sweep", "--tree", "path", "--sizes", "5,6", "--seeds", "2",
+                "--seed", "9", "--steps", "50000"]
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        manifest = tmp_path / "sweep.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(manifest), "--experiment",
+                     "converge", "--sizes", "5,6", "--seeds", "2",
+                     "--steps", "50000"]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_sweep_spec_requires_explicit_experiment(self, tmp_path, capsys):
+        manifest = tmp_path / "sweep.json"
+        assert main(["sweep", "--tree", "path", "--sizes", "5",
+                     "--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(manifest), "--sizes", "5"]) == 2
+        assert "--experiment is required with --spec" in capsys.readouterr().err
+
+    def test_caterpillar_tree_spec_string(self, capsys):
+        rc = main(["demo", "--tree", "caterpillar:spine=3,legs=2",
+                   "--l", "3", "--steps", "5000"])
+        assert rc == 0
+
+    def test_sweep_wait_manifest_replay(self, tmp_path, capsys):
+        argv = ["sweep", "--experiment", "wait", "--tree", "star",
+                "--sizes", "5", "--seeds", "2", "--k", "1", "--l", "1",
+                "--steps", "8000"]
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        manifest = tmp_path / "wait-sweep.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(manifest), "--experiment",
+                     "wait", "--sizes", "5", "--seeds", "2",
+                     "--steps", "8000"]) == 0
+        replayed = capsys.readouterr().out
+        assert "experiment       : wait" in replayed
+        assert replayed == direct
+
+    def test_fuzz_spec_replay_reproduces_nondefault_seed(self, tmp_path, capsys):
+        # the walk RNG must key off the manifest's seed, not --seed's
+        # default, or counterexamples would not reproduce from manifests
+        argv = ["fuzz", "--tree", "paper", "--variant", "priority",
+                "--l", "3", "--walks", "4", "--depth", "100", "--seed", "7"]
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        assert "(seed 7)" in direct
+        manifest = tmp_path / "fuzz7.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["fuzz", "--spec", str(manifest), "--walks", "4",
+                     "--depth", "100"]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_explore_rejects_time_dependent_spec(self, tmp_path, capsys):
+        # a fuzz-shaped manifest (cs_duration=2) is unsound to explore
+        manifest = tmp_path / "fuzz.json"
+        assert main(["fuzz", "--tree", "star", "--n", "3", "--variant",
+                     "priority", "--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["explore", "--spec", str(manifest)]) == 2
+        assert "time-independent" in capsys.readouterr().err
+
+    def test_scripted_workload_scalar_script_is_clean_error(self, capsys):
+        assert main(["demo", "--tree", "star", "--n", "3",
+                     "--workload", "scripted:script=5"]) == 2
+        assert "triples" in capsys.readouterr().err

@@ -1,6 +1,6 @@
 """ASCII rendering."""
 
-from repro.topology import build_virtual_ring, paper_example_tree
+from repro.topology import build_virtual_ring
 from repro.viz import render_configuration, render_ring, render_tree
 from tests.conftest import make_params, saturated_engine
 
