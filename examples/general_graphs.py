@@ -50,7 +50,7 @@ def main() -> None:
     engine.run(80_000)
     print(f"\nService check: census={take_census(engine).as_tuple()}, "
           f"safety={safety_ok(engine, params)}")
-    print("per-node CS entries:", engine.counters["enter_cs"])
+    print("per-node CS entries:", list(engine.counter_row("enter_cs")))
 
     print("\n*** transient fault hits both layers ***")
     scramble_configuration(engine, params, seed=77)
@@ -62,7 +62,7 @@ def main() -> None:
           f"census={take_census(engine).as_tuple()}")
     engine.run(40_000)
     assert safety_ok(engine, params)
-    print("post-fault CS entries:", engine.counters["enter_cs"])
+    print("post-fault CS entries:", list(engine.counter_row("enter_cs")))
 
 
 if __name__ == "__main__":

@@ -60,9 +60,9 @@ def main() -> None:
 
     print("\nPer-process CS entries:")
     for p in range(tree.n):
-        bar = "#" * (engine.counters["enter_cs"][p] // 20)
-        print(f"  p{p:<2} need={apps[p].need}: "
-              f"{engine.counters['enter_cs'][p]:5d} {bar}")
+        entries = engine.counter("enter_cs", p)
+        bar = "#" * (entries // 20)
+        print(f"  p{p:<2} need={apps[p].need}: {entries:5d} {bar}")
 
 
 if __name__ == "__main__":

@@ -54,11 +54,16 @@ from .core import (
     build_selfstab_engine,
 )
 from .sim import (
+    ChannelStatsObserver,
     Engine,
+    InvariantObserver,
+    NullObserver,
+    Observer,
     RandomScheduler,
     RoundRobinScheduler,
     ScriptedScheduler,
     Trace,
+    TraceObserver,
 )
 from .spec import (
     BuiltScenario,
@@ -94,6 +99,11 @@ __all__ = [
     "scenario_spec",
     # sim
     "Engine",
+    "Observer",
+    "NullObserver",
+    "TraceObserver",
+    "InvariantObserver",
+    "ChannelStatsObserver",
     "RandomScheduler",
     "RoundRobinScheduler",
     "ScriptedScheduler",

@@ -24,7 +24,7 @@ Submodules
     Token tracking and circulation lap times.
 """
 
-from .census import TokenCensus, population_correct, take_census
+from .census import CensusObserver, TokenCensus, population_correct, take_census
 from .explore import ExplorationResult, canonical_digest, explore
 from .fuzz import FuzzResult, campaign_result, fuzz, replay_schedule, run_walk_range
 from .harness import (
@@ -38,7 +38,14 @@ from .harness import (
     waiting_spec_runner,
     waiting_sweep_runner,
 )
-from .invariants import SafetyReport, check_safety, domains_ok, safety_ok, units_in_use
+from .invariants import (
+    SafetyObserver,
+    SafetyReport,
+    check_safety,
+    domains_ok,
+    safety_ok,
+    units_in_use,
+)
 from .metrics import (
     RunMetrics,
     collect_metrics,
@@ -91,6 +98,7 @@ __all__ = [
     "lap_times",
     "track_tokens",
     "TokenCensus",
+    "CensusObserver",
     "population_correct",
     "take_census",
     "ConvergenceResult",
@@ -103,6 +111,7 @@ __all__ = [
     "convergence_spec_runner",
     "waiting_spec_runner",
     "SafetyReport",
+    "SafetyObserver",
     "check_safety",
     "domains_ok",
     "safety_ok",

@@ -1,0 +1,181 @@
+"""Kernel throughput measurement (``repro bench`` and the CI perf gate).
+
+Measures steps/second of the observer-free stepping kernel across a
+matrix of variant × topology scenarios, so the perf trajectory of the
+hot loop accumulates in ``BENCH_kernel.json`` instead of living only in
+one-off benchmark logs.  The same rows back the README's performance
+table, the ``repro bench`` subcommand, and the
+``benchmarks/test_bench_perf_engine.py`` regression gate (which adds a
+differential ratio against a fossil of the pre-kernel step loop).
+
+Timing protocol: build the scenario from its :class:`ScenarioSpec`,
+warm up (token placement and scheduler buffers settle), then take the
+best of ``repeat`` timed ``engine.run(steps)`` windows — best-of, not
+mean, because the quantity of interest is the kernel's attainable
+throughput, and transient machine noise only ever subtracts from it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..spec.spec import ScenarioSpec
+from ..spec.builder import ScenarioBuilder
+
+__all__ = [
+    "BenchRow",
+    "bench_engine",
+    "bench_spec",
+    "default_bench_matrix",
+    "run_kernel_bench",
+    "write_bench_json",
+    "render_bench_table",
+]
+
+#: Default measured window per scenario (steps).
+DEFAULT_STEPS = 150_000
+#: Default warmup before the first timed window (steps).
+DEFAULT_WARMUP = 5_000
+#: Default timed repetitions (best is kept).
+DEFAULT_REPEAT = 3
+
+
+@dataclass(slots=True)
+class BenchRow:
+    """One measured scenario."""
+
+    scenario: str
+    variant: str
+    topology: str
+    n: int
+    steps: int
+    steps_per_sec: float
+
+
+def bench_engine(
+    engine,
+    *,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+    repeat: int = DEFAULT_REPEAT,
+) -> float:
+    """Best observed steps/second of ``engine.run`` over ``repeat`` windows."""
+    if steps < 1 or repeat < 1:
+        raise ValueError("steps and repeat must be >= 1")
+    engine.run(warmup)
+    best = 0.0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        engine.run(steps)
+        elapsed = time.perf_counter() - t0
+        best = max(best, steps / elapsed)
+    return best
+
+
+def bench_spec(
+    label: str,
+    spec: ScenarioSpec,
+    *,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+    repeat: int = DEFAULT_REPEAT,
+) -> BenchRow:
+    """Build ``spec`` (observer-free) and measure its kernel throughput."""
+    built = spec.without_observers().build()
+    rate = bench_engine(
+        built.engine, steps=steps, warmup=warmup, repeat=repeat
+    )
+    return BenchRow(
+        scenario=label,
+        variant=spec.variant,
+        topology=spec.topology.kind,
+        n=built.tree.n,
+        steps=steps,
+        steps_per_sec=rate,
+    )
+
+
+def _scenario(variant: str, topology: str, n: int, seed: int = 1, **topo_args):
+    builder = (
+        ScenarioBuilder()
+        .topology(topology, n=n, **({"seed": seed} if topology == "random" else topo_args))
+        .params(k=2, l=4)
+        .workload("saturated", cs_duration=2)
+        .scheduler("random", seed=seed)
+        .seed(seed)
+    )
+    if variant in ("selfstab", "ring"):
+        builder.variant(variant, init="tokens")
+    else:
+        builder.variant(variant)
+    return builder.spec()
+
+
+def default_bench_matrix() -> list[tuple[str, ScenarioSpec]]:
+    """The standard variant × topology matrix behind ``BENCH_kernel.json``.
+
+    ``selfstab-ring-n16`` is the headline scenario the regression gate
+    compares against the pre-kernel fossil; the rest track every
+    registered token-circulation variant on representative topologies.
+    """
+    return [
+        ("selfstab-ring-n16", _scenario("ring", "path", 16)),
+        ("selfstab-tree-n16", _scenario("selfstab", "random", 16)),
+        ("selfstab-tree-n64", _scenario("selfstab", "random", 64)),
+        ("priority-tree-n16", _scenario("priority", "random", 16)),
+        ("pusher-tree-n16", _scenario("pusher", "random", 16)),
+        ("naive-path-n16", _scenario("naive", "path", 16)),
+    ]
+
+
+def run_kernel_bench(
+    matrix: Sequence[tuple[str, ScenarioSpec]] | None = None,
+    *,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+    repeat: int = DEFAULT_REPEAT,
+    progress: Callable[[BenchRow], None] | None = None,
+) -> list[BenchRow]:
+    """Measure every scenario of ``matrix`` (default: the standard one)."""
+    rows = []
+    for label, spec in matrix if matrix is not None else default_bench_matrix():
+        row = bench_spec(label, spec, steps=steps, warmup=warmup, repeat=repeat)
+        if progress is not None:
+            progress(row)
+        rows.append(row)
+    return rows
+
+
+def write_bench_json(
+    rows: Sequence[BenchRow],
+    path: str | Path,
+    *,
+    extra: dict | None = None,
+) -> None:
+    """Write the ``BENCH_kernel.json`` artifact (one self-contained doc)."""
+    doc = {
+        "benchmark": "kernel-steps-per-sec",
+        "created_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "rows": [asdict(r) for r in rows],
+    }
+    if extra:
+        doc.update(extra)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def render_bench_table(rows: Sequence[BenchRow]) -> str:
+    """Fixed-width table of the measured rows (CLI + README source)."""
+    width = max(len(r.scenario) for r in rows)
+    lines = [f"{'scenario'.ljust(width)}  {'variant':>9}  {'n':>4}  {'steps/sec':>12}"]
+    for r in rows:
+        lines.append(
+            f"{r.scenario.ljust(width)}  {r.variant:>9}  {r.n:>4}  "
+            f"{r.steps_per_sec:>12,.0f}"
+        )
+    return "\n".join(lines)

@@ -225,6 +225,10 @@ def explore(
             workers=workers, progress=progress, min_frontier=min_frontier,
         )
     work = engine.fork()
+    # Exploration runs on the observer-free kernel: instrumentation on
+    # the private fork could only slow the search (snapshots and digests
+    # never include it — save_state is observer-neutral).
+    work.clear_observers()
     bad = _check(invariant, work, 0)
     if bad is not None:
         return ExplorationResult(1, 0, False, bad, [1])

@@ -124,6 +124,9 @@ def fuzz(
     if depth < 1:
         raise ValueError("depth must be >= 1")
     work = engine.fork()
+    # Walks run on the observer-free kernel (the fork is private and its
+    # instrumentation is never read; save_state is observer-neutral).
+    work.clear_observers()
     msg = _verdict(invariant(work))
     if msg is not None:
         return FuzzResult(walks, depth, seed, 0, [], (0, 0, msg), [])

@@ -22,8 +22,17 @@ from dataclasses import dataclass, field
 from ..core.base import IN, OUT, REQ
 from ..core.params import KLParams
 from ..sim.engine import Engine
+from ..sim.observers import InvariantObserver
+from ..spec.registry import register_observer
 
-__all__ = ["SafetyReport", "check_safety", "safety_ok", "domains_ok", "units_in_use"]
+__all__ = [
+    "SafetyReport",
+    "check_safety",
+    "safety_ok",
+    "domains_ok",
+    "units_in_use",
+    "SafetyObserver",
+]
 
 
 @dataclass(slots=True)
@@ -76,6 +85,35 @@ def check_safety(engine: Engine, params: KLParams) -> SafetyReport:
 def safety_ok(engine: Engine, params: KLParams) -> bool:
     """Shorthand: the current configuration satisfies safety."""
     return check_safety(engine, params).ok
+
+
+class SafetyObserver(InvariantObserver):
+    """Continuous k-out-of-ℓ safety probe as an engine observer.
+
+    Evaluates :func:`check_safety` every ``every`` steps of the live
+    run; the first violation is kept as ``(step, message)`` and all
+    violating samples are counted.  This is the observer-layer form of
+    the probe the convergence harness applies between run chunks —
+    attach it when the *exact* violation step matters more than
+    throughput (a step-level hook moves the engine off the batched
+    kernel loop).
+    """
+
+    def __init__(self, params: KLParams, *, every: int = 1) -> None:
+        self.params = params
+
+        def probe(engine: Engine) -> bool | str:
+            rep = check_safety(engine, params)
+            return True if rep.ok else "; ".join(rep.violations)
+
+        super().__init__(probe, every=every)
+
+
+@register_observer(
+    "safety", doc="continuous safety probe (k/l taken from the scenario params)"
+)
+def _safety_observer(params: KLParams, *, every: int = 1) -> SafetyObserver:
+    return SafetyObserver(params, every=every)
 
 
 def domains_ok(engine: Engine, params: KLParams) -> SafetyReport:

@@ -97,11 +97,13 @@ def collect_metrics(
                     wait_steps.append(rec.waiting_steps)
     return RunMetrics(
         steps=engine.now,
-        cs_entries=engine.total_cs_entries,
+        cs_entries=engine.cs_entries(),
         requests=requests,
         satisfied=satisfied,
         max_waiting_time=max(waits) if waits else None,
         mean_waiting_time=float(mean(waits)) if waits else None,
         max_waiting_steps=max(wait_steps) if wait_steps else None,
-        messages_by_type=dict(engine.sent_by_type),
+        # non-mutating accessors: collecting metrics must never perturb
+        # the engine's snapshot codec (see Engine.counter)
+        messages_by_type=engine.message_counts(),
     )

@@ -353,6 +353,7 @@ def fuzz_parallel(
     if depth < 1:
         raise ValueError("depth must be >= 1")
     work = engine.fork()
+    work.clear_observers()  # walks run on the observer-free kernel
     msg = _verdict(invariant(work))
     if msg is not None:
         return FuzzResult(walks, depth, seed, 0, [], (0, 0, msg), [])
@@ -447,6 +448,7 @@ def explore_parallel(
     """
     workers = _effective_workers(workers)
     work = engine.fork()
+    work.clear_observers()  # frontier expansion on the observer-free kernel
     bad = _check(invariant, work, 0)
     if bad is not None:
         return ExplorationResult(1, 0, False, bad, [1])

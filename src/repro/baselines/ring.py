@@ -289,11 +289,25 @@ def _ring_variant(
     scheduler: Scheduler | None = None,
     *,
     trace: Trace | None = None,
-    **options,
+    timeout_interval: int | None = None,
+    init: str = "empty",
 ) -> Engine:
-    """Spec adapter: run the ring baseline on a ring of ``tree.n`` processes."""
+    """Spec adapter: run the ring baseline on a ring of ``tree.n`` processes.
+
+    The options are spelled out (rather than forwarded as ``**kwargs``)
+    so a spec naming an unknown ``variant_options`` key fails with the
+    registry's bad-argument :class:`~repro.spec.SpecError` — which lists
+    this signature, i.e. the valid options — instead of a raw
+    ``TypeError`` from deep inside the builder.
+    """
     return build_ring_engine(
-        tree.n, params, apps, scheduler, trace=trace, **options
+        tree.n,
+        params,
+        apps,
+        scheduler,
+        trace=trace,
+        timeout_interval=timeout_interval,
+        init=init,
     )
 
 

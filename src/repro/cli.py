@@ -25,8 +25,11 @@ Commands
     depth bound and check safety/census invariants at each reachable
     configuration (model checking in miniature).
 ``list``
-    Enumerate every registered variant, topology, workload, fault and
-    named scenario with a one-line description.
+    Enumerate every registered variant, topology, workload, fault,
+    observer and named scenario with a one-line description.
+``bench``
+    Measure kernel throughput (steps/sec) across the standard variant ×
+    topology matrix and write the ``BENCH_kernel.json`` artifact.
 
 Every scenario-taking command parses its flags into a declarative
 :class:`~repro.spec.ScenarioSpec` and constructs the engine exclusively
@@ -41,6 +44,11 @@ exactly — the pair is the reproducibility contract.  ``--tree`` and
 campaign across worker processes (results are identical to the serial
 run for any worker count) and ``--progress`` to report shard completion
 on stderr.  Every command accepts ``--seed`` and is fully deterministic.
+
+Long-running commands accept ``--no-stats``: the scenario's observer
+stack (e.g. one declared in a ``--spec`` manifest) is dropped and the
+run executes on the observer-free kernel.  Results are unchanged —
+observers are instrumentation, never simulation state — only faster.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ from typing import Callable, Sequence
 
 from .spec import (
     FAULTS,
+    OBSERVERS,
     SCENARIOS,
     TOPOLOGIES,
     VARIANTS,
@@ -177,14 +186,23 @@ def _campaign_spec(args: argparse.Namespace, *, cs_duration: int) -> ScenarioSpe
 def _resolve_spec(
     args: argparse.Namespace, default: Callable[[], ScenarioSpec]
 ) -> ScenarioSpec:
-    """The command's scenario: the ``--spec`` manifest, or built from flags."""
+    """The command's scenario: the ``--spec`` manifest, or built from flags.
+
+    ``--no-stats`` drops the resolved spec's observer stack — the run is
+    byte-identical either way (observers never influence an execution),
+    it just stays on the observer-free kernel.
+    """
     if getattr(args, "spec", None):
         try:
             text = Path(args.spec).read_text()
         except OSError as exc:
             raise SpecError(f"cannot read spec file {args.spec!r}: {exc}") from None
-        return ScenarioSpec.from_json(text)
-    return default()
+        spec = ScenarioSpec.from_json(text)
+    else:
+        spec = default()
+    if getattr(args, "no_stats", False):
+        spec = spec.without_observers()
+    return spec
 
 
 def _dump_spec(args: argparse.Namespace, spec: ScenarioSpec) -> bool:
@@ -319,6 +337,11 @@ def _add_common(p: argparse.ArgumentParser, *, workload: bool = False) -> None:
         help="write the scenario spec as a JSON manifest ('-' for stdout) "
              "and exit without running",
     )
+    p.add_argument(
+        "--no-stats", action="store_true",
+        help="drop the scenario's observer stack (run on the observer-free "
+             "kernel; results are identical, just faster)",
+    )
 
 
 def _add_campaign(p: argparse.ArgumentParser) -> None:
@@ -387,6 +410,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--walks", type=int, default=64, help="independent random walks")
     p.add_argument("--depth", type=int, default=400, help="steps per walk")
     _add_campaign(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure kernel throughput (steps/sec) and write BENCH_kernel.json",
+    )
+    p.add_argument(
+        "--steps", type=int, default=150_000,
+        help="measured steps per scenario (default: 150000)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed repetitions per scenario, best kept (default: 3)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE", default="BENCH_kernel.json",
+        help="JSON artifact path (default: BENCH_kernel.json; '' to skip)",
+    )
 
     p = sub.add_parser(
         "explore",
@@ -496,6 +536,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ("topologies", TOPOLOGIES),
         ("workloads", WORKLOADS),
         ("faults", FAULTS),
+        ("observers", OBSERVERS),
         ("scenarios", SCENARIOS),
     )
     for title, registry in sections:
@@ -511,6 +552,31 @@ def cmd_list(_: argparse.Namespace) -> int:
             suffix = f"  [{', '.join(notes)}]" if notes else ""
             print(f"  {e.name.ljust(width)}  {e.doc}{suffix}")
         print()
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.bench import (
+        render_bench_table,
+        run_kernel_bench,
+        write_bench_json,
+    )
+
+    if args.steps < 1 or args.repeat < 1:
+        print("--steps and --repeat must be >= 1", file=sys.stderr)
+        return 2
+    rows = run_kernel_bench(
+        steps=args.steps,
+        repeat=args.repeat,
+        progress=lambda row: print(
+            f"[bench] {row.scenario}: {row.steps_per_sec:,.0f} steps/s",
+            file=sys.stderr,
+        ),
+    )
+    print(render_bench_table(rows))
+    if args.out:
+        write_bench_json(rows, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -689,6 +755,7 @@ _COMMANDS = {
     "wait": cmd_wait,
     "figures": cmd_figures,
     "list": cmd_list,
+    "bench": cmd_bench,
     "sweep": cmd_sweep,
     "fuzz": cmd_fuzz,
     "explore": cmd_explore,

@@ -118,46 +118,51 @@ class TokenProcessBase(Process):
     # Loop tail (subclasses extend on_local; order follows the paper)
     # ------------------------------------------------------------------
     def on_local(self) -> None:
-        self._local_request_intake()
-        self._local_cs_entry()
-        self._local_cs_exit()
+        """One flattened pass over the paper's loop-tail actions.
 
-    def _local_request_intake(self) -> None:
-        """Application-driven ``Out → Req`` transition."""
-        if self.state != OUT or self.app is None:
-            return
-        need = self.app.maybe_request(self.ctx.now)
-        if need is None:
-            return
-        self.need = max(0, min(need, self.params.k))
-        self.state = REQ
-        self.app.notify_request(self.ctx.now, self.need)
-        self.ctx.bump("request")
-        self.ctx.record("request", self.need)
-
-    def _local_cs_entry(self) -> None:
-        """Paper lines 78–81 / 62–65: ``Req → In`` and ``EnterCS()``.
-
-        Degenerate single-process network (Δp = 0): no channels exist, so
-        no tokens can circulate; the lone process owns all ℓ units and
-        enters immediately.
+        Executed once per engine step, so the three transitions are
+        inlined in paper order — request intake (``Out → Req``), CS
+        entry (lines 78–81 / 62–65, with ``EnterCS()``), CS release
+        (lines 82–91 / 66–72) — each re-reading ``State`` so a process
+        can fall through ``Out → Req → In`` within one step, exactly as
+        the sequential method chain this replaces did.  The degenerate
+        single-process network (Δp = 0) enters immediately: no channels
+        exist, so no tokens can circulate and the lone process owns all
+        ℓ units.
         """
+        ctx = self.ctx
+        eng = ctx.engine
+        app = self.app
+        if self.state == OUT and app is not None:
+            need = app.maybe_request(eng.now)
+            if need is not None:
+                self.need = max(0, min(need, self.params.k))
+                self.state = REQ
+                app.notify_request(eng.now, self.need)
+                ctx.bump("request")
+                ctx.record("request", self.need)
         if self.state == REQ and (len(self.rset) >= self.need or self.degree == 0):
             self.state = IN
-            self.ctx.bump("enter_cs")
-            self.ctx.record("enter_cs", self.need)
-            if self.app is not None:
-                self.app.on_enter_cs(self.ctx.now)
-
-    def _local_cs_exit(self) -> None:
-        """Paper lines 82–91 / 66–72: release when ``ReleaseCS()`` holds."""
-        if self.state == IN and (self.app is None or self.app.release_cs(self.ctx.now)):
+            ctx.bump("enter_cs")
+            ctx.record("enter_cs", self.need)
+            if app is not None:
+                app.on_enter_cs(eng.now)
+        if self.state == IN and (app is None or app.release_cs(eng.now)):
             self._release_rset()
             self.state = OUT
-            self.ctx.bump("exit_cs")
-            self.ctx.record("exit_cs")
-            if self.app is not None:
-                self.app.on_exit_cs(self.ctx.now)
+            ctx.bump("exit_cs")
+            ctx.record("exit_cs")
+            if app is not None:
+                app.on_exit_cs(eng.now)
+        self._local_prio_release()
+
+    def _local_prio_release(self) -> None:
+        """Hook for the priority-token release (lines 73–76 / 92–98).
+
+        A no-op until the priority variant introduces the token; a hook
+        rather than an ``on_local`` override so the loop tail stays one
+        call deep on the kernel's hot path.
+        """
 
     # ------------------------------------------------------------------
     # State codec

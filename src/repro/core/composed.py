@@ -62,6 +62,12 @@ class _VirtualContext:
         self.node._send_virtual(vlabel, msg)
 
     @property
+    def engine(self):
+        """The real engine (the flattened loop tail reads time and
+        observer hooks through ``ctx.engine``)."""
+        return self.node.ctx.engine
+
+    @property
     def now(self) -> int:
         return self.node.ctx.now
 

@@ -74,7 +74,8 @@ class PriorityProcess(PusherProcess):
         """Paper lines 73–76 (Alg. 2) / 92–98 (Alg. 1).
 
         Forward the held priority token unless this process is a
-        requester whose request is still unsatisfied.
+        requester whose request is still unsatisfied.  (Called from the
+        tail of :meth:`TokenProcessBase.on_local`.)
         """
         if self.prio is not None and (
             self.state != REQ or len(self.rset) >= self.need
@@ -83,10 +84,6 @@ class PriorityProcess(PusherProcess):
             self.send(self.prio + 1, PrioT(uid=self._prio_uid))
             self.prio = None
             self.ctx.record("release_prio")
-
-    def on_local(self) -> None:
-        super().on_local()
-        self._local_prio_release()
 
     def on_message(self, q: int, msg: Message) -> None:
         if isinstance(msg, ResT):

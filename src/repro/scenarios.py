@@ -192,7 +192,7 @@ def run_fig2_deadlock(
     rsets = {p: engine.process(p).rset_size() for p in FIG2_NEEDS}
     free = len(engine.network.messages_of_type(ResT))
     requesters_satisfied = [
-        p for p in FIG2_NEEDS if engine.counters["enter_cs"][p] > 0
+        p for p in FIG2_NEEDS if engine.counter("enter_cs", p) > 0
     ]
     deadlocked = not requesters_satisfied and all(
         rsets[p] < FIG2_NEEDS[p] for p in FIG2_NEEDS
@@ -283,7 +283,7 @@ def run_fig3_livelock(variant: str = "pusher", *, cycles: int = 200) -> Fig3Resu
         counts[1] += 1
     for _ in range(cycles):
         _fig3_cycle(engine, counts)
-    cs = engine.counters["enter_cs"]
+    cs = engine.counter_row("enter_cs")
     starved = cs[1] == 0 and cs[0] >= cycles and cs[2] >= cycles
     return Fig3Result(
         variant=variant,

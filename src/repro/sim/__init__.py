@@ -3,6 +3,13 @@
 from .channel import Channel, ChannelStats
 from .engine import Context, Engine, EngineState
 from .network import Network
+from .observers import (
+    ChannelStatsObserver,
+    InvariantObserver,
+    NullObserver,
+    Observer,
+    TraceObserver,
+)
 from .process import Process
 from .rng import derive_seed, make_rng, spawn
 from .scheduler import (
@@ -22,6 +29,11 @@ __all__ = [
     "Engine",
     "EngineState",
     "Network",
+    "Observer",
+    "NullObserver",
+    "TraceObserver",
+    "InvariantObserver",
+    "ChannelStatsObserver",
     "Process",
     "derive_seed",
     "make_rng",

@@ -20,11 +20,29 @@ __all__ = ["Channel", "ChannelStats"]
 
 @dataclass(slots=True)
 class ChannelStats:
-    """Cumulative traffic counters for one directed channel."""
+    """Cumulative traffic counters for one directed channel.
+
+    The counters are maintained by the kernel (they are part of the
+    snapshot codec, so they must not depend on which observers are
+    attached); :class:`~repro.sim.observers.ChannelStatsObserver`
+    aggregates them across channels on demand.
+    """
 
     sent: int = 0
     delivered: int = 0
     peak_occupancy: int = 0
+
+    def encode(self) -> tuple[int, int, int]:
+        """The codec encoding ``(sent, delivered, peak_occupancy)``.
+
+        Shared by :meth:`Channel.snapshot` and the channel-stats
+        observer so the two can never drift apart.
+        """
+        return (self.sent, self.delivered, self.peak_occupancy)
+
+    def decode(self, enc: tuple[int, int, int]) -> None:
+        """Reinstate counters captured by :meth:`encode`."""
+        self.sent, self.delivered, self.peak_occupancy = enc
 
 
 class Channel:
@@ -38,18 +56,21 @@ class Channel:
         self.queue: deque[Message] = deque()
         self.stats = ChannelStats()
 
+    def _enqueue(self, msg: Message) -> None:
+        """Append ``msg`` and maintain the peak-occupancy high-water mark."""
+        queue = self.queue
+        queue.append(msg)
+        if len(queue) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(queue)
+
     def push(self, msg: Message) -> None:
         """Enqueue ``msg`` (a send by ``src``)."""
-        self.queue.append(msg)
         self.stats.sent += 1
-        if len(self.queue) > self.stats.peak_occupancy:
-            self.stats.peak_occupancy = len(self.queue)
+        self._enqueue(msg)
 
     def push_initial(self, msg: Message) -> None:
         """Enqueue ``msg`` as pre-existing garbage (not counted as a send)."""
-        self.queue.append(msg)
-        if len(self.queue) > self.stats.peak_occupancy:
-            self.stats.peak_occupancy = len(self.queue)
+        self._enqueue(msg)
 
     def pop(self) -> Message:
         """Dequeue the oldest message (a receive by ``dst``)."""
@@ -73,18 +94,14 @@ class Channel:
         the live queue — copying the tuple is O(queue length) with no
         per-message allocation.
         """
-        st = self.stats
-        return (tuple(self.queue), st.sent, st.delivered, st.peak_occupancy)
+        return (tuple(self.queue), *self.stats.encode())
 
     def restore(self, snap: tuple) -> None:
         """Reinstate the queue and counters captured by :meth:`snapshot`."""
         queue, sent, delivered, peak = snap
         self.queue.clear()
         self.queue.extend(queue)
-        st = self.stats
-        st.sent = sent
-        st.delivered = delivered
-        st.peak_occupancy = peak
+        self.stats.decode((sent, delivered, peak))
 
     def __len__(self) -> int:
         return len(self.queue)

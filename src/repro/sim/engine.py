@@ -1,4 +1,4 @@
-"""The simulation engine: steps, contexts, timers, counters.
+"""The simulation engine: a stepping kernel plus pluggable observers.
 
 One engine *step* = one process step in the paper's sense: the scheduled
 process receives at most one pending message (its incoming channels are
@@ -9,12 +9,37 @@ Time is the step counter.  The root's timeout facility
 (``RestartTimer()`` / ``TimeOut()``) is expressed in steps; the default
 interval is auto-sized to comfortably exceed one full controller
 circulation so timeouts do not cause congestion (paper footnote 4).
+
+Kernel vs. observers
+--------------------
+The hot path is a *kernel*: it executes the step semantics and maintains
+exactly the state the snapshot codec captures — process variables,
+channel queues and their traffic counters, the per-``(kind, pid)`` event
+counters, ``sent_by_type``, timers and scan positions.  That state is
+*semantic* (applications read the global CS counter for the paper's
+waiting-time metric; the codec round-trips all of it), so it is always
+maintained, with or without instrumentation — which is what makes
+:meth:`save_state` byte-identical across observer stacks.
+
+Everything else is an :class:`~repro.sim.observers.Observer` registered
+with :meth:`Engine.add_observer`.  Hook dispatch is pay-for-what-you-use
+(see :mod:`repro.sim.observers`): with no step-level hooks attached,
+:meth:`run` executes a batched loop over bind-time-precomputed flat
+tables — per-pid degrees, incoming-channel and queue tuples, and
+precomputed round-robin scan orders — with no per-step allocation, dict
+lookup or flag probing.  Schedulers that declare
+``deterministic_batch`` (round-robin, seeded random, weighted,
+scripted) supply whole pid batches via
+:meth:`~repro.sim.scheduler.Scheduler.next_pids`; state-reactive ones
+(:class:`~repro.sim.scheduler.FunctionScheduler`,
+:class:`~repro.sim.crashes.CrashController`) keep the per-step general
+loop.  Both paths execute identical step semantics — the differential
+tests hold ``run`` and a ``step()`` loop to byte-identical outcomes.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.messages import Message
 from .network import Network
@@ -22,7 +47,42 @@ from .process import Process
 from .scheduler import RoundRobinScheduler, Scheduler
 from .trace import NullTrace, Trace
 
-__all__ = ["Context", "Engine", "EngineState"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .observers import Observer
+
+__all__ = ["Context", "CounterMap", "Engine", "EngineState"]
+
+#: Largest pid batch requested from a deterministic scheduler at once —
+#: bounds latency of ``run_until`` chunking and keeps batches cache-warm.
+_RUN_BATCH = 4096
+
+
+class CounterMap(dict):
+    """Per-kind counter rows with non-mutating missing-key reads.
+
+    ``engine.counters[kind]`` returns a fresh zero row for a kind that
+    was never bumped — the read-compatibility the historical defaultdict
+    provided — but, unlike a defaultdict, does **not** store it: a pure
+    read can never change :meth:`Engine.save_state` output.  Rows are
+    materialized exclusively by :meth:`Context.bump`.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = n
+
+    def __missing__(self, kind: str) -> list[int]:
+        return [0] * self.n
+
+    def __deepcopy__(self, memo) -> "CounterMap":
+        import copy
+
+        out = memo[id(self)] = CounterMap(self.n)
+        for kind, row in self.items():
+            out[kind] = copy.deepcopy(row, memo)
+        return out
 
 
 class EngineState:
@@ -80,18 +140,28 @@ class Context:
 
     # -- instrumentation --------------------------------------------------
     def bump(self, kind: str) -> int:
-        """Increment a cheap per-(kind, pid) counter; returns the new value."""
-        c = self.engine.counters[kind]
+        """Increment a cheap per-(kind, pid) counter; returns the new value.
+
+        Counter rows materialize on first *bump*, never on read (see
+        :meth:`Engine.counter`) — reading metrics must not perturb the
+        snapshot codec.
+        """
+        eng = self.engine
+        c = eng.counters.get(kind)
+        if c is None:
+            c = eng.counters[kind] = [0] * eng.network.n
         c[self.pid] += 1
         if kind == "enter_cs":
-            self.engine.total_cs_entries += 1
+            eng.total_cs_entries += 1
         return c[self.pid]
 
     def record(self, kind: str, detail=None) -> None:
-        """Emit a trace event if tracing is enabled."""
-        tr = self.engine.trace
-        if tr.enabled:
-            tr.record(self.engine.now, self.pid, kind, detail)
+        """Emit a protocol event to the attached observers (if any)."""
+        eng = self.engine
+        if eng._event_hooks:
+            now = eng.now
+            for hook in eng._event_hooks:
+                hook(now, self.pid, kind, detail)
 
 
 class Engine:
@@ -105,27 +175,58 @@ class Engine:
         *,
         trace: Trace | None = None,
         timeout_interval: int | None = None,
+        observers: "Sequence[Observer] | None" = None,
     ) -> None:
         if len(processes) != network.n:
             raise ValueError("one process per network node required")
         self.network = network
         self.processes = list(processes)
         self.scheduler = scheduler or RoundRobinScheduler(network.n)
-        self.trace: Trace | NullTrace = trace if trace is not None else NullTrace()
         self.now = 0
         self.total_cs_entries = 0
-        #: counters[kind][pid]
-        self.counters: dict[str, list[int]] = defaultdict(
-            lambda: [0] * network.n
-        )
+        #: counters[kind][pid]; rows materialize on first bump only
+        #: (missing kinds read as zero rows without being stored)
+        self.counters: CounterMap = CounterMap(network.n)
         #: sends by message type name
-        self.sent_by_type: dict[str, int] = defaultdict(int)
+        self.sent_by_type: dict[str, int] = {}
         self._scan = [0] * network.n
         self._timer_start = [0] * network.n
         #: fixed channel order for the state codec (dict insertion order
         #: is deterministic for a given topology, so snapshots taken on
         #: one engine load into any engine built from the same builder)
         self._chan_list = list(network.channels.values())
+        # -- kernel tables: flat per-pid tuples precomputed at bind time
+        # so the hot loop indexes lists instead of calling accessors.
+        n = network.n
+        self._degrees = tuple(network.degree(p) for p in range(n))
+        self._in_chans = tuple(tuple(network.in_channels(p)) for p in range(n))
+        self._in_queues = tuple(
+            tuple(c.queue for c in network.in_channels(p)) for p in range(n)
+        )
+        self._out_chans = tuple(
+            tuple(network.out_channel(p, lbl) for lbl in range(self._degrees[p]))
+            for p in range(n)
+        )
+        #: _scan_orders[pid][start] = channel labels in round-robin scan
+        #: order beginning at ``start`` — replaces the per-step label list
+        self._scan_orders = tuple(
+            tuple(
+                tuple((start + off) % deg for off in range(deg))
+                for start in range(deg)
+            )
+            if deg
+            else ()
+            for deg in self._degrees
+        )
+        # -- observer hook lists (see repro.sim.observers)
+        self._observers: "list[Observer]" = []
+        self._send_hooks: list[Callable] = []
+        self._recv_hooks: list[Callable] = []
+        self._step_hooks: list[Callable] = []
+        self._event_hooks: list[Callable] = []
+        #: compatibility accessor: the Trace of the attached
+        #: TraceObserver, or a NullTrace when tracing is off
+        self.trace: Trace | NullTrace = NullTrace()
         if timeout_interval is None:
             ring_len = max(2 * (network.n - 1), 1)
             # > one circulation even under round-robin latency (n steps/hop),
@@ -139,15 +240,83 @@ class Engine:
             app = getattr(proc, "app", None)
             if app is not None and hasattr(app, "attach"):
                 app.attach(self)
+        if trace is not None and not isinstance(trace, NullTrace):
+            from .observers import TraceObserver
+
+            self.add_observer(TraceObserver(trace))
+        for obs in observers or ():
+            self.add_observer(obs)
+
+    # ------------------------------------------------------------------
+    # Observer registration
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: "Observer") -> "Observer":
+        """Attach ``observer``; only hooks it overrides are dispatched.
+
+        Returns the observer for chaining/assignment.  Attaching a
+        :class:`~repro.sim.observers.NullObserver` (or any observer that
+        overrides no hook) registers nothing on the hot path.
+        """
+        self._observers.append(observer)
+        self._collect_hooks()
+        observer.on_attach(self)
+        return observer
+
+    def remove_observer(self, observer: "Observer") -> None:
+        """Detach ``observer`` (no error if it is not attached)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            return
+        self._collect_hooks()
+        observer.on_detach(self)
+
+    def clear_observers(self) -> None:
+        """Detach every observer (the campaign runners' kernel reset)."""
+        for obs in self._observers[:]:
+            self.remove_observer(obs)
+
+    @property
+    def observers(self) -> "tuple[Observer, ...]":
+        """The currently attached observers, in attachment order."""
+        return tuple(self._observers)
+
+    def _collect_hooks(self) -> None:
+        from .observers import HOOK_NAMES, Observer
+
+        hook_lists: dict[str, list[Callable]] = {n: [] for n in HOOK_NAMES}
+        for obs in self._observers:
+            for name, hooks in hook_lists.items():
+                if getattr(type(obs), name) is not getattr(Observer, name):
+                    hooks.append(getattr(obs, name))
+        self._send_hooks = hook_lists["on_send"]
+        self._recv_hooks = hook_lists["on_receive"]
+        self._step_hooks = hook_lists["on_step"]
+        self._event_hooks = hook_lists["on_event"]
 
     # ------------------------------------------------------------------
     # Core stepping
     # ------------------------------------------------------------------
     def _send(self, pid: int, label: int, msg: Message) -> None:
-        self.network.out_channel(pid, label).push(msg)
-        self.sent_by_type[msg.type_name()] += 1
-        if self.trace.enabled:
-            self.trace.record(self.now, pid, "send", (label, msg))
+        self._out_chans[pid][label].push(msg)
+        name = type(msg).__name__
+        counts = self.sent_by_type
+        counts[name] = counts.get(name, 0) + 1
+        if self._send_hooks:
+            now = self.now
+            for hook in self._send_hooks:
+                hook(now, pid, label, msg)
+
+    def _receive(self, pid: int, label: int) -> None:
+        """Dequeue from incoming ``label`` and dispatch (general path)."""
+        msg = self._in_chans[pid][label].pop()
+        nxt = label + 1
+        self._scan[pid] = nxt if nxt < self._degrees[pid] else 0
+        if self._recv_hooks:
+            now = self.now
+            for hook in self._recv_hooks:
+                hook(now, pid, label, msg)
+        self.processes[pid].on_message(label, msg)
 
     def step(self) -> None:
         """Execute one step of the process chosen by the scheduler."""
@@ -166,34 +335,76 @@ class Engine:
         * ``-1`` — take a step without receiving (the paper's "does
           nothing" receive option), running only the loop tail.
         """
-        proc = self.processes[pid]
-        deg = self.network.degree(pid)
-        if deg and channel != -1:
-            inch = self.network.in_channels(pid)
+        if channel != -1 and self._degrees[pid]:
+            queues = self._in_queues[pid]
             if channel is None:
-                start = self._scan[pid]
-                labels = [(start + off) % deg for off in range(deg)]
+                for label in self._scan_orders[pid][self._scan[pid]]:
+                    if queues[label]:
+                        self._receive(pid, label)
+                        break
             else:
-                labels = [channel % deg]
-            for label in labels:
-                ch = inch[label]
-                if len(ch):
-                    msg = ch.pop()
-                    self._scan[pid] = (label + 1) % deg
-                    if self.trace.enabled:
-                        self.trace.record(self.now, pid, "recv", (label, msg))
-                    proc.on_message(label, msg)
-                    break
-        proc.on_local()
+                label = channel % self._degrees[pid]
+                if queues[label]:
+                    self._receive(pid, label)
+        self.processes[pid].on_local()
+        if self._step_hooks:
+            now = self.now
+            for hook in self._step_hooks:
+                hook(now, pid)
         self.now += 1
 
     # ------------------------------------------------------------------
     # Run helpers
     # ------------------------------------------------------------------
     def run(self, steps: int) -> "Engine":
-        """Run exactly ``steps`` steps; returns self for chaining."""
-        for _ in range(steps):
-            self.step()
+        """Run exactly ``steps`` steps; returns self for chaining.
+
+        With no step-level observer hooks and a scheduler that declares
+        ``deterministic_batch``, this executes the batched kernel loop;
+        otherwise it falls back to per-step :meth:`step`.  Both paths
+        produce byte-identical executions.
+        """
+        scheduler = self.scheduler
+        if (
+            self._recv_hooks
+            or self._step_hooks
+            or not getattr(scheduler, "deterministic_batch", False)
+        ):
+            for _ in range(steps):
+                self.step_pid(scheduler.next_pid(self.now))
+            return self
+        # ---- observer-free batched kernel ----------------------------
+        # Locals for everything the loop touches: in CPython the wins
+        # come from killing per-step attribute chases and allocations.
+        processes = self.processes
+        on_message = [p.on_message for p in processes]
+        on_local = [p.on_local for p in processes]
+        degrees = self._degrees
+        in_queues = self._in_queues
+        in_chans = self._in_chans
+        scan_orders = self._scan_orders
+        scan = self._scan
+        now = self.now
+        done = 0
+        while done < steps:
+            batch = scheduler.next_pids(now, min(_RUN_BATCH, steps - done))
+            for pid in batch:
+                deg = degrees[pid]
+                if deg:
+                    queues = in_queues[pid]
+                    for label in scan_orders[pid][scan[pid]]:
+                        if queues[label]:
+                            ch = in_chans[pid][label]
+                            msg = ch.queue.popleft()
+                            ch.stats.delivered += 1
+                            nxt = label + 1
+                            scan[pid] = nxt if nxt < deg else 0
+                            on_message[pid](label, msg)
+                            break
+                on_local[pid]()
+                now += 1
+                self.now = now
+            done += len(batch)
         return self
 
     def run_until(
@@ -205,15 +416,22 @@ class Engine:
         """Run until ``predicate(engine)`` holds or ``max_steps`` elapse.
 
         Returns ``True`` iff the predicate became true.  The predicate is
-        evaluated every ``check_every`` steps (and once before stepping).
+        evaluated every ``check_every`` steps (and once before stepping);
+        between evaluations the steps run through :meth:`run`, so the
+        batched kernel applies here too.
         """
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
         if predicate(self):
             return True
-        for i in range(max_steps):
-            self.step()
-            if (i + 1) % check_every == 0 and predicate(self):
+        remaining = max_steps
+        while remaining > 0:
+            chunk = check_every if check_every < remaining else remaining
+            self.run(chunk)
+            remaining -= chunk
+            if predicate(self):
                 return True
-        return predicate(self)
+        return False
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -223,9 +441,9 @@ class Engine:
 
         Forks share nothing mutable with the original: processes,
         channels, apps, timers and counters are all copied — including
-        the scheduler and trace, which :meth:`save_state` deliberately
-        leaves out.  This is the full-fidelity *reference* copy; the
-        exploration hot paths use the much cheaper
+        the observers, which :meth:`save_state` deliberately leaves out.
+        This is the full-fidelity *reference* copy; the exploration hot
+        paths use the much cheaper
         :meth:`save_state`/:meth:`load_state` codec instead, and the
         differential tests hold the two equivalent.
         """
@@ -243,8 +461,9 @@ class Engine:
         :meth:`Process.snapshot`, every application's
         ``snapshot_state()`` and every channel queue.  NOT captured:
         the scheduler (exploration drives :meth:`step_pid` directly) and
-        the trace (tracing during exploration would be quadratic);
-        use :meth:`fork` when those matter.
+        the observers (instrumentation is not simulation state — the
+        encoding is byte-identical whatever stack is attached); use
+        :meth:`fork` when those matter.
         """
         st = EngineState()
         st.now = self.now
@@ -295,11 +514,33 @@ class Engine:
             chan.restore(snap)
         return self
 
+    def counter(self, kind: str, pid: int | None = None) -> int:
+        """Non-mutating read of one event counter.
+
+        Returns the count for ``(kind, pid)``, or the total over all
+        pids when ``pid`` is ``None``; unseen kinds read as 0 without
+        materializing a row (a pure read must never change
+        :meth:`save_state` output).
+        """
+        row = self.counters.get(kind)
+        if row is None:
+            return 0
+        return sum(row) if pid is None else row[pid]
+
+    def counter_row(self, kind: str) -> tuple[int, ...]:
+        """Non-mutating per-pid counts for ``kind`` (zeros if unseen)."""
+        row = self.counters.get(kind)
+        return tuple(row) if row is not None else (0,) * self.network.n
+
+    def message_counts(self) -> dict[str, int]:
+        """Copy of cumulative sends keyed by message type (non-mutating)."""
+        return dict(self.sent_by_type)
+
     def cs_entries(self, pid: int | None = None) -> int:
         """CS entries of one process, or total if ``pid`` is ``None``."""
         if pid is None:
             return self.total_cs_entries
-        return self.counters["enter_cs"][pid]
+        return self.counter("enter_cs", pid)
 
     def process(self, pid: int) -> Process:
         """The process instance with identifier ``pid``."""

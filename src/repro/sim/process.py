@@ -47,7 +47,12 @@ class Process(abc.ABC):
         self.ctx = ctx
 
     def send(self, label: int, msg: Message) -> None:
-        """Send ``msg`` on channel ``label`` (labels are taken mod Δp)."""
+        """Send ``msg`` on channel ``label`` (labels are taken mod Δp).
+
+        Routed through the context (not the engine directly) on purpose:
+        layered protocols rebind their inner process to a context shim
+        that translates channel labels (see ``core/composed.py``).
+        """
         self.ctx.send(self.pid, label % self.degree, msg)
 
     # ------------------------------------------------------------------

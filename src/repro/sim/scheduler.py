@@ -37,6 +37,15 @@ __all__ = [
 class Scheduler(abc.ABC):
     """Chooses which process executes the next step."""
 
+    #: True when an entire batch of upcoming choices can be drawn ahead
+    #: of executing them — i.e. the choices depend only on the
+    #: scheduler's own state and the step index, never on the engine
+    #: configuration.  The engine's batched kernel loop
+    #: (:meth:`repro.sim.engine.Engine.run`) requires it; state-reactive
+    #: schedulers (:class:`FunctionScheduler`, crash controllers) leave
+    #: it False and run through the per-step general loop.
+    deterministic_batch = False
+
     def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError("scheduler needs at least one process")
@@ -46,12 +55,30 @@ class Scheduler(abc.ABC):
     def next_pid(self, now: int) -> int:
         """Process to step at time ``now``."""
 
+    def next_pids(self, now: int, count: int) -> list[int]:
+        """The next ``count`` choices starting at time ``now``.
+
+        Must be draw-for-draw identical to ``count`` successive
+        :meth:`next_pid` calls (the two may be freely interleaved);
+        the default implementation simply loops, which preserves any
+        internal stream exactly.  Subclasses override this purely as an
+        optimization.
+        """
+        next_pid = self.next_pid
+        return [next_pid(now + i) for i in range(count)]
+
 
 class RoundRobinScheduler(Scheduler):
     """Processes step in cyclic order ``0, 1, ..., n-1, 0, ...``."""
 
+    deterministic_batch = True
+
     def next_pid(self, now: int) -> int:
         return now % self.n
+
+    def next_pids(self, now: int, count: int) -> list[int]:
+        n = self.n
+        return [(now + i) % n for i in range(count)]
 
 
 class RandomScheduler(Scheduler):
@@ -63,6 +90,8 @@ class RandomScheduler(Scheduler):
     """
 
     _BATCH = 4096
+
+    deterministic_batch = True
 
     def __init__(self, n: int, seed: int | np.random.Generator | None = 0) -> None:
         super().__init__(n)
@@ -78,9 +107,30 @@ class RandomScheduler(Scheduler):
         self._i += 1
         return pid
 
+    def next_pids(self, now: int, count: int) -> list[int]:
+        """Drain the draw buffer in bulk; the stream matches
+        :meth:`next_pid` call-for-call (refills stay 4096-aligned), so
+        batch and single draws can be interleaved freely."""
+        out: list[int] = []
+        while count > 0:
+            if self._buf is None or self._i >= len(self._buf):
+                self._buf = self.rng.integers(0, self.n, size=self._BATCH)
+                self._i = 0
+            take = min(count, len(self._buf) - self._i)
+            out.extend(self._buf[self._i : self._i + take].tolist())
+            self._i += take
+            count -= take
+        return out
+
 
 class WeightedScheduler(Scheduler):
-    """Random choice with per-process weights (relative execution rates)."""
+    """Random choice with per-process weights (relative execution rates).
+
+    Batching uses the base per-call loop: one ``rng.choice`` per step
+    keeps the draw stream identical whether or not the engine batches.
+    """
+
+    deterministic_batch = True
 
     def __init__(
         self,
@@ -104,7 +154,14 @@ class ScriptedScheduler(Scheduler):
     Used by the figure-reproduction harnesses: an adversarial prefix is
     expressed as data, and fairness is restored afterwards so liveness
     assertions remain meaningful.
+
+    Declared batchable: the script is data fixed before the run.  An
+    adversary extending the script *online* must do so between
+    :meth:`Engine.run` calls (or drive :meth:`Engine.step_pid`
+    directly), since batched draws are taken up to 4096 steps ahead.
     """
+
+    deterministic_batch = True
 
     def __init__(self, n: int, script: Iterable[int]) -> None:
         super().__init__(n)

@@ -10,6 +10,7 @@ that ``spec.build()`` and the CLI resolve against.
 from .builder import ScenarioBuilder
 from .registry import (
     FAULTS,
+    OBSERVERS,
     SCENARIOS,
     TOPOLOGIES,
     VARIANTS,
@@ -19,6 +20,7 @@ from .registry import (
     SpecError,
     UnknownSpecKey,
     register_fault,
+    register_observer,
     register_scenario,
     register_topology,
     register_variant,
@@ -28,6 +30,7 @@ from .spec import (
     BuiltScenario,
     FaultSpec,
     KindSpec,
+    ObserverSpec,
     ScenarioSpec,
     SchedulerSpec,
     TopologySpec,
@@ -44,6 +47,7 @@ __all__ = [
     "TopologySpec",
     "WorkloadSpec",
     "FaultSpec",
+    "ObserverSpec",
     "SchedulerSpec",
     "scenario_spec",
     "parse_kind_args",
@@ -55,10 +59,12 @@ __all__ = [
     "TOPOLOGIES",
     "WORKLOADS",
     "FAULTS",
+    "OBSERVERS",
     "SCENARIOS",
     "register_variant",
     "register_topology",
     "register_workload",
     "register_fault",
+    "register_observer",
     "register_scenario",
 ]

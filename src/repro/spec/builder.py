@@ -27,6 +27,7 @@ from .registry import SpecError
 from .spec import (
     BuiltScenario,
     FaultSpec,
+    ObserverSpec,
     ScenarioSpec,
     SchedulerSpec,
     TopologySpec,
@@ -50,6 +51,7 @@ class ScenarioBuilder:
         self._workload = WorkloadSpec("idle")
         self._overrides: dict[int, WorkloadSpec] = {}
         self._faults: list[FaultSpec] = []
+        self._observers: list[ObserverSpec] = []
         self._scheduler = SchedulerSpec("round_robin")
         self._seed = 0
 
@@ -98,6 +100,16 @@ class ScenarioBuilder:
         self._faults.append(FaultSpec(kind, args))
         return self
 
+    def observe(self, kind: str, **args: Any) -> "ScenarioBuilder":
+        """Append a registered observer (attached in call order at build).
+
+        Observers instrument the run without affecting it — e.g.
+        ``.observe("trace")`` for event recording, or
+        ``.observe("safety", every=64)`` for a continuous safety probe.
+        """
+        self._observers.append(ObserverSpec(kind, args))
+        return self
+
     def scheduler(self, kind: str, **args: Any) -> "ScenarioBuilder":
         """Choose the scheduler (random/round_robin/weighted/scripted)."""
         self._scheduler = SchedulerSpec(kind, args)
@@ -122,6 +134,7 @@ class ScenarioBuilder:
             workload=self._workload,
             workload_overrides=tuple(sorted(self._overrides.items())),
             faults=tuple(self._faults),
+            observers=tuple(self._observers),
             scheduler=self._scheduler,
             seed=self._seed,
             variant_options=self._variant_options,

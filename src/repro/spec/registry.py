@@ -31,11 +31,13 @@ __all__ = [
     "TOPOLOGIES",
     "WORKLOADS",
     "FAULTS",
+    "OBSERVERS",
     "SCENARIOS",
     "register_variant",
     "register_topology",
     "register_workload",
     "register_fault",
+    "register_observer",
     "register_scenario",
 ]
 
@@ -84,6 +86,9 @@ _PROVIDER_MODULES = (
     "repro.topology.generators",
     "repro.apps.workloads",
     "repro.sim.faults",
+    "repro.sim.observers",
+    "repro.analysis.invariants",
+    "repro.analysis.census",
     "repro.scenarios",
 )
 
@@ -189,6 +194,9 @@ WORKLOADS = Registry("workload")
 #: Fault injectors: ``fn(engine, params, seed, **args) -> None``.
 FAULTS = Registry("fault")
 
+#: Observer factories: ``fn(params, **args) -> Observer``.
+OBSERVERS = Registry("observer")
+
 #: Named scenario presets: ``fn(**kwargs) -> ScenarioSpec``.
 SCENARIOS = Registry("scenario")
 
@@ -237,6 +245,13 @@ def register_fault(
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a fault/corruption injector."""
     return FAULTS.register(name, doc=doc)
+
+
+def register_observer(
+    name: str, *, doc: str | None = None
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register an observer factory (pluggable engine instrumentation)."""
+    return OBSERVERS.register(name, doc=doc)
 
 
 def register_scenario(

@@ -40,11 +40,20 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..core.params import KLParams
-from .registry import FAULTS, TOPOLOGIES, VARIANTS, WORKLOADS, Registry, SpecError
+from .registry import (
+    FAULTS,
+    OBSERVERS,
+    TOPOLOGIES,
+    VARIANTS,
+    WORKLOADS,
+    Registry,
+    SpecError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..apps.interface import Application
     from ..sim.engine import Engine
+    from ..sim.observers import Observer
     from ..sim.scheduler import Scheduler
     from ..topology.tree import OrientedTree
 
@@ -53,6 +62,7 @@ __all__ = [
     "TopologySpec",
     "WorkloadSpec",
     "FaultSpec",
+    "ObserverSpec",
     "SchedulerSpec",
     "ScenarioSpec",
     "BuiltScenario",
@@ -233,6 +243,22 @@ class FaultSpec(KindSpec):
 
 
 @dataclass(frozen=True, slots=True)
+class ObserverSpec(KindSpec):
+    """Names a registered observer factory plus its arguments.
+
+    Observers are instrumentation, not simulation state: attaching them
+    never changes an execution or its snapshots (the determinism suite
+    holds ``save_state()`` byte-identical across stacks), so campaign
+    runners are free to drop them (``repro ... --no-stats``, and the
+    fuzz/explore kernels always do).
+    """
+
+    def build(self, params: KLParams) -> "Observer":
+        """Instantiate this observer via the observer registry."""
+        return _call_provider(OBSERVERS, self.kind, params, **self.args)
+
+
+@dataclass(frozen=True, slots=True)
 class SchedulerSpec(KindSpec):
     """Names a scheduler kind (not a registry: the four sim schedulers)."""
 
@@ -292,6 +318,9 @@ class BuiltScenario:
     params: KLParams
     apps: "list[Application | None]"
     scheduler: "Scheduler"
+    #: observers built from ``spec.observers``, already attached to
+    #: ``engine`` in spec order
+    observers: "list[Observer]" = field(default_factory=list)
 
 
 def _census_invariant(
@@ -326,9 +355,11 @@ class ScenarioSpec:
 
     ``workload`` applies to every process unless overridden per-pid via
     ``workload_overrides``; ``faults`` are applied, in order, to the
-    freshly built engine; ``variant_options`` pass through to the
-    variant's engine factory (e.g. ``init="tokens"``, ``seam``,
-    ``timeout_interval`` for ``selfstab``).
+    freshly built engine; ``observers`` name registered instrumentation
+    attached after the faults (attachment order = spec order);
+    ``variant_options`` pass through to the variant's engine factory
+    (e.g. ``init="tokens"``, ``seam``, ``timeout_interval`` for
+    ``selfstab`` and the ``ring`` baseline).
     """
 
     topology: TopologySpec
@@ -340,6 +371,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=lambda: WorkloadSpec("idle"))
     workload_overrides: tuple[tuple[int, WorkloadSpec], ...] = ()
     faults: tuple[FaultSpec, ...] = ()
+    observers: tuple[ObserverSpec, ...] = ()
     scheduler: SchedulerSpec = field(
         default_factory=lambda: SchedulerSpec("round_robin")
     )
@@ -349,6 +381,7 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "variant_options", dict(self.variant_options))
         object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "observers", tuple(self.observers))
         overrides = tuple(
             (int(pid), spec) for pid, spec in self.workload_overrides
         )
@@ -356,8 +389,13 @@ class ScenarioSpec:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready mapping; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready mapping; inverse of :meth:`from_dict`.
+
+        ``observers`` is emitted only when non-empty, so manifests of
+        observer-free scenarios are byte-identical to the pre-observer
+        schema (the ``--dump-spec``/``--spec`` replay contract).
+        """
+        d = {
             "version": SPEC_VERSION,
             "variant": self.variant,
             "variant_options": dict(self.variant_options),
@@ -374,6 +412,9 @@ class ScenarioSpec:
             "scheduler": self.scheduler.to_dict(),
             "seed": self.seed,
         }
+        if self.observers:
+            d["observers"] = [o.to_dict() for o in self.observers]
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "ScenarioSpec":
@@ -392,6 +433,7 @@ class ScenarioSpec:
             "workload",
             "workload_overrides",
             "faults",
+            "observers",
             "scheduler",
             "seed",
         }
@@ -424,6 +466,9 @@ class ScenarioSpec:
             ),
             workload_overrides=overrides,
             faults=tuple(FaultSpec.from_dict(f) for f in d.get("faults") or ()),
+            observers=tuple(
+                ObserverSpec.from_dict(o) for o in d.get("observers") or ()
+            ),
             scheduler=(
                 SchedulerSpec.from_dict(d["scheduler"])
                 if "scheduler" in d
@@ -471,6 +516,12 @@ class ScenarioSpec:
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """New spec differing only in the master seed."""
         return replace(self, seed=seed)
+
+    def without_observers(self) -> "ScenarioSpec":
+        """New spec with the observer stack dropped (the ``--no-stats``
+        derivation; executions are identical either way, only the
+        instrumentation disappears)."""
+        return replace(self, observers=())
 
     # -- construction ----------------------------------------------------
     def build_topology(self) -> "OrientedTree":
@@ -523,6 +574,9 @@ class ScenarioSpec:
         for i, fault in enumerate(self.faults):
             tag = "faults" if i == 0 else f"faults.{i}"
             fault.apply(engine, params, derive_seed(self.seed, tag))
+        built_observers = [o.build(params) for o in self.observers]
+        for obs in built_observers:
+            engine.add_observer(obs)
         invariant = _census_invariant(
             entry.meta.get("expected_census"), params, tree.n
         )
@@ -534,6 +588,7 @@ class ScenarioSpec:
             params=params,
             apps=apps,
             scheduler=scheduler,
+            observers=built_observers,
         )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.messages import PushT, ResT
-from repro.sim.channel import Channel
+from repro.sim.channel import Channel, ChannelStats
 
 
 @pytest.fixture
@@ -72,3 +72,20 @@ class TestStats:
         for m in msgs:
             chan.push(m)
         assert list(chan) == msgs
+
+
+class TestStatsEncoding:
+    def test_encode_decode_roundtrip(self):
+        st = ChannelStats(sent=4, delivered=2, peak_occupancy=3)
+        enc = st.encode()
+        assert enc == (4, 2, 3)
+        other = ChannelStats()
+        other.decode(enc)
+        assert other == st
+
+    def test_snapshot_embeds_encoding(self, chan):
+        chan.push(ResT())
+        chan.push(ResT())
+        chan.pop()
+        snap = chan.snapshot()
+        assert snap[1:] == chan.stats.encode()

@@ -167,3 +167,120 @@ class TestTracing:
         eng.step_pid(1)
         assert eng.trace.count("send") == 1
         assert eng.trace.count("recv") == 1
+
+
+class TestBatchedKernel:
+    """The batched run loop and the per-step general loop are one engine."""
+
+    def _build(self):
+        from repro import KLParams, RandomScheduler, SaturatedWorkload
+        from repro.core.selfstab import build_selfstab_engine
+        from repro.topology import random_tree
+
+        tree = random_tree(8, seed=6)
+        params = KLParams(k=2, l=3, n=8)
+        apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(8)]
+        return build_selfstab_engine(
+            tree, params, apps, RandomScheduler(8, seed=4), init="tokens"
+        )
+
+    @staticmethod
+    def _state(engine):
+        st = engine.save_state()
+        return tuple(getattr(st, f) for f in st.__slots__)
+
+    @staticmethod
+    def _reset_uids():
+        # token uids are minted from a process-global counter; pin it so
+        # two sequential replays of one execution mint identical ids
+        import itertools
+
+        import repro.core.messages as messages
+
+        messages._uid_counter = itertools.count(10_000)
+
+    def test_run_equals_step_loop(self):
+        # fork shares token uids, so the two executions are comparable
+        batched = self._build()
+        stepped = batched.fork()
+        self._reset_uids()
+        batched.run(5_000)
+        self._reset_uids()
+        for _ in range(5_000):
+            stepped.step()
+        assert self._state(batched) == self._state(stepped)
+
+    def test_run_in_uneven_chunks_is_identical(self):
+        whole = self._build()
+        chunked = whole.fork()
+        self._reset_uids()
+        whole.run(4_100)
+        self._reset_uids()
+        for chunk in (1, 2, 4096, 1):
+            chunked.run(chunk)
+        assert self._state(whole) == self._state(chunked)
+
+    def test_function_scheduler_uses_general_loop(self):
+        from repro.sim.scheduler import FunctionScheduler
+
+        eng, _, procs = make_pair()
+        # reacts to live state: only steps pid 1 until it heard something
+        eng.scheduler = FunctionScheduler(
+            2, lambda now: 0 if procs[1].received else 1
+        )
+        eng.network.out_channel(0, 0).push_initial(ResT())
+        eng.run(3)
+        assert len(procs[1].received) == 1
+        assert procs[0].ticks == 2  # switched to 0 right after delivery
+
+    def test_run_zero_steps(self):
+        eng, _, _ = make_pair()
+        eng.run(0)
+        assert eng.now == 0
+
+
+class TestRunUntilChunking:
+    def test_check_every_spanning_end(self):
+        eng, _, _ = make_pair()
+        assert not eng.run_until(lambda e: False, max_steps=10, check_every=3)
+        assert eng.now == 10
+
+    def test_predicate_checked_only_at_multiples(self):
+        eng, _, _ = make_pair()
+        seen = []
+        eng.run_until(
+            lambda e: seen.append(e.now) or e.now >= 9,
+            max_steps=20,
+            check_every=4,
+        )
+        assert seen == [0, 4, 8, 12]
+        assert eng.now == 12
+
+
+class TestCounterAccessors:
+    def test_counter_reads_never_mutate(self):
+        eng, _, procs = make_pair()
+        assert eng.counter("enter_cs") == 0
+        assert eng.counter("enter_cs", 1) == 0
+        assert eng.counter_row("reset") == (0, 0)
+        assert eng.counters == {}
+        procs[0].ctx.bump("reset")
+        assert eng.counter("reset") == 1
+        assert eng.counter("reset", 0) == 1 and eng.counter("reset", 1) == 0
+        assert list(eng.counters) == ["reset"]
+
+    def test_message_counts_is_a_copy(self):
+        eng, _, procs = make_pair()
+        procs[0].send(0, ResT())
+        counts = eng.message_counts()
+        counts["ResT"] = 99
+        assert eng.sent_by_type["ResT"] == 1
+
+
+class TestRunUntilValidation:
+    def test_check_every_must_be_positive(self):
+        eng, _, _ = make_pair()
+        with pytest.raises(ValueError):
+            eng.run_until(lambda e: True, max_steps=10, check_every=0)
+        with pytest.raises(ValueError):
+            eng.run_until(lambda e: True, max_steps=10, check_every=-3)

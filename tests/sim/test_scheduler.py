@@ -89,3 +89,51 @@ class TestFunction:
         s = FunctionScheduler(2, lambda now: 7)
         with pytest.raises(ValueError):
             s.next_pid(0)
+
+
+class TestBatchDraws:
+    """next_pids must be draw-for-draw identical to next_pid loops."""
+
+    def _pairwise(self, make):
+        a, b = make(), make()
+        singles = [a.next_pid(t) for t in range(1000)]
+        batched = []
+        now = 0
+        for size in (1, 7, 300, 692):
+            batched.extend(b.next_pids(now, size))
+            now += size
+        assert singles == batched
+
+    def test_round_robin(self):
+        self._pairwise(lambda: RoundRobinScheduler(7))
+
+    def test_random(self):
+        self._pairwise(lambda: RandomScheduler(7, seed=3))
+
+    def test_weighted(self):
+        self._pairwise(lambda: WeightedScheduler([1.0, 2.0, 5.0], seed=3))
+
+    def test_scripted(self):
+        self._pairwise(lambda: ScriptedScheduler(7, [6, 6, 1, 0, 3]))
+
+    def test_random_interleaving_single_and_batch(self):
+        """Mixing call styles must not shift the stream (buffer stays
+        4096-aligned across both)."""
+        a, b = RandomScheduler(5, seed=11), RandomScheduler(5, seed=11)
+        ref = [a.next_pid(t) for t in range(9000)]
+        got = [b.next_pid(0)]
+        got.extend(b.next_pids(1, 5000))
+        got.append(b.next_pid(5001))
+        got.extend(b.next_pids(5002, 3998))
+        assert got == ref
+
+    def test_batch_flags(self):
+        """State-reactive schedulers must keep the per-step general loop."""
+        assert RoundRobinScheduler(2).deterministic_batch
+        assert RandomScheduler(2).deterministic_batch
+        assert WeightedScheduler([1.0, 1.0]).deterministic_batch
+        assert ScriptedScheduler(2, []).deterministic_batch
+        assert not FunctionScheduler(2, lambda now: 0).deterministic_batch
+        from repro.sim.crashes import CrashController
+
+        assert not CrashController(RoundRobinScheduler(2)).deterministic_batch

@@ -352,3 +352,87 @@ class TestProviderErrors:
         spec = small_spec(topology=TopologySpec("path", {"n": "five"}))
         with pytest.raises(TypeError):
             spec.build()
+
+
+class TestObserverSpecs:
+    def _spec(self, *observers):
+        from repro.spec import ObserverSpec
+
+        return small_spec(
+            observers=tuple(ObserverSpec(k, a) for k, a in observers)
+        )
+
+    def test_round_trip_and_omitted_when_empty(self):
+        spec = self._spec(("trace", {}), ("safety", {"every": 16}))
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        # observer-free manifests keep the pre-observer schema exactly
+        assert "observers" not in small_spec().to_dict()
+        assert "observers" in spec.to_dict()
+
+    def test_build_attaches_in_spec_order(self):
+        from repro.analysis.invariants import SafetyObserver
+        from repro.sim.observers import TraceObserver
+
+        built = self._spec(("trace", {}), ("safety", {"every": 8})).build()
+        assert len(built.observers) == 2
+        assert isinstance(built.observers[0], TraceObserver)
+        assert isinstance(built.observers[1], SafetyObserver)
+        assert built.engine.observers == tuple(built.observers)
+        built.engine.run(500)
+        assert len(built.observers[0].trace) > 0
+        assert built.observers[1].checks == 500 // 8
+        assert built.observers[1].ok
+
+    def test_unknown_observer_lists_choices(self):
+        with pytest.raises(SpecError, match="valid observers"):
+            self._spec(("frobnicator", {})).build()
+
+    def test_without_observers(self):
+        spec = self._spec(("trace", {}))
+        bare = spec.without_observers()
+        assert bare.observers == ()
+        assert bare.without_observers() == bare
+        assert bare == small_spec()
+
+    def test_null_observer_builds_and_registers_nothing(self):
+        built = self._spec(("null", {})).build()
+        eng = built.engine
+        assert len(eng.observers) == 1
+        assert not (eng._send_hooks or eng._recv_hooks or eng._step_hooks)
+
+    def test_builder_observe(self):
+        spec = (
+            ScenarioBuilder()
+            .topology("path", n=5)
+            .variant("priority")
+            .params(k=2, l=3)
+            .observe("trace")
+            .observe("census", every=32)
+            .spec()
+        )
+        kinds = [o.kind for o in spec.observers]
+        assert kinds == ["trace", "census"]
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+class TestRingVariantOptions:
+    def test_timeout_interval_reaches_the_ring_engine(self):
+        spec = small_spec(
+            variant="ring",
+            variant_options={"timeout_interval": 321, "init": "tokens"},
+        )
+        built = spec.build()
+        assert built.engine.timeout_interval == 321
+
+    def test_selfstab_timeout_interval_still_works(self):
+        spec = small_spec(
+            variant="selfstab", variant_options={"timeout_interval": 456}
+        )
+        assert spec.build().engine.timeout_interval == 456
+
+    def test_unknown_ring_option_is_a_spec_error_listing_options(self):
+        spec = small_spec(variant="ring", variant_options={"bogus": 1})
+        with pytest.raises(SpecError, match="timeout_interval") as exc:
+            spec.build()
+        assert "init" in str(exc.value)
+        assert "bogus" in str(exc.value)

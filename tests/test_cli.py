@@ -138,10 +138,10 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for section in ("variants:", "topologies:", "workloads:",
-                        "faults:", "scenarios:"):
+                        "faults:", "observers:", "scenarios:"):
             assert section in out
         for key in ("selfstab", "caterpillar", "stochastic", "scramble",
-                    "fig3-livelock"):
+                    "channel_stats", "fig3-livelock"):
             assert key in out
 
     def test_variant_capability_markers(self, capsys):
@@ -316,3 +316,60 @@ class TestSpecManifests:
         assert main(["demo", "--tree", "star", "--n", "3",
                      "--workload", "scripted:script=5"]) == 2
         assert "triples" in capsys.readouterr().err
+
+
+class TestNoStats:
+    def test_demo_no_stats_output_identical(self, capsys):
+        argv = ["demo", "--tree", "paper", "--l", "3", "--steps", "6000",
+                "--seed", "5"]
+        assert main(argv) == 0
+        with_stats = capsys.readouterr().out
+        assert main(argv + ["--no-stats"]) == 0
+        assert capsys.readouterr().out == with_stats
+
+    def test_no_stats_drops_manifest_observers(self, tmp_path, capsys):
+        import json
+
+        argv = ["converge", "--tree", "path", "--n", "6", "--seed", "2"]
+        manifest = tmp_path / "conv.json"
+        assert main(argv + ["--dump-spec", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        # add an observer stack to the manifest, then strip it again
+        doc = json.loads(manifest.read_text())
+        doc["observers"] = [{"kind": "trace"},
+                            {"kind": "safety", "args": {"every": 64}}]
+        manifest.write_text(json.dumps(doc))
+        assert main(["converge", "--spec", str(manifest)]) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain  # observers never change results
+        assert main(["converge", "--spec", str(manifest), "--no-stats"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestBench:
+    def test_bench_runs_and_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_kernel.json"
+        rc = main(["bench", "--steps", "2000", "--repeat", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        table = capsys.readouterr().out
+        assert "selfstab-ring-n16" in table and "steps/sec" in table
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "kernel-steps-per-sec"
+        scenarios = {r["scenario"] for r in doc["rows"]}
+        assert {"selfstab-ring-n16", "selfstab-tree-n16",
+                "priority-tree-n16"} <= scenarios
+        assert all(r["steps_per_sec"] > 0 for r in doc["rows"])
+
+    def test_bench_rejects_bad_args(self, capsys):
+        assert main(["bench", "--steps", "0"]) == 2
+
+    def test_bench_skip_artifact(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--steps", "2000", "--repeat", "1",
+                     "--out", ""]) == 0
+        assert not (tmp_path / "BENCH_kernel.json").exists()

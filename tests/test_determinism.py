@@ -1,13 +1,31 @@
-"""End-to-end determinism: identical seeds give identical executions."""
+"""End-to-end determinism: identical seeds give identical executions.
+
+Also the observer-neutrality contract: observers are instrumentation,
+never simulation state, so ``Engine.save_state()`` after N steps is
+byte-identical whatever observer stack is attached — across every
+registered variant and both baselines.
+"""
+
+import itertools
 
 import pytest
 
+import repro.core.messages as _messages
 from repro import KLParams, RandomScheduler, SaturatedWorkload
 from repro.analysis import take_census
+from repro.baselines.central import build_central_engine
 from repro.baselines.ring import build_ring_engine
 from repro.core.composed import build_composed_engine
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.core.pusher import build_pusher_engine
 from repro.core.selfstab import build_selfstab_engine
 from repro.sim.faults import scramble_configuration
+from repro.sim.observers import (
+    ChannelStatsObserver,
+    NullObserver,
+    TraceObserver,
+)
 from repro.topology import random_tree
 from repro.topology.graphs import random_connected_graph
 
@@ -58,3 +76,123 @@ class TestDeterminism:
 
     def test_different_seed_diverges(self, runner):
         assert runner(11) != runner(12)
+
+
+# ----------------------------------------------------------------------
+# Observer neutrality
+# ----------------------------------------------------------------------
+def _tree_variant(build):
+    def make(n, params, apps, scheduler):
+        return build(random_tree(n, seed=2), params, apps, scheduler)
+
+    return make
+
+
+def _ring_baseline(n, params, apps, scheduler):
+    return build_ring_engine(n, params, apps, scheduler, init="tokens")
+
+
+def _composed_variant(n, params, apps, scheduler):
+    return build_composed_engine(
+        random_connected_graph(n, 3, seed=4), params, apps, scheduler
+    )
+
+
+VARIANT_BUILDERS = {
+    "naive": _tree_variant(build_naive_engine),
+    "pusher": _tree_variant(build_pusher_engine),
+    "priority": _tree_variant(build_priority_engine),
+    "selfstab": _tree_variant(build_selfstab_engine),
+    "composed": _composed_variant,
+    "ring": _ring_baseline,
+    "central": _tree_variant(build_central_engine),
+}
+
+
+def _observer_stack(params):
+    """A full instrumentation stack (step-level hooks included)."""
+    from repro.analysis.census import CensusObserver
+    from repro.analysis.invariants import SafetyObserver
+
+    return [
+        TraceObserver(),
+        ChannelStatsObserver(),
+        SafetyObserver(params, every=7),
+        CensusObserver(params, every=13),
+    ]
+
+
+def _state_tuple(engine):
+    st = engine.save_state()
+    return tuple(getattr(st, f) for f in st.__slots__)
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANT_BUILDERS), ids=str)
+class TestObserverNeutrality:
+    """save_state() is byte-identical under any observer stack."""
+
+    N = 7
+    STEPS = 3_000
+
+    def _run(self, variant, observers):
+        # token uids come from a process-global counter: reset before
+        # each build+run pair so both executions mint identical ids
+        _messages._uid_counter = itertools.count(1)
+        params = KLParams(k=2, l=3, n=self.N, cmax=2)
+        apps = [
+            SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(self.N)
+        ]
+        eng = VARIANT_BUILDERS[variant](
+            self.N, params, apps, RandomScheduler(self.N, seed=9)
+        )
+        for obs in observers(params):
+            eng.add_observer(obs)
+        eng.run(self.STEPS)
+        return _state_tuple(eng)
+
+    def test_full_stack_matches_null_observer(self, variant):
+        instrumented = self._run(variant, _observer_stack)
+        bare = self._run(variant, lambda params: [NullObserver()])
+        assert instrumented == bare
+
+
+class TestCounterReadsAreNeutral:
+    """Satellite regression: pure reads must not perturb save_state."""
+
+    def test_unseen_kind_reads_do_not_materialize_rows(self):
+        params = KLParams(k=1, l=1, n=5)
+        eng = build_priority_engine(
+            random_tree(5, seed=1),
+            params,
+            [None] * 5,
+            RandomScheduler(5, seed=1),
+        )
+        before = _state_tuple(eng)
+        # a fresh idle engine has bumped nothing: these are all unseen
+        assert eng.cs_entries() == 0
+        assert eng.cs_entries(3) == 0
+        assert eng.counter("reset") == 0
+        assert eng.counter("enter_cs", 2) == 0
+        assert eng.counter_row("timeout") == (0,) * 5
+        assert eng.message_counts() == {}
+        # defaultdict-style subscripting still reads zero rows — but the
+        # row is a throwaway, never stored into the codec state
+        assert eng.counters["enter_cs"] == [0] * 5
+        assert "enter_cs" not in eng.counters
+        from repro.analysis import collect_metrics
+
+        collect_metrics(eng, [None] * 5)
+        assert _state_tuple(eng) == before
+        assert eng.counters == {}
+
+    def test_bumps_still_materialize(self):
+        eng = build_priority_engine(
+            random_tree(5, seed=1),
+            KLParams(k=1, l=1, n=5),
+            [None] * 5,
+            RandomScheduler(5, seed=1),
+        )
+        eng.processes[2].ctx.bump("enter_cs")
+        assert eng.cs_entries(2) == 1
+        assert eng.cs_entries() == 1
+        assert eng.counter_row("enter_cs") == (0, 0, 1, 0, 0)
