@@ -1,30 +1,52 @@
-"""Explorer throughput: snapshot codec vs. deepcopy-fork reference.
+"""Explorer throughput: each generation gated against its reference.
 
-The exhaustive explorer historically produced every child configuration
-with ``Engine.fork()`` — a full ``copy.deepcopy`` per transition — which
-dominated runtime and capped reachable depth.  The snapshot codec
-(restore → step → snapshot on one reusable engine) must beat that by a
-wide margin on the paper's own instances while visiting the *identical*
-state space; this bench measures both in the same run and enforces a
-coarse regression floor on the ratio.
+Two gated ladders, measured in the same run on the same instances so
+machine drift cancels:
+
+* **snapshot vs. fork** (PR 1's gate): the snapshot codec (restore →
+  step → snapshot on one reusable engine) against the historical
+  ``Engine.fork()`` deepcopy-per-child.
+* **turbo vs. snapshot** (this PR's gate): the delta codec + packed
+  128-bit digests (``method="delta"``, ``digest="packed"`` — the
+  production defaults) against the retained tuple-digest +
+  full-snapshot reference, on a selfstab n=6 scenario, BFS and a DFS
+  deep dive, plus a seen-set memory floor.
+
+Every pairing must visit the *identical* state space — the ratio is
+meaningless otherwise, so each gate asserts the differential first.
+The measured explore matrix is emitted as ``BENCH_explore.json``
+(path overridable via ``BENCH_EXPLORE_OUT``) so the states/sec
+trajectory accumulates run over run, like ``BENCH_kernel.json``.
 """
 
+import os
 import time
 
 
 from repro import KLParams
 from repro.analysis import safety_ok
+from repro.analysis.bench import run_explore_bench, write_bench_json
 from repro.analysis.explore import explore
 from repro.apps.interface import IdleApplication
-from repro.apps.workloads import HogWorkload, OneShotWorkload
+from repro.apps.workloads import HogWorkload, OneShotWorkload, SaturatedWorkload
 from repro.core.naive import build_naive_engine
 from repro.core.priority import build_priority_engine
+from repro.core.selfstab import build_selfstab_engine
 from repro.scenarios import FIG2_NEEDS
-from repro.topology import paper_example_tree, paper_livelock_tree
+from repro.topology import paper_example_tree, paper_livelock_tree, path_tree
 
 #: comfortably below the ~14x observed even on slow shared CI, loud on a
-#: real regression (and the acceptance floor for this PR)
+#: real regression (the PR-1 acceptance floor)
 MIN_SPEEDUP = 5.0
+
+#: this PR's acceptance floor: delta codec + packed digests vs. the
+#: retained tuple-digest + full-snapshot reference (measured ~6-6.5x)
+TURBO_SPEEDUP_FLOOR = 5.0
+#: same ladder for the DFS deep dive (measured ~3.2x; diff-loads share
+#: less structure across stack jumps than across BFS siblings)
+TURBO_DFS_FLOOR = 2.0
+#: packed seen-set must be at least this much smaller (measured ~70x)
+TURBO_MEMORY_FLOOR = 8.0
 
 
 def fig2_instance():
@@ -107,4 +129,163 @@ def test_bench_explore_snapshot_vs_fork(benchmark, report):
         rounds=3,
         iterations=1,
     )
+    assert benchmark.stats["mean"] < 2.0
+
+
+# ---------------------------------------------------------------------------
+# This PR's gate: delta codec + packed digests vs. the retained reference
+# ---------------------------------------------------------------------------
+
+def selfstab_gate_instance():
+    """Self-stabilizing variant, n=6 path, one-shot requesters.
+
+    The acceptance-gate scenario: three one-shot requests contending for
+    l=3 units under the full controller stack.  Depth stays far below
+    the root's timeout interval, so configurations are time-independent
+    within the explored region (the digest-soundness requirement).
+    """
+    tree = path_tree(6)
+    params = KLParams(k=2, l=3, n=6)
+    needs = {1: 1, 3: 2, 5: 1}
+    apps = [
+        OneShotWorkload(needs[p], cs_duration=0) if p in needs
+        else IdleApplication()
+        for p in range(6)
+    ]
+    eng = build_selfstab_engine(tree, params, apps, init="tokens")
+    for p in range(6):
+        eng.step_pid(p, -1)
+    return eng, params
+
+
+def dfs_dive_instance():
+    """Priority variant, n=5 path, saturated — the DFS depth workload."""
+    tree = path_tree(5)
+    params = KLParams(k=2, l=2, n=5)
+    apps = [SaturatedWorkload(need=1, cs_duration=0) for _ in range(5)]
+    eng = build_priority_engine(tree, params, apps)
+    for p in range(5):
+        eng.step_pid(p, -1)
+    return eng, params
+
+
+def same_space(a, b):
+    assert (a.configurations, a.transitions, a.violation, a.exhausted,
+            a.frontier_sizes) == (
+        b.configurations, b.transitions, b.violation, b.exhausted,
+        b.frontier_sizes,
+    ), "turbo and reference explored different state spaces"
+
+
+def best_of(make_ref, make_turbo, rounds=3):
+    """Interleaved best-of timing so machine drift hits both sides."""
+    t_ref = t_turbo = None
+    ref = turbo = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        ref = make_ref()
+        dt = time.perf_counter() - t0
+        t_ref = dt if t_ref is None else min(t_ref, dt)
+        t0 = time.perf_counter()
+        turbo = make_turbo()
+        dt = time.perf_counter() - t0
+        t_turbo = dt if t_turbo is None else min(t_turbo, dt)
+    return ref, t_ref, turbo, t_turbo
+
+
+def test_bench_explore_turbo_vs_reference(report):
+    """>= 5x explored states/sec and >= 8x less seen-set memory on the
+    selfstab n=6 gate scenario; emits the BENCH_explore.json artifact."""
+    eng, params = selfstab_gate_instance()
+
+    def inv(e):
+        return safety_ok(e, params) or "unsafe"
+
+    kw = dict(max_depth=16, max_configurations=8_000)
+    ref, t_ref, turbo, t_turbo = best_of(
+        lambda: explore(eng, inv, method="snapshot", digest="tuple", **kw),
+        lambda: explore(eng, inv, **kw),
+    )
+    same_space(ref, turbo)
+    speedup = t_ref / max(t_turbo, 1e-9)
+    mem_ratio = ref.peak_seen_bytes / max(turbo.peak_seen_bytes, 1)
+
+    # DFS deep dive on the same ladder
+    deng, dparams = dfs_dive_instance()
+
+    def dinv(e):
+        return safety_ok(e, dparams) or "unsafe"
+
+    dkw = dict(strategy="dfs", max_depth=40, max_configurations=4_000)
+    dref, dt_ref, dturbo, dt_turbo = best_of(
+        lambda: explore(deng, dinv, method="snapshot", digest="tuple", **dkw),
+        lambda: explore(deng, dinv, **dkw),
+        rounds=2,
+    )
+    same_space(dref, dturbo)
+    dfs_speedup = dt_ref / max(dt_turbo, 1e-9)
+
+    report(
+        "EXPLORE — turbo (delta+packed) vs. retained reference "
+        "(full-snapshot+tuple), same run",
+        ["instance", "strategy", "configs", "ref s", "turbo s",
+         "speedup", "seen-mem ratio"],
+        [
+            ("selfstab n=6 oneshot", "bfs d16", ref.configurations,
+             t_ref, t_turbo, f"{speedup:.1f}x", f"{mem_ratio:.0f}x"),
+            ("priority n=5 saturated", "dfs d40", dref.configurations,
+             dt_ref, dt_turbo, f"{dfs_speedup:.1f}x",
+             f"{dref.peak_seen_bytes / max(dturbo.peak_seen_bytes, 1):.0f}x"),
+        ],
+    )
+
+    rows = run_explore_bench(repeat=2)
+    out = os.environ.get("BENCH_EXPLORE_OUT", "BENCH_explore.json")
+    write_bench_json(
+        rows,
+        out,
+        name="explore-states-per-sec",
+        extra={
+            "gate_scenario": "selfstab-path-n6-oneshot-bfs-d16",
+            "reference_states_per_sec": ref.configurations / t_ref,
+            "turbo_states_per_sec": turbo.configurations / t_turbo,
+            "turbo_speedup_vs_reference": speedup,
+            "dfs_turbo_speedup_vs_reference": dfs_speedup,
+            "reference_peak_seen_bytes": ref.peak_seen_bytes,
+            "turbo_peak_seen_bytes": turbo.peak_seen_bytes,
+        },
+    )
+
+    assert mem_ratio >= TURBO_MEMORY_FLOOR, (
+        f"packed seen-set only {mem_ratio:.1f}x smaller than tuple "
+        f"(floor {TURBO_MEMORY_FLOOR}x)"
+    )
+    assert dfs_speedup >= TURBO_DFS_FLOOR, (
+        f"DFS turbo only {dfs_speedup:.2f}x faster than the reference "
+        f"(floor {TURBO_DFS_FLOOR}x)"
+    )
+    assert speedup >= TURBO_SPEEDUP_FLOOR, (
+        f"turbo explorer only {speedup:.2f}x faster than the "
+        f"tuple-digest + full-snapshot reference "
+        f"(floor {TURBO_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bench_explore_dfs_reaches_depth(benchmark):
+    """The DFS deep dive actually reaches the depth bound within the
+    cap — the 'materially deeper dives' claim, timed."""
+    deng, dparams = dfs_dive_instance()
+
+    def dinv(e):
+        return safety_ok(e, dparams) or "unsafe"
+
+    def dive():
+        return explore(
+            deng, dinv, strategy="dfs", max_depth=40,
+            max_configurations=4_000,
+        )
+
+    res = benchmark.pedantic(dive, rounds=2, iterations=1)
+    assert len(res.frontier_sizes) == 40, "dive never reached the bound"
+    assert res.configurations == 4_000
     assert benchmark.stats["mean"] < 2.0

@@ -25,7 +25,7 @@ Submodules
 """
 
 from .census import CensusObserver, TokenCensus, population_correct, take_census
-from .explore import ExplorationResult, canonical_digest, explore
+from .explore import ExplorationResult, canonical_digest, explore, packed_digest
 from .fuzz import FuzzResult, campaign_result, fuzz, replay_schedule, run_walk_range
 from .harness import (
     ConvergenceResult,
@@ -53,7 +53,9 @@ from .metrics import (
     waiting_time_bound,
 )
 from .parallel import (
+    DEFAULT_MIN_FRONTIER,
     CampaignError,
+    PersistentExplorePool,
     ShardProgress,
     WorkerFailure,
     explore_parallel,
@@ -69,7 +71,10 @@ from .trajectories import TokenTrajectory, TokenVisit, lap_times, track_tokens
 __all__ = [
     "ExplorationResult",
     "canonical_digest",
+    "packed_digest",
     "explore",
+    "DEFAULT_MIN_FRONTIER",
+    "PersistentExplorePool",
     "FuzzResult",
     "fuzz",
     "replay_schedule",

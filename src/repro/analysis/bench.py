@@ -1,18 +1,25 @@
-"""Kernel throughput measurement (``repro bench`` and the CI perf gate).
+"""Throughput measurement (``repro bench`` and the CI perf gates).
 
-Measures steps/second of the observer-free stepping kernel across a
-matrix of variant × topology scenarios, so the perf trajectory of the
-hot loop accumulates in ``BENCH_kernel.json`` instead of living only in
-one-off benchmark logs.  The same rows back the README's performance
-table, the ``repro bench`` subcommand, and the
-``benchmarks/test_bench_perf_engine.py`` regression gate (which adds a
-differential ratio against a fossil of the pre-kernel step loop).
+Two suites, each accumulating a JSON artifact so the perf trajectory
+lives in version control instead of one-off benchmark logs:
 
-Timing protocol: build the scenario from its :class:`ScenarioSpec`,
-warm up (token placement and scheduler buffers settle), then take the
-best of ``repeat`` timed ``engine.run(steps)`` windows — best-of, not
-mean, because the quantity of interest is the kernel's attainable
-throughput, and transient machine noise only ever subtracts from it.
+* **kernel** — steps/second of the observer-free stepping kernel across
+  a matrix of variant × topology scenarios (``BENCH_kernel.json``).
+* **explore** — explored configurations/second of the state-space
+  engine (delta codec + packed digests) across a matrix of exhaustively
+  explorable scenarios, BFS and DFS (``BENCH_explore.json``).
+
+The same rows back the README's performance tables, the ``repro bench``
+subcommand, and the regression gates
+(``benchmarks/test_bench_perf_engine.py`` adds a differential ratio
+against a fossil of the pre-kernel step loop;
+``benchmarks/test_bench_explore.py`` gates the state-space turbo
+against the retained tuple-digest + full-snapshot reference).
+
+Timing protocol: build the scenario from its :class:`ScenarioSpec` and
+take the best of ``repeat`` timed windows — best-of, not mean, because
+the quantity of interest is attainable throughput, and transient
+machine noise only ever subtracts from it.
 """
 
 from __future__ import annotations
@@ -29,12 +36,17 @@ from ..spec.builder import ScenarioBuilder
 
 __all__ = [
     "BenchRow",
+    "ExploreBenchRow",
     "bench_engine",
     "bench_spec",
     "default_bench_matrix",
     "run_kernel_bench",
+    "bench_explore_spec",
+    "default_explore_matrix",
+    "run_explore_bench",
     "write_bench_json",
     "render_bench_table",
+    "render_explore_table",
 ]
 
 #: Default measured window per scenario (steps).
@@ -151,15 +163,136 @@ def run_kernel_bench(
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Explore suite: explored configurations/second of the state-space engine
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class ExploreBenchRow:
+    """One measured exploration scenario (delta codec + packed digests)."""
+
+    scenario: str
+    variant: str
+    topology: str
+    n: int
+    strategy: str
+    max_depth: int
+    configurations: int
+    transitions: int
+    states_per_sec: float
+    peak_seen_bytes: int
+
+
+def bench_explore_spec(
+    label: str,
+    spec: ScenarioSpec,
+    *,
+    max_depth: int,
+    max_configurations: int = 200_000,
+    strategy: str = "bfs",
+    repeat: int = DEFAULT_REPEAT,
+) -> ExploreBenchRow:
+    """Build ``spec`` and measure its exhaustive-exploration throughput.
+
+    Runs the production path (``method="delta"``, ``digest="packed"``)
+    ``repeat`` times on a freshly built engine and keeps the best
+    observed states/second — exploration is deterministic, so every
+    repetition visits the identical space.
+    """
+    from .explore import explore
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    built = spec.without_observers().build()
+    best = None
+    for _ in range(repeat):
+        res = explore(
+            built.engine,
+            built.invariant,
+            max_depth=max_depth,
+            max_configurations=max_configurations,
+            strategy=strategy,
+        )
+        if best is None or res.states_per_sec > best.states_per_sec:
+            best = res
+    return ExploreBenchRow(
+        scenario=label,
+        variant=spec.variant,
+        topology=spec.topology.kind,
+        n=built.tree.n,
+        strategy=strategy,
+        max_depth=max_depth,
+        configurations=best.configurations,
+        transitions=best.transitions,
+        states_per_sec=best.states_per_sec,
+        peak_seen_bytes=best.peak_seen_bytes,
+    )
+
+
+def _explore_scenario(variant: str, topology: str, n: int, **topo_args):
+    """A time-independent (digest-sound) campaign spec for exploration."""
+    return (
+        ScenarioBuilder()
+        .topology(topology, n=n, **topo_args)
+        .params(k=2, l=2)
+        .workload("saturated", cs_duration=0)
+        .variant(variant)
+        .seed(1)
+        .spec()
+    )
+
+
+def default_explore_matrix() -> list[tuple[str, ScenarioSpec, dict]]:
+    """The standard scenario matrix behind ``BENCH_explore.json``.
+
+    Every explorable variant on representative topologies, BFS plus one
+    DFS deep-dive row; depth/cap bounds are sized so the whole suite
+    stays in CI-smoke territory while still expanding thousands of
+    configurations per row.
+    """
+    return [
+        ("naive-path-n5-bfs", _explore_scenario("naive", "path", 5),
+         {"max_depth": 10, "max_configurations": 3_000}),
+        ("naive-star-n5-bfs", _explore_scenario("naive", "star", 5),
+         {"max_depth": 10, "max_configurations": 3_000}),
+        ("priority-path-n5-bfs", _explore_scenario("priority", "path", 5),
+         {"max_depth": 9, "max_configurations": 3_000}),
+        ("priority-path-n6-bfs", _explore_scenario("priority", "path", 6),
+         {"max_depth": 8, "max_configurations": 3_000}),
+        ("pusher-path-n5-bfs", _explore_scenario("pusher", "path", 5),
+         {"max_depth": 9, "max_configurations": 3_000}),
+        ("priority-path-n5-dfs", _explore_scenario("priority", "path", 5),
+         {"max_depth": 24, "max_configurations": 3_000, "strategy": "dfs"}),
+    ]
+
+
+def run_explore_bench(
+    matrix: Sequence[tuple[str, ScenarioSpec, dict]] | None = None,
+    *,
+    repeat: int = DEFAULT_REPEAT,
+    progress: Callable[[ExploreBenchRow], None] | None = None,
+) -> list[ExploreBenchRow]:
+    """Measure every scenario of ``matrix`` (default: the standard one)."""
+    rows = []
+    entries = matrix if matrix is not None else default_explore_matrix()
+    for label, spec, opts in entries:
+        row = bench_explore_spec(label, spec, repeat=repeat, **opts)
+        if progress is not None:
+            progress(row)
+        rows.append(row)
+    return rows
+
+
 def write_bench_json(
-    rows: Sequence[BenchRow],
+    rows: Sequence,
     path: str | Path,
     *,
     extra: dict | None = None,
+    name: str = "kernel-steps-per-sec",
 ) -> None:
-    """Write the ``BENCH_kernel.json`` artifact (one self-contained doc)."""
+    """Write a bench artifact (``BENCH_kernel.json`` / ``BENCH_explore.json``)."""
     doc = {
-        "benchmark": "kernel-steps-per-sec",
+        "benchmark": name,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
         "rows": [asdict(r) for r in rows],
@@ -177,5 +310,20 @@ def render_bench_table(rows: Sequence[BenchRow]) -> str:
         lines.append(
             f"{r.scenario.ljust(width)}  {r.variant:>9}  {r.n:>4}  "
             f"{r.steps_per_sec:>12,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_explore_table(rows: Sequence[ExploreBenchRow]) -> str:
+    """Fixed-width table of the explore suite (CLI + README source)."""
+    width = max((len(r.scenario) for r in rows), default=len("scenario"))
+    lines = [
+        f"{'scenario'.ljust(width)}  {'variant':>9}  {'configs':>8}  "
+        f"{'states/sec':>11}  {'seen KiB':>9}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.scenario.ljust(width)}  {r.variant:>9}  {r.configurations:>8}  "
+            f"{r.states_per_sec:>11,.0f}  {r.peak_seen_bytes / 1024:>9,.1f}"
         )
     return "\n".join(lines)

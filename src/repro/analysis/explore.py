@@ -15,14 +15,34 @@ strongest check a simulation harness can offer short of a proof.
 
 How transitions are expanded
 ----------------------------
-Exploration works on a *single reusable engine*: each stored
-configuration is a compact :class:`~repro.sim.engine.EngineState`
-snapshot, and a transition is restore → :meth:`Engine.step_pid` →
-snapshot.  This replaces the historical per-child ``Engine.fork()``
-(a full ``copy.deepcopy`` of engine, processes, channels and apps),
-which dominated runtime and capped reachable depth; the deepcopy path
-is kept as the reference implementation (``method="fork"``) and the
-differential test suite holds the two paths to identical results.
+Exploration works on a *single reusable engine*.  The default
+(``method="delta"``) rides the engine's **delta codec**: a transition is
+``restore_delta`` (undo the previous move's O(degree) footprint) →
+:meth:`Engine.step_pid` → :meth:`Engine.save_state_from` (a child
+snapshot sharing every untouched slot with its parent), so the
+per-transition bookkeeping is O(degree) instead of O(n).  Two reference
+paths are retained and differentially tested identical:
+
+* ``method="snapshot"`` — the PR-1 full codec (``load_state`` →
+  ``step_pid`` → ``save_state``, all O(n));
+* ``method="fork"`` — the historical ``Engine.fork()`` deepcopy per
+  child, the slowest and most obviously-correct implementation.
+
+How configurations are deduplicated
+-----------------------------------
+``digest="packed"`` (default) serializes the canonical configuration —
+every process's ``state_summary`` (token uids ignored, RSets as sorted
+multisets) plus every channel's message-kind sequence — into a flat
+string buffer, one *slot* per process/channel, and stores the 128-bit
+blake2b hash of the buffer in the seen-set: a fixed 16-byte key instead
+of a deep nested tuple (an order of magnitude less memory, and set
+operations hash 16 bytes instead of re-walking the tuple).  Because a
+transition at ``pid`` only rewrites ``pid``'s slot and its incident
+channels' slots, the explorer caches the parent's slot buffer and
+re-encodes just the dirty slots per move.  ``digest="tuple"`` is the
+retained reference — the historical hashable nested tuple, held
+differentially identical (same reachable set, same violations) on every
+variant and topology by the test suite.
 
 Search strategies
 -----------------
@@ -53,13 +73,26 @@ live in.
 
 from __future__ import annotations
 
+import sys
+import time
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Callable
 
 from ..core.messages import Ctrl, Message, PrioT, PushT, ResT
 from ..sim.engine import Engine
 
-__all__ = ["ExplorationResult", "explore", "canonical_digest"]
+__all__ = [
+    "ExplorationResult",
+    "explore",
+    "canonical_digest",
+    "packed_digest",
+]
+
+#: Slot separator for the packed encoding.  ``repr`` output never
+#: contains raw control characters (they are escaped), so joining repr
+#: slots on one is unambiguous.
+_SEP = "\x1f"
 
 
 def _msg_key(m: Message) -> tuple:
@@ -76,6 +109,20 @@ def _msg_key(m: Message) -> tuple:
     return (m.type_name(),)
 
 
+def _proc_items(p) -> tuple:
+    """Canonical ``(key, value)`` items of one process's summary."""
+    s = p.state_summary()
+    items = []
+    for k in sorted(s):
+        v = s[k]
+        if k == "rset":
+            v = tuple(sorted(v))
+        elif isinstance(v, list):
+            v = tuple(v)
+        items.append((k, v))
+    return tuple(items)
+
+
 def canonical_digest(engine: Engine) -> tuple:
     """Hashable canonical form of the engine's configuration.
 
@@ -84,24 +131,160 @@ def canonical_digest(engine: Engine) -> tuple:
     excluded: they do not influence future protocol behavior (apps used
     in exploration must be time-independent, e.g. ``SaturatedWorkload``
     with ``cs_duration=0`` or ``HogWorkload``).
+
+    This is the *reference* digest (``digest="tuple"``); the default
+    ``digest="packed"`` path hashes the same canonical data into a
+    fixed-width 128-bit key (see :func:`packed_digest`).
     """
-    procs = []
-    for p in engine.processes:
-        s = p.state_summary()
-        items = []
-        for k in sorted(s):
-            v = s[k]
-            if k == "rset":
-                v = tuple(sorted(v))
-            elif isinstance(v, list):
-                v = tuple(v)
-            items.append((k, v))
-        procs.append(tuple(items))
+    procs = tuple(_proc_items(p) for p in engine.processes)
     chans = tuple(
         (src, dst, tuple(_msg_key(m) for m in ch))
         for (src, dst), ch in sorted(engine.network.channels.items())
     )
-    return (tuple(procs), chans)
+    return (procs, chans)
+
+
+class _PackedDigester:
+    """Slot-wise packed encoder of one engine's canonical configuration.
+
+    One string slot per process (its canonical summary values, keys in
+    a per-process fixed sorted order) and per directed channel (its
+    message-kind sequence, channels in the engine's codec order — a
+    slot's *position* identifies both the channel and, for processes,
+    the summary key set, so neither is re-encoded into the buffer).
+    The digest is the 128-bit blake2b of the slots joined on ``_SEP``.
+
+    The point of the slot structure: a transition at ``pid`` only
+    rewrites ``pid``'s slot and the slots of its dirty incident
+    channels, so the exploration hot loop copies the parent's slot
+    buffer and re-encodes O(degree) slots per move instead of O(n).
+    Channel slots read the live queue deques (queue identity survives
+    ``Channel.restore``), so the encoder needs no rebinding across
+    ``load_state``.  Channel slot ``n + i`` is codec slot ``i`` — the
+    same index :meth:`~repro.sim.engine.Engine.dirty_channels` reports
+    and ``EngineState.chans`` uses.
+    """
+
+    __slots__ = (
+        "_procs",
+        "_summaries",
+        "_queues",
+        "_keys",
+        "_rset_idx",
+        "_part_cache",
+        "n",
+    )
+
+    def __init__(self, engine: Engine) -> None:
+        procs = engine.processes
+        self._procs = procs
+        self._summaries = [p.state_summary for p in procs]
+        self._queues = [c.queue for c in engine._chan_list]
+        n = len(procs)
+        self.n = n
+        #: per-process sorted summary-key order, fixed at first use (a
+        #: process class's summary keys are constant; the positional
+        #: encoding relies on it and a drift raises a loud KeyError)
+        self._keys: list[list[str] | None] = [None] * n
+        self._rset_idx = [-1] * n
+        #: (pid, process snapshot) → encoded slot, memoized: process
+        #: snapshots determine summaries (the codec contract), local
+        #: states recur heavily across the space, and the explorer has
+        #: the snapshot in hand anyway for its cleanliness check
+        self._part_cache: dict[tuple, str] = {}
+
+    def proc_part(self, pid: int, snap: tuple | None = None) -> str:
+        if snap is None:
+            snap = self._procs[pid].snapshot()
+        key = (pid, snap)
+        part = self._part_cache.get(key)
+        if part is not None:
+            return part
+        s = self._summaries[pid]()
+        keys = self._keys[pid]
+        if keys is None or len(keys) != len(s):
+            keys = self._keys[pid] = sorted(s)
+            self._rset_idx[pid] = keys.index("rset") if "rset" in keys else -1
+        vals = [s[k] for k in keys]
+        ri = self._rset_idx[pid]
+        if ri >= 0:
+            vals[ri] = sorted(vals[ri])
+        part = self._part_cache[key] = repr(vals)
+        return part
+
+    def chan_part(self, slot: int) -> str:
+        return repr([_msg_key(m) for m in self._queues[slot - self.n]])
+
+    def parts(self) -> list[str]:
+        """The full slot buffer of the engine's current configuration."""
+        out = [self.proc_part(p) for p in range(self.n)]
+        n = self.n
+        out.extend(self.chan_part(n + i) for i in range(len(self._queues)))
+        return out
+
+    @staticmethod
+    def hash(parts: list[str]) -> bytes:
+        return blake2b(_SEP.join(parts).encode(), digest_size=16).digest()
+
+    def child_parts(
+        self,
+        parent_parts: list[str],
+        pid: int,
+        proc_clean: bool,
+        dirty_slots: list[int],
+        proc_snap: tuple | None = None,
+    ) -> list[str]:
+        """The slot buffer after one step of ``pid``, reusing the
+        parent's slots for everything the step left untouched.
+        ``dirty_slots`` are codec channel slots (from
+        :meth:`Engine.dirty_channels`); ``proc_snap`` feeds the
+        memoized process-slot encoding."""
+        cur = parent_parts.copy()
+        if not proc_clean:
+            cur[pid] = self.proc_part(pid, proc_snap)
+        n = self.n
+        for i in dirty_slots:
+            cur[n + i] = self.chan_part(n + i)
+        return cur
+
+
+def packed_digest(engine: Engine) -> bytes:
+    """128-bit blake2b key of the canonical configuration.
+
+    Same canonical data as :func:`canonical_digest` (uid-free message
+    kinds, sorted summaries), packed into a flat buffer and hashed to a
+    fixed 16-byte value — the ``digest="packed"`` seen-set entry.
+    Collisions are 2^-128 territory; the differential test suite pins
+    packed and tuple exploration to identical reachable sets on every
+    variant and baseline.
+    """
+    d = _PackedDigester(engine)
+    return d.hash(d.parts())
+
+
+def _seen_bytes(seen: set) -> int:
+    """Estimated retained bytes of a seen-set (table plus elements).
+
+    Packed digests are fixed-width, so one sample multiplies out
+    exactly; nested tuple digests are deep-sized individually (an
+    estimate — interned and structurally-shared leaves are counted at
+    every occurrence).  Either way the result is a pure function of the
+    set's *contents*, so serial and parallel runs report the same value.
+    """
+    total = sys.getsizeof(seen)
+    if not seen:
+        return total
+    sample = next(iter(seen))
+    if isinstance(sample, bytes):
+        return total + len(seen) * sys.getsizeof(sample)
+    return total + sum(_deep_sizeof(v) for v in seen)
+
+
+def _deep_sizeof(obj) -> int:
+    size = sys.getsizeof(obj)
+    if isinstance(obj, tuple):
+        size += sum(_deep_sizeof(v) for v in obj)
+    return size
 
 
 @dataclass(slots=True)
@@ -119,6 +302,11 @@ class ExplorationResult:
     #: per-depth frontier sizes (diagnostics); for DFS, newly discovered
     #: states per depth
     frontier_sizes: list[int] = field(default_factory=list)
+    #: distinct configurations discovered per wall-clock second (0.0 for
+    #: results that never entered the search loop)
+    states_per_sec: float = 0.0
+    #: estimated peak memory retained by the digest seen-set, in bytes
+    peak_seen_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -136,9 +324,9 @@ def _moves(engine: Engine) -> list[tuple[int, int]]:
     empty channels) and isolated processes (degree 0).
     """
     out = []
-    for pid in range(engine.n):
-        for lbl in range(engine.network.degree(pid)):
-            if len(engine.network.in_channel(pid, lbl)):
+    for pid, queues in enumerate(engine._in_queues):
+        for lbl, q in enumerate(queues):
+            if q:
                 out.append((pid, lbl))
         # the silent step matters when local actions are enabled; always
         # include it — dedup prunes the no-ops cheaply.
@@ -170,10 +358,11 @@ def explore(
     max_depth: int = 12,
     max_configurations: int = 200_000,
     strategy: str = "bfs",
-    method: str = "snapshot",
+    method: str = "delta",
+    digest: str = "packed",
     workers: int | None = None,
     progress: Callable | None = None,
-    min_frontier: int = 64,
+    min_frontier: int | None = None,
 ) -> ExplorationResult:
     """Explore every schedule from the current state, up to ``max_depth``.
 
@@ -189,33 +378,47 @@ def explore(
     for deeper dives; see the module docstring for the dedup caveat).
 
     ``method`` selects how child configurations are produced:
-    ``"snapshot"`` (default) expands restore→step→snapshot on one
-    reusable engine via the state codec; ``"fork"`` is the historical
-    deepcopy-per-child reference, kept for differential testing and for
-    processes that predate the codec.
+    ``"delta"`` (default) expands through the engine's O(degree) delta
+    codec (``restore_delta`` → step → ``save_state_from``);
+    ``"snapshot"`` is the full-codec reference (O(n) restore → step →
+    snapshot); ``"fork"`` is the historical deepcopy-per-child
+    reference.  All three visit the identical state space (the
+    differential tests enforce it).
 
-    ``workers`` > 1 partitions each BFS frontier across worker
-    processes via :func:`repro.analysis.parallel.explore_parallel`
-    (level-synchronous, results identical to serial BFS); it requires
-    the default ``strategy="bfs"`` / ``method="snapshot"`` combination.
-    Levels with fewer than ``min_frontier`` states are expanded
-    in-process (forking a pool for a handful of states costs more than
-    it saves; lower it to force pooling).  ``progress`` receives
+    ``digest`` selects the seen-set key: ``"packed"`` (default, 128-bit
+    blake2b of the flat canonical encoding — see :func:`packed_digest`)
+    or ``"tuple"`` (the nested-tuple reference).
+
+    ``workers`` > 1 partitions each BFS frontier across a persistent
+    pool of worker processes via
+    :func:`repro.analysis.parallel.explore_parallel` (level-synchronous,
+    results identical to serial BFS); it requires ``strategy="bfs"`` and
+    a snapshot-codec method (``"delta"`` or ``"snapshot"``).  Levels
+    with fewer than ``min_frontier`` states are expanded in-process
+    (dispatching a handful of states to the pool costs more than it
+    saves; default
+    :data:`repro.analysis.parallel.DEFAULT_MIN_FRONTIER`, lower it to
+    force pooling).  ``progress`` receives
     :class:`~repro.analysis.parallel.ShardProgress` events, including
     one per in-process level.
 
     Returns an :class:`ExplorationResult`; ``exhausted`` is ``True`` when
     the reachable set closed before ``max_depth`` — in that case the
     invariant holds in *every* reachable configuration, full stop.
+    ``states_per_sec`` and ``peak_seen_bytes`` report the search's
+    throughput and the (estimated) memory its seen-set retained.
     """
     if strategy not in ("bfs", "dfs"):
         raise ValueError(f"unknown strategy {strategy!r}")
-    if method not in ("snapshot", "fork"):
+    if method not in ("delta", "snapshot", "fork"):
         raise ValueError(f"unknown method {method!r}")
+    if digest not in ("packed", "tuple"):
+        raise ValueError(f"unknown digest {digest!r}")
     if workers is not None and workers > 1:
-        if strategy != "bfs" or method != "snapshot":
+        if strategy != "bfs" or method == "fork":
             raise ValueError(
-                "workers > 1 requires strategy='bfs' and method='snapshot'"
+                "workers > 1 requires strategy='bfs' and a snapshot-codec "
+                "method ('delta' or 'snapshot')"
             )
         from .parallel import explore_parallel
 
@@ -223,6 +426,7 @@ def explore(
             engine, invariant,
             max_depth=max_depth, max_configurations=max_configurations,
             workers=workers, progress=progress, min_frontier=min_frontier,
+            digest=digest, method=method,
         )
     work = engine.fork()
     # Exploration runs on the observer-free kernel: instrumentation on
@@ -232,15 +436,423 @@ def explore(
     bad = _check(invariant, work, 0)
     if bad is not None:
         return ExplorationResult(1, 0, False, bad, [1])
+    t0 = time.perf_counter()
     if method == "fork":
-        return _explore_bfs_fork(
-            work, invariant, max_depth, max_configurations
-        ) if strategy == "bfs" else _explore_dfs(
-            work, invariant, max_depth, max_configurations, fork=True
+        digest_fn = packed_digest if digest == "packed" else canonical_digest
+        res = _explore_bfs_fork(
+            work, invariant, max_depth, max_configurations, digest_fn
+        ) if strategy == "bfs" else _explore_dfs_reference(
+            work, invariant, max_depth, max_configurations, digest_fn,
+            fork=True,
         )
-    if strategy == "dfs":
-        return _explore_dfs(work, invariant, max_depth, max_configurations)
-    return _explore_bfs_snapshot(work, invariant, max_depth, max_configurations)
+    elif method == "snapshot":
+        digest_fn = packed_digest if digest == "packed" else canonical_digest
+        res = _explore_bfs_snapshot(
+            work, invariant, max_depth, max_configurations, digest_fn
+        ) if strategy == "bfs" else _explore_dfs_reference(
+            work, invariant, max_depth, max_configurations, digest_fn,
+            fork=False,
+        )
+    else:
+        digester = _PackedDigester(work) if digest == "packed" else None
+        res = _explore_bfs_delta(
+            work, invariant, max_depth, max_configurations, digester
+        ) if strategy == "bfs" else _explore_dfs_delta(
+            work, invariant, max_depth, max_configurations, digester
+        )
+    elapsed = time.perf_counter() - t0
+    res.states_per_sec = res.configurations / max(elapsed, 1e-9)
+    return res
+
+
+def _finish(
+    seen: set,
+    transitions: int,
+    exhausted: bool,
+    violation: tuple[int, str] | None,
+    frontier_sizes: list[int],
+) -> ExplorationResult:
+    """Build a result, folding in the seen-set memory estimate."""
+    return ExplorationResult(
+        len(seen), transitions, exhausted, violation, frontier_sizes,
+        peak_seen_bytes=_seen_bytes(seen),
+    )
+
+
+class _DeltaExpander:
+    """The delta-codec expansion loop shared by every exploration flavor.
+
+    :meth:`expand` runs every move of one parent configuration and
+    returns a per-move record list; serial BFS/DFS, the persistent-pool
+    workers, and the parent-side small-level path all consume it, so the
+    hot loop exists exactly once.  Per move it:
+
+    * executes an inlined observer-free step (exploration engines carry
+      no observers, so the hook dispatch and label arithmetic of
+      :meth:`Engine.step_pid` are dead weight here — the differential
+      tests hold the inline step byte-identical to the kernel's);
+    * classifies the step's footprint — process snapshot compared
+      against the parent's, channel dirtiness by queue length — and
+      short-circuits fully-clean moves (their digest *is* the parent's,
+      which is always already known);
+    * digests dirty moves by re-encoding O(degree) packed slots;
+    * restores the footprint via :meth:`Engine.restore_pid` before the
+      next move, skipping whatever the classification proved clean.
+
+    Contract with applications: an app used under exploration mutates
+    only through the request lifecycle hooks (``notify_request`` /
+    ``on_enter_cs`` / ``on_exit_cs``), each of which coincides with a
+    protocol state change — so a move with a clean process snapshot and
+    no dirty channels cannot have touched the app.  Every shipped
+    workload satisfies this (``maybe_request`` / ``release_cs`` are
+    pure); the cross-variant byte-equality tests enforce it.
+
+    The engine must hold ``state`` when :meth:`expand` is called and is
+    returned to ``state`` before it returns — callers chain parents with
+    :meth:`Engine.load_state_diff`, which exploits the structural
+    sharing between sibling snapshots.
+    """
+
+    __slots__ = (
+        "work",
+        "invariant",
+        "digester",
+        "processes",
+        "snapshots",
+        "restores",
+        "apps",
+        "app_snapshots",
+        "app_restores",
+        "on_message",
+        "on_local",
+        "in_queues",
+        "in_chans",
+        "degrees",
+        "pid_chans",
+    )
+
+    def __init__(
+        self,
+        work: Engine,
+        invariant: Callable[[Engine], bool | str | None],
+        digester: _PackedDigester | None,
+    ) -> None:
+        self.work = work
+        self.invariant = invariant
+        self.digester = digester
+        procs = work.processes
+        self.processes = procs
+        self.snapshots = [p.snapshot for p in procs]
+        self.restores = [p.restore for p in procs]
+        apps = [getattr(p, "app", None) for p in procs]
+        self.apps = apps
+        self.app_snapshots = [
+            None if a is None else a.snapshot_state for a in apps
+        ]
+        self.app_restores = [
+            None if a is None else a.restore_state for a in apps
+        ]
+        self.on_message = [p.on_message for p in procs]
+        self.on_local = [p.on_local for p in procs]
+        self.in_queues = work._in_queues
+        self.in_chans = work._in_chans
+        self.degrees = work._degrees
+        self.pid_chans = work._pid_chans
+
+    def root(self) -> tuple:
+        """(digest, parts) of the engine's current configuration."""
+        if self.digester is None:
+            return canonical_digest(self.work), None
+        parts = self.digester.parts()
+        return self.digester.hash(parts), parts
+
+    def expand(self, state, parent_parts, seen: set) -> list:
+        """Expand every move of the parent ``state``; records in move order.
+
+        Each record is ``None`` for a move whose child digest is already
+        known (in ``seen``, or earlier within this parent), else
+        ``(digest, verdict, child_state, child_parts)``.  ``seen`` is
+        read, never written — the caller's merge decides which digest
+        wins (this is what makes the record stream shard-order
+        independent for the parallel explorer).
+        """
+        work = self.work
+        invariant = self.invariant
+        digester = self.digester
+        snapshots = self.snapshots
+        restores = self.restores
+        app_snapshots = self.app_snapshots
+        app_restores = self.app_restores
+        on_message = self.on_message
+        on_local = self.on_local
+        in_queues = self.in_queues
+        in_chans = self.in_chans
+        degrees = self.degrees
+        pid_chans = self.pid_chans
+        scan = work._scan
+        timer = work._timer_start
+        sent = work.sent_by_type
+        counters = work.counters
+        chan_list = work._chan_list
+        base_now = state.now
+        base_total_cs = state.total_cs_entries
+        base_scan = state.scan
+        base_timer = state.timer_start
+        base_counters = state.counters
+        base_sent = state.sent_by_type
+        base_procs = state.procs
+        base_apps = state.apps
+        base_chans = state.chans
+        row: list = []
+        append = row.append
+        local_seen: set = set()
+        prev = None
+        for pid, chan in _moves(work):
+            if prev is not None:
+                # -- inlined undo of the previous move (its classified
+                #    footprint only; see Engine.restore_pid for the
+                #    reference implementation of this contract)
+                ppid, pproc_clean, papp_clean, pdirty, pcnt_clean = prev
+                work.now = base_now
+                scan[ppid] = base_scan[ppid]
+                timer[ppid] = base_timer[ppid]
+                if not pcnt_clean:
+                    work.total_cs_entries = base_total_cs
+                    if len(counters) != len(base_counters):
+                        keep = {k for k, _ in base_counters}
+                        for k in [k for k in counters if k not in keep]:
+                            del counters[k]
+                    for k, vals in base_counters:
+                        crow = counters[k]
+                        if crow[ppid] != vals[ppid]:
+                            crow[ppid] = vals[ppid]
+                if not pproc_clean:
+                    restores[ppid](base_procs[ppid])
+                if not papp_clean:
+                    app_restores[ppid](base_apps[ppid])
+                if pdirty:
+                    sent.clear()
+                    sent.update(base_sent)
+                    for slot in pdirty:
+                        chan_list[slot].restore(base_chans[slot])
+            # -- inlined observer-free step (byte-identical to step_pid)
+            cnt_version = work.counters_version
+            if chan >= 0:
+                q = in_queues[pid][chan]
+                if q:
+                    msg = q.popleft()
+                    in_chans[pid][chan].stats.delivered += 1
+                    nxt = chan + 1
+                    scan[pid] = nxt if nxt < degrees[pid] else 0
+                    on_message[pid](chan, msg)
+            on_local[pid]()
+            work.now += 1
+            # -- footprint classification
+            cnt_clean = work.counters_version == cnt_version
+            proc_snap = snapshots[pid]()
+            proc_clean = proc_snap == base_procs[pid]
+            dirty = [
+                slot
+                for slot, c in pid_chans[pid]
+                if len(c.queue) != len(base_chans[slot][0])
+            ]
+            if proc_clean and not dirty:
+                # untouched process, untouched channels: the app cannot
+                # have moved either (lifecycle-hook contract), so the
+                # digest equals the parent's — always a known dup
+                prev = (pid, True, True, dirty, cnt_clean)
+                append(None)
+                continue
+            snapshot_state = app_snapshots[pid]
+            if snapshot_state is not None:
+                app_snap = snapshot_state()
+                app_clean = app_snap == base_apps[pid]
+            else:
+                app_snap = None
+                app_clean = True
+            prev = (pid, proc_clean, app_clean, dirty, cnt_clean)
+            if digester is not None:
+                cur = digester.child_parts(
+                    parent_parts, pid, proc_clean, dirty, proc_snap
+                )
+                digest = digester.hash(cur)
+            else:
+                cur = None
+                digest = canonical_digest(work)
+            if digest in seen or digest in local_seen:
+                append(None)
+                continue
+            local_seen.add(digest)
+            append(
+                (
+                    digest,
+                    _verdict(invariant(work)),
+                    work.save_state_from(state, pid, proc_snap, app_snap),
+                    cur,
+                )
+            )
+        if prev is not None:
+            # leave the engine at `state` for the caller's next diff-load
+            # (once per parent — the reference restore is fast enough)
+            work.restore_pid(state, prev[0], prev[1], prev[2], prev[3])
+        return row
+
+
+class _SnapshotExpander:
+    """Full-codec counterpart of :class:`_DeltaExpander`.
+
+    Same per-parent record protocol (one record per move, ``None`` for
+    known digests), implemented with the retained reference operations:
+    a full :meth:`Engine.load_state` per move, a full digest per child,
+    a full :meth:`Engine.save_state` per new state.  This is what lets
+    the persistent-pool explorer run ``method="snapshot"`` — so a
+    suspected delta-codec bug can be cross-checked under the *parallel*
+    explorer too, not just serially.  Honors the expander contract:
+    the engine holds ``state`` on entry and is returned to it on exit.
+    """
+
+    __slots__ = ("work", "invariant", "digester")
+
+    def __init__(
+        self,
+        work: Engine,
+        invariant: Callable[[Engine], bool | str | None],
+        digester: _PackedDigester | None,
+    ) -> None:
+        self.work = work
+        self.invariant = invariant
+        self.digester = digester
+
+    def _digest(self) -> object:
+        if self.digester is None:
+            return canonical_digest(self.work)
+        return self.digester.hash(self.digester.parts())
+
+    def root(self) -> tuple:
+        """(digest, parts) of the engine's current configuration."""
+        return self._digest(), None
+
+    def expand(self, state, parent_parts, seen: set) -> list:
+        work = self.work
+        invariant = self.invariant
+        row: list = []
+        local_seen: set = set()
+        for i, (pid, chan) in enumerate(_moves(work)):
+            if i:
+                work.load_state(state)
+            work.step_pid(pid, chan)
+            digest = self._digest()
+            if digest in seen or digest in local_seen:
+                row.append(None)
+                continue
+            local_seen.add(digest)
+            row.append(
+                (digest, _verdict(invariant(work)), work.save_state(), None)
+            )
+        work.load_state(state)  # leave the engine at `state`
+        return row
+
+
+def _explore_bfs_delta(
+    work: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    max_depth: int,
+    max_configurations: int,
+    digester: _PackedDigester | None,
+) -> ExplorationResult:
+    """BFS on the delta codec: O(degree) restore/snapshot per transition.
+
+    Frontier entries carry the parent's packed slot buffer alongside its
+    :class:`~repro.sim.engine.EngineState`, so a child digest re-encodes
+    only the stepped process and its incident channels.  With
+    ``digester=None`` (tuple digests) the delta codec still applies but
+    digests are recomputed in full — the combination exists for
+    differential testing.
+    """
+    exp = _DeltaExpander(work, invariant, digester)
+    root_digest, parts = exp.root()
+    seen: set = {root_digest}
+    held = work.save_state()
+    frontier = [(held, parts)]
+    transitions = 0
+    frontier_sizes: list[int] = []
+
+    for depth in range(1, max_depth + 1):
+        nxt: list = []
+        for state, parent_parts in frontier:
+            work.load_state_diff(held, state)
+            held = state
+            for item in exp.expand(state, parent_parts, seen):
+                transitions += 1
+                if item is None:
+                    continue
+                digest, msg, child, child_parts = item
+                seen.add(digest)
+                if msg is not None:
+                    return _finish(
+                        seen, transitions, False, (depth, msg),
+                        frontier_sizes + [len(nxt)],
+                    )
+                nxt.append((child, child_parts))
+                if len(seen) >= max_configurations:
+                    return _finish(
+                        seen, transitions, False, None,
+                        frontier_sizes + [len(nxt)],
+                    )
+        frontier_sizes.append(len(nxt))
+        frontier = nxt
+        if not frontier:
+            return _finish(seen, transitions, True, None, frontier_sizes)
+    return _finish(seen, transitions, False, None, frontier_sizes)
+
+
+def _explore_dfs_delta(
+    work: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    max_depth: int,
+    max_configurations: int,
+    digester: _PackedDigester | None,
+) -> ExplorationResult:
+    """DFS on the delta codec (same stack semantics as the reference)."""
+    exp = _DeltaExpander(work, invariant, digester)
+    root_digest, parts = exp.root()
+    seen: set = {root_digest}
+    held = work.save_state()
+    per_depth = [0] * (max_depth + 1)
+    stack: list[tuple] = [(held, 0, parts)]
+    transitions = 0
+    truncated = False
+
+    while stack:
+        state, depth, parent_parts = stack.pop()
+        if depth >= max_depth:
+            truncated = True
+            continue
+        work.load_state_diff(held, state)
+        held = state
+        for item in exp.expand(state, parent_parts, seen):
+            transitions += 1
+            if item is None:
+                continue
+            digest, msg, child, child_parts = item
+            seen.add(digest)
+            per_depth[depth + 1] += 1
+            if msg is not None:
+                last = max(d for d in range(max_depth + 1) if per_depth[d])
+                return _finish(
+                    seen, transitions, False, (depth + 1, msg),
+                    per_depth[1 : last + 1],
+                )
+            stack.append((child, depth + 1, child_parts))
+            if len(seen) >= max_configurations:
+                last = max(d for d in range(max_depth + 1) if per_depth[d])
+                return _finish(
+                    seen, transitions, False, None, per_depth[1 : last + 1]
+                )
+    last = max((d for d in range(max_depth + 1) if per_depth[d]), default=0)
+    return _finish(
+        seen, transitions, not truncated, None, per_depth[1 : last + 1]
+    )
 
 
 def _explore_bfs_snapshot(
@@ -248,9 +860,10 @@ def _explore_bfs_snapshot(
     invariant: Callable[[Engine], bool | str | None],
     max_depth: int,
     max_configurations: int,
+    digest_fn: Callable[[Engine], object] = canonical_digest,
 ) -> ExplorationResult:
-    """BFS over EngineState snapshots on a single reusable engine."""
-    seen: set[tuple] = {canonical_digest(work)}
+    """Full-codec reference: BFS with O(n) load/save per transition."""
+    seen: set = {digest_fn(work)}
     frontier = [work.save_state()]
     transitions = 0
     frontier_sizes: list[int] = []
@@ -265,29 +878,27 @@ def _explore_bfs_snapshot(
                     work.load_state(state)
                 work.step_pid(pid, chan)
                 transitions += 1
-                digest = canonical_digest(work)
+                digest = digest_fn(work)
                 if digest in seen:
                     continue
                 seen.add(digest)
                 bad = _check(invariant, work, depth)
                 if bad is not None:
-                    return ExplorationResult(
-                        len(seen), transitions, False, bad,
+                    return _finish(
+                        seen, transitions, False, bad,
                         frontier_sizes + [len(nxt)],
                     )
                 nxt.append(work.save_state())
                 if len(seen) >= max_configurations:
-                    return ExplorationResult(
-                        len(seen), transitions, False, None,
+                    return _finish(
+                        seen, transitions, False, None,
                         frontier_sizes + [len(nxt)],
                     )
         frontier_sizes.append(len(nxt))
         frontier = nxt
         if not frontier:
-            return ExplorationResult(
-                len(seen), transitions, True, None, frontier_sizes
-            )
-    return ExplorationResult(len(seen), transitions, False, None, frontier_sizes)
+            return _finish(seen, transitions, True, None, frontier_sizes)
+    return _finish(seen, transitions, False, None, frontier_sizes)
 
 
 def _explore_bfs_fork(
@@ -295,9 +906,10 @@ def _explore_bfs_fork(
     invariant: Callable[[Engine], bool | str | None],
     max_depth: int,
     max_configurations: int,
+    digest_fn: Callable[[Engine], object] = canonical_digest,
 ) -> ExplorationResult:
     """Reference implementation: BFS with one deepcopy fork per child."""
-    seen: set[tuple] = {canonical_digest(root)}
+    seen: set = {digest_fn(root)}
     frontier: list[Engine] = [root]
     transitions = 0
     frontier_sizes: list[int] = []
@@ -309,36 +921,35 @@ def _explore_bfs_fork(
                 child = conf.fork()
                 child.step_pid(pid, chan)
                 transitions += 1
-                digest = canonical_digest(child)
+                digest = digest_fn(child)
                 if digest in seen:
                     continue
                 seen.add(digest)
                 bad = _check(invariant, child, depth)
                 if bad is not None:
-                    return ExplorationResult(
-                        len(seen), transitions, False, bad,
+                    return _finish(
+                        seen, transitions, False, bad,
                         frontier_sizes + [len(nxt)],
                     )
                 nxt.append(child)
                 if len(seen) >= max_configurations:
-                    return ExplorationResult(
-                        len(seen), transitions, False, None,
+                    return _finish(
+                        seen, transitions, False, None,
                         frontier_sizes + [len(nxt)],
                     )
         frontier_sizes.append(len(nxt))
         frontier = nxt
         if not frontier:
-            return ExplorationResult(
-                len(seen), transitions, True, None, frontier_sizes
-            )
-    return ExplorationResult(len(seen), transitions, False, None, frontier_sizes)
+            return _finish(seen, transitions, True, None, frontier_sizes)
+    return _finish(seen, transitions, False, None, frontier_sizes)
 
 
-def _explore_dfs(
+def _explore_dfs_reference(
     work: Engine,
     invariant: Callable[[Engine], bool | str | None],
     max_depth: int,
     max_configurations: int,
+    digest_fn: Callable[[Engine], object] = canonical_digest,
     *,
     fork: bool = False,
 ) -> ExplorationResult:
@@ -351,7 +962,7 @@ def _explore_dfs(
     exist.  Violation depths are the depth at which DFS *found* the
     configuration, which need not be minimal.
     """
-    seen: set[tuple] = {canonical_digest(work)}
+    seen: set = {digest_fn(work)}
     per_depth = [0] * (max_depth + 1)
     stack: list[tuple[object, int]] = [
         (work if fork else work.save_state(), 0)
@@ -379,7 +990,7 @@ def _explore_dfs(
                 child = work
             child.step_pid(pid, chan)
             transitions += 1
-            digest = canonical_digest(child)
+            digest = digest_fn(child)
             if digest in seen:
                 continue
             seen.add(digest)
@@ -387,16 +998,16 @@ def _explore_dfs(
             bad = _check(invariant, child, depth + 1)
             if bad is not None:
                 last = max(d for d in range(max_depth + 1) if per_depth[d])
-                return ExplorationResult(
-                    len(seen), transitions, False, bad, per_depth[1 : last + 1]
+                return _finish(
+                    seen, transitions, False, bad, per_depth[1 : last + 1]
                 )
             stack.append((child if fork else child.save_state(), depth + 1))
             if len(seen) >= max_configurations:
                 last = max(d for d in range(max_depth + 1) if per_depth[d])
-                return ExplorationResult(
-                    len(seen), transitions, False, None, per_depth[1 : last + 1]
+                return _finish(
+                    seen, transitions, False, None, per_depth[1 : last + 1]
                 )
     last = max((d for d in range(max_depth + 1) if per_depth[d]), default=0)
-    return ExplorationResult(
-        len(seen), transitions, not truncated, None, per_depth[1 : last + 1]
+    return _finish(
+        seen, transitions, not truncated, None, per_depth[1 : last + 1]
     )

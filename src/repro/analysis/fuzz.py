@@ -27,7 +27,10 @@ sequence — replayable bit-for-bit through
 :func:`replay_schedule`, or pasted into any harness.  Reset between
 walks uses the engine state codec
 (:meth:`~repro.sim.engine.Engine.save_state`), so an ``N × D`` campaign
-costs one deepcopy total, not ``N``.
+costs one deepcopy total, not ``N``.  Unlike the explorer, a walk never
+backtracks — each step is final — so fuzzing rides the plain codec and
+leaves the delta machinery (:meth:`~repro.sim.engine.Engine.restore_pid`
+and friends) to :mod:`repro.analysis.explore`.
 
 Everything is deterministic: walk ``w`` of seed ``s`` draws from
 ``default_rng([s, w])``, so a violation reproduces from ``(seed,
@@ -154,16 +157,21 @@ def run_walk_range(
     ``None`` if every walk completed clean.
     """
     n = engine.n
+    step_pid = engine.step_pid
     for w in range(lo, hi):
         rng = np.random.default_rng([seed, w])
         engine.load_state(start)
-        # one vectorized draw per walk: the whole schedule up front
-        script = rng.integers(0, n, size=depth)
-        for step in range(1, depth + 1):
-            engine.step_pid(int(script[step - 1]))
-            msg = _verdict(invariant(engine))
-            if msg is not None:
-                return (w, step, msg, [int(p) for p in script[:step]])
+        # one vectorized draw per walk: the whole schedule up front,
+        # materialized to plain ints once (the step loop is the hot
+        # path; per-step numpy scalar unboxing costs more than the list)
+        script = [int(p) for p in rng.integers(0, n, size=depth)]
+        for step, pid in enumerate(script, start=1):
+            step_pid(pid)
+            v = invariant(engine)
+            if v is False:
+                return (w, step, "invariant returned False", script[:step])
+            if isinstance(v, str):
+                return (w, step, v, script[:step])
     return None
 
 

@@ -58,25 +58,49 @@ code path in-process — identical output, no subprocesses.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..sim.engine import Engine
-from .explore import ExplorationResult, _check, _moves, _verdict, canonical_digest
+from .explore import (
+    ExplorationResult,
+    _check,
+    _DeltaExpander,
+    _PackedDigester,
+    _seen_bytes,
+    _SnapshotExpander,
+    _verdict,
+)
 from .fuzz import FuzzResult, campaign_result, run_walk_range
 from .sweeps import SweepCell, SweepResult, aggregate_grid
 
 __all__ = [
+    "DEFAULT_MIN_FRONTIER",
     "ShardProgress",
     "WorkerFailure",
     "CampaignError",
+    "PersistentExplorePool",
     "fork_available",
     "parallel_map",
     "run_sweep_parallel",
     "fuzz_parallel",
     "explore_parallel",
 ]
+
+#: Frontier size below which a BFS level is expanded in the parent
+#: instead of being dispatched to the persistent pool.  Measured on the
+#: toy instances (n=5, 2 workers): a pooled level carries a fixed
+#: ~0.3-0.6 ms scatter/gather round-trip plus ~0.1 ms/state of
+#: EngineState pickling, against ~0.1 ms/state of in-process expansion —
+#: so below about two dozen states even a free worker pool could not
+#: recoup the fixed cost, and dispatch earns its keep only above that,
+#: on invariant-heavy or larger-n scenarios where per-state expansion
+#: dwarfs the shipping.  ``benchmarks/test_bench_parallel.py`` records
+#: the measurement and ``tests/analysis/test_parallel.py`` pins the
+#: crossover behavior.
+DEFAULT_MIN_FRONTIER = 24
 
 
 # ---------------------------------------------------------------------------
@@ -387,38 +411,185 @@ def fuzz_parallel(
 
 
 # ---------------------------------------------------------------------------
-# Explore: shard the BFS frontier, level by level
+# Explore: persistent pool over BFS frontier partitions
 # ---------------------------------------------------------------------------
 
-def _explore_shard(payload, lo: int, hi: int):
-    """Expand frontier states ``lo..hi``; return per-move records.
+def _expand_level(expander, states, seen, held):
+    """Expand a list of frontier states; per-move records, worker-side.
 
-    For each assigned state, in move order, the record is ``None`` when
-    the child digest was already known (globally at fork time, or
-    earlier within this shard) or ``(digest, verdict, state)`` for a
-    shard-new configuration.  The parent replays these records in
-    serial order; cross-shard duplicates are resolved there.
+    Returns ``(records, held)`` where ``held`` is the state the engine
+    was left in (fed back as the diff-load base of the next call —
+    worker engines persist across levels).  Records follow the
+    :meth:`~repro.analysis.explore._DeltaExpander.expand` protocol with
+    the carried slot buffers stripped (only the parent merges, and slot
+    buffers are worker-local detail not worth shipping); ``seen`` is
+    read, never written.
     """
-    engine, invariant, frontier, seen = payload
+    work = expander.work
+    digester = expander.digester
     records = []
-    local_seen: set = set()
-    for idx in range(lo, hi):
-        state = frontier[idx]
-        engine.load_state(state)
-        moves = _moves(engine)
-        row = []
-        for i, (pid, chan) in enumerate(moves):
-            if i:
-                engine.load_state(state)
-            engine.step_pid(pid, chan)
-            digest = canonical_digest(engine)
-            if digest in seen or digest in local_seen:
-                row.append(None)
-                continue
-            local_seen.add(digest)
-            row.append((digest, _verdict(invariant(engine)), engine.save_state()))
-        records.append(row)
-    return records
+    for state in states:
+        if held is None:
+            work.load_state(state)
+        else:
+            work.load_state_diff(held, state)
+        held = state
+        parts = digester.parts() if digester is not None else None
+        records.append(
+            [
+                item if item is None else item[:3]
+                for item in expander.expand(state, parts, seen)
+            ]
+        )
+    return records, held
+
+
+#: Payload slot inherited by persistent explore workers at fork time.
+_POOL_PAYLOAD: Any = None
+
+
+def _make_expander(engine, invariant, digest_kind: str, method: str):
+    """The per-parent expansion loop for one (digest, method) pairing."""
+    digester = _PackedDigester(engine) if digest_kind == "packed" else None
+    if method == "snapshot":
+        return _SnapshotExpander(engine, invariant, digester)
+    return _DeltaExpander(engine, invariant, digester)
+
+
+def _persistent_explore_worker(conn) -> None:
+    """Long-lived worker: expand frontier partitions until told to stop.
+
+    Inherits ``(engine, invariant, digest_kind, method, seen)`` through
+    the fork — including the parent's seen-set *as of pool creation*,
+    which the fork copies for free.  Each task is ``(delta, states)``: the digests
+    the parent accepted since this worker's previous task (the mirror
+    update — never the full seen-set) and the frontier partition to
+    expand.  Replies are ``(True, records)`` or ``(False,
+    WorkerFailure)``.
+    """
+    engine, invariant, digest_kind, method, seen = _POOL_PAYLOAD
+    expander = _make_expander(engine, invariant, digest_kind, method)
+    held = None
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            delta, states = task
+            seen.update(delta)
+            try:
+                records, held = _expand_level(expander, states, seen, held)
+                conn.send((True, records))
+            except Exception as exc:  # noqa: BLE001 — reported to the parent
+                held = None  # engine state is suspect; reload next task
+                conn.send((False, WorkerFailure(
+                    0, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+                )))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        return
+
+
+class PersistentExplorePool:
+    """One long-lived fork pool for level-synchronous exploration.
+
+    Replaces the historical pool-per-level fork: workers are forked
+    *once* (inheriting the engine, the invariant closure and the global
+    seen-set as it stood at creation) and kept alive across BFS levels.
+    Each level the parent scatters contiguous frontier partitions plus
+    each worker's *digest delta* — only the digests accepted since that
+    worker's last task, so the seen-set is never re-shipped — and
+    gathers per-move record shards in partition order.  Failures arrive
+    as :class:`CampaignError`; :meth:`close` shuts the workers down
+    (and is safe to call on a half-dead pool).
+    """
+
+    def __init__(self, payload, workers: int) -> None:
+        global _POOL_PAYLOAD
+        ctx = multiprocessing.get_context("fork")
+        self.workers = workers
+        self._conns = []
+        self._procs = []
+        #: per-worker digests accepted by the parent but not yet shipped
+        self._pending: list[list] = [[] for _ in range(workers)]
+        _POOL_PAYLOAD = payload
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_persistent_explore_worker,
+                    args=(child_conn,),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        finally:
+            _POOL_PAYLOAD = None
+
+    def publish(self, digests) -> None:
+        """Queue newly-accepted digests for every worker's next task."""
+        for pending in self._pending:
+            pending.extend(digests)
+
+    def expand(
+        self,
+        frontier,
+        ranges,
+        *,
+        depth: int,
+        progress: Callable[[ShardProgress], None] | None = None,
+    ):
+        """Scatter ``frontier[lo:hi]`` per range, gather record shards.
+
+        Shards come back in partition order (the merge replays them as
+        the serial explorer would); every tasked worker's reply is
+        collected before returning, and failures are raised together as
+        :class:`CampaignError` afterwards.
+        """
+        for i, (lo, hi) in enumerate(ranges):
+            self._conns[i].send((self._pending[i], frontier[lo:hi]))
+            self._pending[i] = []
+        shards = []
+        failures = []
+        for i, (lo, hi) in enumerate(ranges):
+            try:
+                ok, out = self._conns[i].recv()
+            except EOFError:
+                raise CampaignError("explore", [WorkerFailure(
+                    i, "worker exited without replying", ""
+                )]) from None
+            if ok:
+                shards.append(out)
+            else:
+                failures.append(WorkerFailure(i, out.error, out.traceback))
+            if progress is not None:
+                note = (
+                    out.error.strip().splitlines()[0] if not ok
+                    else f"depth {depth}: states {lo}-{hi} expanded"
+                )
+                progress(ShardProgress(
+                    "explore", i, len(ranges), i + 1, len(ranges), note
+                ))
+        if failures:
+            raise CampaignError("explore", failures)
+        return shards
+
+    def close(self) -> None:
+        """Stop the workers; always joins so no fork inherits held locks."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+        for proc in self._procs:  # pragma: no cover - stuck-worker fallback
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self._conns:
+            conn.close()
 
 
 def explore_parallel(
@@ -429,86 +600,123 @@ def explore_parallel(
     max_configurations: int = 200_000,
     workers: int,
     progress: Callable[[ShardProgress], None] | None = None,
-    min_frontier: int = 64,
+    min_frontier: int | None = None,
+    digest: str = "packed",
+    method: str = "delta",
 ) -> ExplorationResult:
-    """Parallel BFS exploration (snapshot method) over frontier partitions.
+    """Parallel BFS exploration (delta codec) over frontier partitions.
 
-    Level-synchronous: at each depth the frontier is split into
-    contiguous partitions, one per worker, and a **fresh pool is forked
-    per level** so workers inherit the up-to-date global seen-set (and
-    skip already-known configurations without shipping them back).
-    The parent merges per-move records in frontier order, reproducing
-    the serial explorer's dedup winners, minimal-depth violation, and
-    transition counts exactly — including where an early stop
-    (violation or the ``max_configurations`` cap) lands.
+    Level-synchronous over one **persistent pool**: workers are forked
+    once, lazily at the first level wide enough to dispatch, inheriting
+    the engine, invariant and the seen-set as it stands; afterwards each
+    level ships them only their frontier partition and the *delta* of
+    newly-accepted digests (16-byte packed keys — the seen-set itself is
+    never pickled, and nothing is re-forked).  The parent merges
+    per-move records in frontier order, reproducing the serial
+    explorer's dedup winners, minimal-depth violation, and transition
+    counts exactly — including where an early stop (violation or the
+    ``max_configurations`` cap) lands.
 
-    Levels smaller than ``min_frontier`` states are expanded in-process:
-    forking a pool for a handful of states costs more than it saves,
-    and the serial and parallel expansions are interchangeable.
+    Levels smaller than ``min_frontier`` (default
+    :data:`DEFAULT_MIN_FRONTIER`) are expanded in the parent: scattering
+    a handful of states costs more than it saves, and the in-process and
+    pooled expansions are interchangeable record-for-record.
+
+    ``method`` selects the expansion loop — ``"delta"`` (default, the
+    production path) or ``"snapshot"`` (the retained full-codec
+    reference, so delta-vs-reference cross-checks work under the
+    parallel explorer too); ``digest`` selects packed or tuple seen-set
+    keys.  Every combination merges serial-identical.
     """
+    if digest not in ("packed", "tuple"):
+        raise ValueError(f"unknown digest {digest!r}")
+    if method not in ("delta", "snapshot"):
+        raise ValueError(
+            f"explore_parallel requires a snapshot-codec method "
+            f"('delta' or 'snapshot'), got {method!r}"
+        )
+    if min_frontier is None:
+        min_frontier = DEFAULT_MIN_FRONTIER
     workers = _effective_workers(workers)
     work = engine.fork()
     work.clear_observers()  # frontier expansion on the observer-free kernel
     bad = _check(invariant, work, 0)
     if bad is not None:
         return ExplorationResult(1, 0, False, bad, [1])
-    seen: set = {canonical_digest(work)}
+    t0 = time.perf_counter()
+    expander = _make_expander(work, invariant, digest, method)
+    root_digest, _ = expander.root()
+    seen: set = {root_digest}
     frontier = [work.save_state()]
+    held = frontier[0]  # the state the parent-side engine holds
     transitions = 0
     frontier_sizes: list[int] = []
+    pool: PersistentExplorePool | None = None
 
-    for depth in range(1, max_depth + 1):
-        ranges = _shard_ranges(len(frontier), workers)
-        payload = (work, invariant, frontier, seen)
-        if workers == 1 or len(frontier) < min_frontier:
-            shards = [_explore_shard(payload, lo, hi) for lo, hi in ranges]
-            if progress is not None:
-                why = (
-                    "workers=1" if workers == 1
-                    else f"frontier < min_frontier={min_frontier}"
+    def finish(exhausted, violation, sizes):
+        elapsed = time.perf_counter() - t0
+        return ExplorationResult(
+            len(seen), transitions, exhausted, violation, sizes,
+            states_per_sec=len(seen) / max(elapsed, 1e-9),
+            peak_seen_bytes=_seen_bytes(seen),
+        )
+
+    try:
+        for depth in range(1, max_depth + 1):
+            pooled = workers > 1 and len(frontier) >= min_frontier
+            if pooled and pool is None:
+                # Lazy first fork: workers inherit engine, invariant and
+                # the *current* seen-set through the fork — nothing to
+                # pickle, and searches that never widen never fork.
+                pool = PersistentExplorePool(
+                    (work, invariant, digest, method, seen), workers
                 )
-                progress(ShardProgress(
-                    "explore", 0, 1, 1, 1,
-                    f"depth {depth}: {len(frontier)} state(s) expanded "
-                    f"in-process ({why})",
-                ))
-        else:
-            shards = parallel_map(
-                "explore",
-                _explore_shard,
-                payload,
-                ranges,
-                workers=workers,
-                progress=progress,
-                note=lambda s, out: (
-                    f"depth {depth}: states {ranges[s][0]}-{ranges[s][1]} expanded"
-                ),
-            )
-        nxt = []
-        for row in (r for shard in shards for r in shard):
-            for item in row:
-                transitions += 1
-                if item is None:
-                    continue
-                digest, msg, state = item
-                if digest in seen:
-                    continue
-                seen.add(digest)
-                if msg is not None:
-                    return ExplorationResult(
-                        len(seen), transitions, False, (depth, msg),
-                        frontier_sizes + [len(nxt)],
+            if pooled:
+                ranges = _shard_ranges(len(frontier), workers)
+                shards = pool.expand(
+                    frontier, ranges, depth=depth, progress=progress
+                )
+            else:
+                records, held = _expand_level(expander, frontier, seen, held)
+                shards = [records]
+                if progress is not None:
+                    why = (
+                        "workers=1" if workers == 1
+                        else f"frontier < min_frontier={min_frontier}"
                     )
-                nxt.append(state)
-                if len(seen) >= max_configurations:
-                    return ExplorationResult(
-                        len(seen), transitions, False, None,
-                        frontier_sizes + [len(nxt)],
-                    )
-        frontier_sizes.append(len(nxt))
-        frontier = nxt
-        if not frontier:
-            return ExplorationResult(
-                len(seen), transitions, True, None, frontier_sizes
-            )
-    return ExplorationResult(len(seen), transitions, False, None, frontier_sizes)
+                    progress(ShardProgress(
+                        "explore", 0, 1, 1, 1,
+                        f"depth {depth}: {len(frontier)} state(s) expanded "
+                        f"in-process ({why})",
+                    ))
+            nxt = []
+            level_new: list = []
+            for row in (r for shard in shards for r in shard):
+                for item in row:
+                    transitions += 1
+                    if item is None:
+                        continue
+                    digest_key, msg, state = item
+                    if digest_key in seen:
+                        continue
+                    seen.add(digest_key)
+                    level_new.append(digest_key)
+                    if msg is not None:
+                        return finish(
+                            False, (depth, msg), frontier_sizes + [len(nxt)]
+                        )
+                    nxt.append(state)
+                    if len(seen) >= max_configurations:
+                        return finish(
+                            False, None, frontier_sizes + [len(nxt)]
+                        )
+            if pool is not None:
+                pool.publish(level_new)
+            frontier_sizes.append(len(nxt))
+            frontier = nxt
+            if not frontier:
+                return finish(True, None, frontier_sizes)
+        return finish(False, None, frontier_sizes)
+    finally:
+        if pool is not None:
+            pool.close()

@@ -28,8 +28,10 @@ Commands
     Enumerate every registered variant, topology, workload, fault,
     observer and named scenario with a one-line description.
 ``bench``
-    Measure kernel throughput (steps/sec) across the standard variant ×
-    topology matrix and write the ``BENCH_kernel.json`` artifact.
+    Measure throughput across the standard scenario matrices and write
+    the JSON artifact: ``--suite kernel`` (steps/sec,
+    ``BENCH_kernel.json``, the default), ``--suite explore`` (explored
+    states/sec, ``BENCH_explore.json``) or ``--suite all``.
 
 Every scenario-taking command parses its flags into a declarative
 :class:`~repro.spec.ScenarioSpec` and constructs the engine exclusively
@@ -59,6 +61,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
+from .analysis.parallel import DEFAULT_MIN_FRONTIER
 from .spec import (
     FAULTS,
     OBSERVERS,
@@ -413,19 +416,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="measure kernel throughput (steps/sec) and write BENCH_kernel.json",
+        help="measure kernel or state-space throughput and write the "
+             "JSON artifact",
+    )
+    p.add_argument(
+        "--suite", choices=["kernel", "explore", "all"], default="kernel",
+        help="what to measure: kernel steps/sec, explore states/sec, or "
+             "both (default: kernel)",
     )
     p.add_argument(
         "--steps", type=int, default=150_000,
-        help="measured steps per scenario (default: 150000)",
+        help="measured steps per kernel scenario (default: 150000)",
     )
     p.add_argument(
         "--repeat", type=int, default=3,
         help="timed repetitions per scenario, best kept (default: 3)",
     )
     p.add_argument(
-        "--out", metavar="FILE", default="BENCH_kernel.json",
-        help="JSON artifact path (default: BENCH_kernel.json; '' to skip)",
+        "--out", metavar="FILE", default=None,
+        help="JSON artifact path (default: BENCH_kernel.json / "
+             "BENCH_explore.json per suite; '' to skip; only valid with "
+             "a single suite)",
     )
 
     p = sub.add_parser(
@@ -443,9 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedule depth bound (default: 8)")
     p.add_argument("--max-configs", type=int, default=200_000,
                    help="configuration cap (default: 200000)")
-    p.add_argument("--min-frontier", type=int, default=64,
-                   help="smallest frontier worth forking workers for "
-                        "(default: 64; smaller levels expand in-process)")
+    p.add_argument("--digest", choices=["packed", "tuple"], default="packed",
+                   help="seen-set key: packed 128-bit blake2b (default) or "
+                        "the nested-tuple reference (identical results, "
+                        "more memory)")
+    p.add_argument("--min-frontier", type=int, default=None,
+                   help="smallest frontier worth dispatching to the "
+                        "persistent worker pool (default: "
+                        f"{DEFAULT_MIN_FRONTIER}; smaller levels expand "
+                        "in-process)")
     _add_campaign(p)
     return parser
 
@@ -558,6 +575,8 @@ def cmd_list(_: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import (
         render_bench_table,
+        render_explore_table,
+        run_explore_bench,
         run_kernel_bench,
         write_bench_json,
     )
@@ -565,18 +584,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.steps < 1 or args.repeat < 1:
         print("--steps and --repeat must be >= 1", file=sys.stderr)
         return 2
-    rows = run_kernel_bench(
-        steps=args.steps,
-        repeat=args.repeat,
-        progress=lambda row: print(
-            f"[bench] {row.scenario}: {row.steps_per_sec:,.0f} steps/s",
-            file=sys.stderr,
-        ),
-    )
-    print(render_bench_table(rows))
-    if args.out:
-        write_bench_json(rows, args.out)
-        print(f"wrote {args.out}", file=sys.stderr)
+    if args.suite == "all" and args.out is not None:
+        print("--out is ambiguous with --suite all; run one suite per --out",
+              file=sys.stderr)
+        return 2
+    if args.suite in ("kernel", "all"):
+        rows = run_kernel_bench(
+            steps=args.steps,
+            repeat=args.repeat,
+            progress=lambda row: print(
+                f"[bench] {row.scenario}: {row.steps_per_sec:,.0f} steps/s",
+                file=sys.stderr,
+            ),
+        )
+        print(render_bench_table(rows))
+        out = "BENCH_kernel.json" if args.out is None else args.out
+        if out:
+            write_bench_json(rows, out)
+            print(f"wrote {out}", file=sys.stderr)
+    if args.suite in ("explore", "all"):
+        rows = run_explore_bench(
+            repeat=args.repeat,
+            progress=lambda row: print(
+                f"[bench] {row.scenario}: {row.states_per_sec:,.0f} states/s",
+                file=sys.stderr,
+            ),
+        )
+        print(render_explore_table(rows))
+        out = "BENCH_explore.json" if args.out is None else args.out
+        if out:
+            write_bench_json(rows, out, name="explore-states-per-sec")
+            print(f"wrote {out}", file=sys.stderr)
     return 0
 
 
@@ -731,13 +769,20 @@ def cmd_explore(args: argparse.Namespace) -> int:
     res = explore(
         built.engine, built.invariant,
         max_depth=args.max_depth, max_configurations=args.max_configs,
+        digest=args.digest,
         workers=args.workers, progress=_progress_printer(args),
         min_frontier=args.min_frontier,
     )
+    # Wall-clock throughput goes to stderr: stdout stays byte-identical
+    # across runs, worker counts and machines (the CI diff contract).
+    print(f"[explore] throughput: {res.states_per_sec:,.0f} states/sec",
+          file=sys.stderr)
     print(f"variant          : {spec.variant} (n={tree.n}, k={params.k}, l={params.l})")
     print(f"depth bound      : {args.max_depth}")
     print(f"configurations   : {res.configurations}")
     print(f"transitions      : {res.transitions}")
+    print(f"peak seen memory : {res.peak_seen_bytes:,} bytes "
+          f"({args.digest} digests)")
     print(f"frontier sizes   : {res.frontier_sizes}")
     print(f"exhausted        : {res.exhausted}"
           + (" (invariant verified over ALL schedules)" if res.exhausted else ""))

@@ -50,7 +50,7 @@ from .trace import NullTrace, Trace
 if TYPE_CHECKING:  # pragma: no cover
     from .observers import Observer
 
-__all__ = ["Context", "CounterMap", "Engine", "EngineState"]
+__all__ = ["Context", "CounterMap", "DeltaState", "Engine", "EngineState"]
 
 #: Largest pid batch requested from a deterministic scheduler at once —
 #: bounds latency of ``run_until`` chunking and keeps batches cache-warm.
@@ -109,6 +109,33 @@ class EngineState:
     )
 
 
+class DeltaState:
+    """The snapshot footprint of a single process step.
+
+    :meth:`Engine.step_pid` of process ``pid`` can mutate only: ``pid``'s
+    own variables and application, the channels incident to ``pid``, its
+    scan position and timer, and the engine-global scalars (time, CS
+    total, counter entries at ``pid``, ``sent_by_type``).  A
+    :class:`DeltaState` captures exactly that footprint, so undoing one
+    step costs O(degree) instead of the O(n) full-codec
+    :meth:`Engine.load_state` — the explorer's restore→step→snapshot
+    cycle runs on these.
+    """
+
+    __slots__ = (
+        "pid",
+        "now",
+        "total_cs_entries",
+        "scan",
+        "timer_start",
+        "counters",
+        "sent_by_type",
+        "proc",
+        "app",
+        "chans",
+    )
+
+
 class Context:
     """Per-process view of the engine handed to :class:`Process.bind`."""
 
@@ -147,6 +174,7 @@ class Context:
         snapshot codec.
         """
         eng = self.engine
+        eng.counters_version += 1
         c = eng.counters.get(kind)
         if c is None:
             c = eng.counters[kind] = [0] * eng.network.n
@@ -187,6 +215,10 @@ class Engine:
         #: counters[kind][pid]; rows materialize on first bump only
         #: (missing kinds read as zero rows without being stored)
         self.counters: CounterMap = CounterMap(network.n)
+        #: monotonic stamp, advanced by every :meth:`Context.bump` — an
+        #: unchanged stamp across a step proves the step bumped nothing,
+        #: which is how the explorer skips the counter-restore entirely
+        self.counters_version = 0
         #: sends by message type name
         self.sent_by_type: dict[str, int] = {}
         self._scan = [0] * network.n
@@ -195,6 +227,18 @@ class Engine:
         #: is deterministic for a given topology, so snapshots taken on
         #: one engine load into any engine built from the same builder)
         self._chan_list = list(network.channels.values())
+        #: _pid_chans[pid] = ((codec slot, channel), ...) for every
+        #: channel incident to ``pid`` — the only channels a step of
+        #: ``pid`` can mutate (sends go out of ``pid``, receives come
+        #: in); this is the delta codec's dirty set.
+        self._pid_chans = tuple(
+            tuple(
+                (slot, c)
+                for slot, c in enumerate(self._chan_list)
+                if c.src == p or c.dst == p
+            )
+            for p in range(network.n)
+        )
         # -- kernel tables: flat per-pid tuples precomputed at bind time
         # so the hot loop indexes lists instead of calling accessors.
         n = network.n
@@ -513,6 +557,270 @@ class Engine:
         for chan, snap in zip(self._chan_list, state.chans, strict=True):
             chan.restore(snap)
         return self
+
+    def load_state_diff(
+        self, current: EngineState, target: EngineState
+    ) -> "Engine":
+        """:meth:`load_state` for an engine known to hold ``current``.
+
+        Slots whose encodings are the *same object* in both states are
+        skipped — snapshots produced by :meth:`save_state_from` share
+        every untouched slot with their parent, so sibling and cousin
+        configurations in an exploration frontier differ in O(degree)
+        slots, and switching between them costs O(diff) instead of O(n).
+        Object identity is only ever an optimization: distinct-but-equal
+        encodings are restored redundantly, never skipped wrongly.
+        """
+        self.now = target.now
+        self.total_cs_entries = target.total_cs_entries
+        if current.scan is not target.scan:
+            self._scan[:] = target.scan
+        if current.timer_start is not target.timer_start:
+            self._timer_start[:] = target.timer_start
+        if current.counters is not target.counters:
+            self.counters.clear()
+            for kind, vals in target.counters:
+                self.counters[kind] = list(vals)
+        if current.sent_by_type is not target.sent_by_type:
+            self.sent_by_type.clear()
+            for name, count in target.sent_by_type:
+                self.sent_by_type[name] = count
+        if current.procs is not target.procs:
+            processes = self.processes
+            cur_p = current.procs
+            for i, snap in enumerate(target.procs):
+                if cur_p[i] is not snap:
+                    processes[i].restore(snap)
+        if current.apps is not target.apps:
+            processes = self.processes
+            cur_a = current.apps
+            for i, snap in enumerate(target.apps):
+                if cur_a[i] is not snap and snap is not None:
+                    processes[i].app.restore_state(snap)
+        if current.chans is not target.chans:
+            chan_list = self._chan_list
+            cur_c = current.chans
+            for i, snap in enumerate(target.chans):
+                if cur_c[i] is not snap:
+                    chan_list[i].restore(snap)
+        return self
+
+    # ------------------------------------------------------------------
+    # Delta codec (O(degree) undo/snapshot around one step_pid)
+    # ------------------------------------------------------------------
+    def save_delta(self, pid: int) -> DeltaState:
+        """Capture the :class:`DeltaState` footprint of process ``pid``.
+
+        Taken immediately *before* a :meth:`step_pid` of ``pid``,
+        :meth:`restore_delta` of the returned value undoes that step
+        exactly (byte-identical to a full :meth:`save_state` round-trip,
+        which the differential tests enforce) at O(degree) cost.
+        """
+        st = DeltaState()
+        st.pid = pid
+        st.now = self.now
+        st.total_cs_entries = self.total_cs_entries
+        st.scan = self._scan[pid]
+        st.timer_start = self._timer_start[pid]
+        st.counters = [(k, row[pid]) for k, row in self.counters.items()]
+        st.sent_by_type = list(self.sent_by_type.items())
+        proc = self.processes[pid]
+        st.proc = proc.snapshot()
+        app = getattr(proc, "app", None)
+        st.app = None if app is None else app.snapshot_state()
+        st.chans = [c.snapshot() for _, c in self._pid_chans[pid]]
+        return st
+
+    def restore_delta(self, st: DeltaState) -> "Engine":
+        """Undo one :meth:`step_pid` of ``st.pid`` captured by
+        :meth:`save_delta`.
+
+        Only valid when nothing outside ``st.pid``'s footprint changed
+        since the capture — i.e. exactly one step of that process ran
+        (the exploration hot-path contract).  Counter rows materialized
+        by the step are deleted so the engine returns to a state whose
+        :meth:`save_state` encoding is byte-identical to the original.
+        """
+        pid = st.pid
+        self.now = st.now
+        self.total_cs_entries = st.total_cs_entries
+        self._scan[pid] = st.scan
+        self._timer_start[pid] = st.timer_start
+        counters = self.counters
+        if len(counters) != len(st.counters):
+            keep = {k for k, _ in st.counters}
+            for k in [k for k in counters if k not in keep]:
+                del counters[k]
+        for k, v in st.counters:
+            counters[k][pid] = v
+        sent = self.sent_by_type
+        sent.clear()
+        sent.update(st.sent_by_type)
+        proc = self.processes[pid]
+        proc.restore(st.proc)
+        if st.app is not None:
+            proc.app.restore_state(st.app)
+        for (_, c), snap in zip(self._pid_chans[pid], st.chans, strict=True):
+            c.restore(snap)
+        return self
+
+    def restore_pid(
+        self,
+        state: EngineState,
+        pid: int,
+        proc_clean: bool = False,
+        app_clean: bool = False,
+        dirty: list[int] | None = None,
+    ) -> "Engine":
+        """Undo one :meth:`step_pid` of ``pid`` against its parent snapshot.
+
+        The explorer's O(degree) restore: the engine must hold ``state``
+        advanced by exactly one step of ``pid``; this reinstates ``pid``'s
+        footprint (and the engine-global scalars) from the full parent
+        :class:`EngineState`, which the explorer retains anyway — so no
+        :meth:`save_delta` capture is needed per move.  Incident channels
+        whose queue length matches the snapshot are skipped: within one
+        step a directed channel is either popped from (``pid``'s in-
+        channels) or pushed to (``pid``'s out-channels), never both, so
+        an unchanged length proves the channel untouched.
+
+        The keyword flags let a caller that already compared the stepped
+        process's (or its application's) snapshot against ``state`` skip
+        the corresponding restore; ``dirty`` short-circuits the channel
+        length scan with a precomputed :meth:`dirty_channels` result.
+        The defaults perform the full footprint restore.
+        """
+        self.now = state.now
+        self.total_cs_entries = state.total_cs_entries
+        self._scan[pid] = state.scan[pid]
+        self._timer_start[pid] = state.timer_start[pid]
+        counters = self.counters
+        if len(counters) != len(state.counters):
+            keep = {k for k, _ in state.counters}
+            for k in [k for k in counters if k not in keep]:
+                del counters[k]
+        for k, vals in state.counters:
+            row = counters[k]
+            if row[pid] != vals[pid]:
+                row[pid] = vals[pid]
+        proc = self.processes[pid]
+        if not proc_clean:
+            proc.restore(state.procs[pid])
+        if not app_clean:
+            snap = state.apps[pid]
+            if snap is not None:
+                proc.app.restore_state(snap)
+        if dirty is None:
+            dirty = [
+                slot
+                for slot, c in self._pid_chans[pid]
+                if len(c.queue) != len(state.chans[slot][0])
+            ]
+        if dirty:
+            # a send happened only if an outgoing channel is dirty, and
+            # sends are the sole mutation of sent_by_type; restoring it
+            # on any dirty channel is a cheap safe superset
+            sent = self.sent_by_type
+            sent.clear()
+            sent.update(state.sent_by_type)
+            chan_list = self._chan_list
+            for slot in dirty:
+                chan_list[slot].restore(state.chans[slot])
+        return self
+
+    def dirty_channels(self, state: EngineState, pid: int) -> list[int]:
+        """Codec slots of ``pid``-incident channels that differ from
+        ``state``, for an engine holding ``state`` plus one step of
+        ``pid`` (length comparison is exact — see :meth:`restore_pid`)."""
+        return [
+            slot
+            for slot, c in self._pid_chans[pid]
+            if len(c.queue) != len(state.chans[slot][0])
+        ]
+
+    def save_state_from(
+        self,
+        base: EngineState,
+        pid: int,
+        proc_snap: tuple | None = None,
+        app_snap: tuple | None = None,
+    ) -> EngineState:
+        """Full snapshot after a single step of ``pid`` taken from ``base``.
+
+        The engine must currently hold ``base`` advanced by exactly one
+        :meth:`step_pid` of ``pid``.  Every slot outside ``pid``'s
+        footprint is *shared* with ``base`` (immutable tuples), so the
+        cost is O(degree) re-encoding plus pointer-level tuple copies —
+        this is what makes the explorer's per-child snapshot cheap.  The
+        result is byte-identical to :meth:`save_state`.  ``proc_snap`` /
+        ``app_snap`` let a caller that already took the stepped
+        process's (or its application's) snapshot pass it in instead of
+        re-encoding.
+        """
+        st = EngineState()
+        st.now = self.now
+        st.total_cs_entries = self.total_cs_entries
+        v = self._scan[pid]
+        st.scan = (
+            base.scan
+            if base.scan[pid] == v
+            else base.scan[:pid] + (v,) + base.scan[pid + 1 :]
+        )
+        v = self._timer_start[pid]
+        st.timer_start = (
+            base.timer_start
+            if base.timer_start[pid] == v
+            else base.timer_start[:pid] + (v,) + base.timer_start[pid + 1 :]
+        )
+        base_counters = base.counters
+        nb = len(base_counters)
+        rows = []
+        changed = len(self.counters) != nb
+        for i, (kind, row) in enumerate(self.counters.items()):
+            if i < nb and base_counters[i][0] == kind:
+                entry = base_counters[i]
+                v = row[pid]
+                if entry[1][pid] == v:
+                    rows.append(entry)
+                else:
+                    brow = entry[1]
+                    rows.append((kind, brow[:pid] + (v,) + brow[pid + 1 :]))
+                    changed = True
+            else:  # a kind the step materialized — encode it in full
+                rows.append((kind, tuple(row)))
+                changed = True
+        st.counters = tuple(rows) if changed else base_counters
+        sent = tuple(self.sent_by_type.items())
+        st.sent_by_type = (
+            base.sent_by_type if sent == base.sent_by_type else sent
+        )
+        proc = self.processes[pid]
+        if proc_snap is None:
+            proc_snap = proc.snapshot()
+        st.procs = (
+            base.procs
+            if base.procs[pid] == proc_snap
+            else base.procs[:pid] + (proc_snap,) + base.procs[pid + 1 :]
+        )
+        app = getattr(proc, "app", None)
+        if app is None:
+            st.apps = base.apps
+        else:
+            if app_snap is None:
+                app_snap = app.snapshot_state()
+            st.apps = (
+                base.apps
+                if base.apps[pid] == app_snap
+                else base.apps[:pid] + (app_snap,) + base.apps[pid + 1 :]
+            )
+        chans = list(base.chans)
+        dirty = False
+        for slot, c in self._pid_chans[pid]:
+            if len(c.queue) != len(base.chans[slot][0]):
+                chans[slot] = c.snapshot()
+                dirty = True
+        st.chans = tuple(chans) if dirty else base.chans
+        return st
 
     def counter(self, kind: str, pid: int | None = None) -> int:
         """Non-mutating read of one event counter.

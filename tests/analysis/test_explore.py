@@ -2,13 +2,19 @@
 
 import pytest
 
-from repro import KLParams
+from repro import KLParams, RoundRobinScheduler
 from repro.analysis import safety_ok, take_census
-from repro.analysis.explore import canonical_digest, explore
+from repro.analysis.explore import canonical_digest, explore, packed_digest
 from repro.apps.workloads import HogWorkload, SaturatedWorkload
+from repro.baselines.central import build_central_engine
+from repro.baselines.ring import build_ring_engine
+from repro.core.composed import build_composed_engine
 from repro.core.naive import build_naive_engine
 from repro.core.priority import build_priority_engine
-from repro.topology import paper_livelock_tree, path_tree
+from repro.core.pusher import build_pusher_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.topology import paper_livelock_tree, path_tree, star_tree
+from repro.topology.graphs import ring_graph
 
 
 def naive_engine(n=2, k=1, l=1, needs=None):
@@ -44,6 +50,163 @@ class TestDigest:
             __import__("repro.core.messages", fromlist=["PushT"]).PushT()
         )
         assert canonical_digest(a) != canonical_digest(b)
+
+
+class TestPackedDigest:
+    def test_identical_configs_same_digest(self):
+        a, _ = naive_engine()
+        b, _ = naive_engine()
+        assert packed_digest(a) == packed_digest(b)
+
+    def test_fixed_width(self):
+        a, _ = naive_engine()
+        b, _ = naive_engine(n=4, l=2, needs={1: 1})
+        assert len(packed_digest(a)) == len(packed_digest(b)) == 16
+
+    def test_uid_invariance(self):
+        from repro.core.messages import ResT
+        a, _ = naive_engine()
+        b, _ = naive_engine()
+        ch = b.network.out_channel(0, 0)
+        ch.clear()
+        ch.push_initial(ResT())  # fresh uid, same kind
+        assert packed_digest(a) == packed_digest(b)
+
+    def test_channel_contents_matter(self):
+        from repro.core.messages import PushT
+        a, _ = naive_engine()
+        b, _ = naive_engine()
+        b.network.out_channel(1, 0).push_initial(PushT())
+        assert packed_digest(a) != packed_digest(b)
+
+    def test_process_state_matters(self):
+        a, _ = naive_engine(n=3, l=2, needs={1: 1})
+        b = a.fork()
+        b.step_pid(1, -1)  # registers the request: state Out -> Req
+        assert packed_digest(a) != packed_digest(b)
+
+    def test_time_and_counters_excluded(self):
+        """Like the tuple digest, packing ignores time, timers, scan
+        positions and counters — only protocol-visible state counts."""
+        a, _ = naive_engine()
+        b = a.fork()
+        b.now += 17
+        b._timer_start[0] = 5
+        b._scan[0] = 0
+        b.counters["whatever"] = [1, 0]
+        assert packed_digest(a) == packed_digest(b)
+
+
+def _collision_engines():
+    """All 5 variants + ring/central baselines, exploration-shaped."""
+    engines = []
+    for name, builder in (
+        ("naive", build_naive_engine),
+        ("pusher", build_pusher_engine),
+        ("priority", build_priority_engine),
+        ("selfstab", build_selfstab_engine),
+        ("central", build_central_engine),
+    ):
+        for tree_fn in (path_tree, star_tree):
+            tree = tree_fn(4)
+            params = KLParams(k=1, l=2, n=tree.n)
+            apps = [
+                SaturatedWorkload(need=1, cs_duration=0)
+                for _ in range(tree.n)
+            ]
+            kwargs = {"init": "tokens"} if name == "selfstab" else {}
+            eng = builder(tree, params, apps, **kwargs)
+            engines.append((f"{name}-{tree_fn.__name__}", eng, params))
+    n = 5
+    params = KLParams(k=1, l=2, n=n)
+    apps = [SaturatedWorkload(need=1, cs_duration=0) for _ in range(n)]
+    engines.append((
+        "ring",
+        build_ring_engine(n, params, apps, RoundRobinScheduler(n), init="tokens"),
+        params,
+    ))
+    graph = ring_graph(4)
+    gparams = KLParams(k=1, l=2, n=graph.n)
+    gapps = [SaturatedWorkload(need=1, cs_duration=0) for _ in range(graph.n)]
+    engines.append((
+        "composed",
+        build_composed_engine(graph, gparams, gapps),
+        gparams,
+    ))
+    return engines
+
+
+class TestDigestCollisionSafety:
+    """Packed (128-bit hashed) and tuple (exact) digests must report the
+    identical reachable set on every variant and baseline — a digest
+    collision, an encoding ambiguity, or a canonicalization drift would
+    all surface as a count mismatch here."""
+
+    @pytest.mark.parametrize(
+        "label_eng_params", _collision_engines(), ids=lambda t: t[0]
+    )
+    def test_packed_equals_tuple_everywhere(self, label_eng_params):
+        label, eng, params = label_eng_params
+
+        def inv(e):
+            return safety_ok(e, params) or "unsafe"
+
+        results = {}
+        for method in ("delta", "snapshot", "fork"):
+            for digest in ("packed", "tuple"):
+                r = explore(eng, inv, max_depth=5, method=method, digest=digest)
+                results[(method, digest)] = (
+                    r.configurations, r.transitions, r.exhausted,
+                    r.violation, r.frontier_sizes,
+                )
+        reference = results[("snapshot", "tuple")]
+        for key, got in results.items():
+            assert got == reference, f"{label}: {key} diverged"
+
+    def test_violation_messages_identical(self):
+        eng, params = naive_engine(n=3, k=1, l=1, needs={1: 1, 2: 1})
+        for p in range(3):
+            eng.step_pid(p, -1)
+
+        def inv(e):
+            return e.total_cs_entries == 0 or "someone entered the CS"
+
+        runs = [
+            explore(eng, inv, max_depth=8, method=m, digest=d)
+            for m in ("delta", "snapshot", "fork")
+            for d in ("packed", "tuple")
+        ]
+        assert all(not r.ok for r in runs)
+        assert len({r.violation for r in runs}) == 1
+
+
+class TestThroughputFields:
+    def test_states_per_sec_and_peak_seen_reported(self):
+        eng, params = naive_engine(n=3, l=2, needs={1: 1, 2: 1})
+        res = explore(eng, lambda e: True, max_depth=6)
+        assert res.states_per_sec > 0
+        assert res.peak_seen_bytes > 0
+
+    def test_packed_seen_set_is_much_smaller(self):
+        """The headline memory claim: fixed 16-byte keys vs nested
+        tuples, on the same reachable set."""
+        eng, params = naive_engine(n=4, k=2, l=3, needs={1: 2, 2: 1, 3: 2})
+        for p in range(4):
+            eng.step_pid(p, -1)
+        packed = explore(eng, lambda e: True, max_depth=10, digest="packed")
+        tup = explore(
+            eng, lambda e: True, max_depth=10, digest="tuple",
+            method="snapshot",
+        )
+        assert packed.configurations == tup.configurations
+        assert packed.configurations > 100
+        assert packed.peak_seen_bytes * 10 < tup.peak_seen_bytes
+
+    def test_depth_zero_violation_has_zero_throughput(self):
+        eng, _ = naive_engine()
+        res = explore(eng, lambda e: "broken", max_depth=5)
+        assert res.states_per_sec == 0.0
+        assert res.peak_seen_bytes == 0
 
 
 class TestExploreMechanics:

@@ -20,6 +20,8 @@ from repro.analysis import (
     run_sweep,
 )
 from repro.analysis.parallel import (
+    DEFAULT_MIN_FRONTIER,
+    PersistentExplorePool,
     _shard_ranges,
     explore_parallel,
     fork_available,
@@ -233,6 +235,166 @@ class TestExploreDeterminism:
             explore(eng, lambda e: True, strategy="dfs", workers=2)
         with pytest.raises(ValueError, match="snapshot"):
             explore(eng, lambda e: True, method="fork", workers=2)
+
+    def test_bad_digest_rejected(self):
+        eng, params = small_engine("path", "naive")
+        with pytest.raises(ValueError, match="digest"):
+            explore_parallel(eng, lambda e: True, workers=2, digest="sha0")
+
+    @pytest.mark.parametrize("digest", ["packed", "tuple"])
+    def test_both_digests_identical_to_serial(self, digest):
+        eng, params = small_engine("star", "naive")
+
+        def inv(e):
+            return safety_ok(e, params)
+
+        serial = explore(eng, inv, max_depth=5)
+        par = explore_parallel(
+            eng, inv, max_depth=5, workers=3, min_frontier=1, digest=digest
+        )
+        assert explore_fields(par) == explore_fields(serial)
+
+    @pytest.mark.parametrize("method", ["delta", "snapshot"])
+    def test_both_methods_identical_to_serial(self, method):
+        """The retained full-codec reference is runnable under the pool
+        too — a delta-codec bug must be cross-checkable in parallel."""
+        eng, params = small_engine("star", "naive")
+
+        def inv(e):
+            return safety_ok(e, params)
+
+        serial = explore(eng, inv, max_depth=5, method=method)
+        par = explore_parallel(
+            eng, inv, max_depth=5, workers=3, min_frontier=1, method=method
+        )
+        assert explore_fields(par) == explore_fields(serial)
+        via_explore = explore(
+            eng, inv, max_depth=5, method=method, workers=2, min_frontier=1
+        )
+        assert explore_fields(via_explore) == explore_fields(serial)
+
+    def test_fork_method_rejected(self):
+        eng, params = small_engine("path", "naive")
+        with pytest.raises(ValueError, match="snapshot"):
+            explore_parallel(eng, lambda e: True, workers=2, method="fork")
+
+
+class TestPersistentPool:
+    """The pool-per-level fork is gone: one pool, forked lazily, fed
+    digest deltas, alive until the campaign ends."""
+
+    def test_pool_created_exactly_once_across_levels(self, monkeypatch):
+        import repro.analysis.parallel as par_mod
+
+        created = []
+        real = PersistentExplorePool
+
+        class Counting(real):
+            def __init__(self, payload, workers):
+                created.append(workers)
+                super().__init__(payload, workers)
+
+        monkeypatch.setattr(par_mod, "PersistentExplorePool", Counting)
+        eng, params = small_engine("star", "naive")
+
+        def inv(e):
+            return safety_ok(e, params)
+
+        serial = explore(eng, inv, max_depth=6)
+        par = explore_parallel(
+            eng, inv, max_depth=6, workers=2, min_frontier=1
+        )
+        assert explore_fields(par) == explore_fields(serial)
+        assert created == [2], "expected exactly one pool for the campaign"
+        assert len(serial.frontier_sizes) >= 4, "needs several pooled levels"
+
+    def test_pool_not_forked_when_levels_stay_small(self, monkeypatch):
+        import repro.analysis.parallel as par_mod
+
+        created = []
+        real = PersistentExplorePool
+
+        class Counting(real):
+            def __init__(self, payload, workers):
+                created.append(workers)
+                super().__init__(payload, workers)
+
+        monkeypatch.setattr(par_mod, "PersistentExplorePool", Counting)
+        eng, params = small_engine("path", "naive")
+        explore_parallel(
+            eng, lambda e: True, max_depth=3, workers=2,
+            min_frontier=10_000,
+        )
+        assert created == []
+
+    def test_worker_exception_surfaces_as_campaign_error(self):
+        eng, params = small_engine("star", "naive")
+
+        def inv(e):
+            if e.now > 2:
+                raise RuntimeError("invariant exploded")
+            return True
+
+        with pytest.raises(CampaignError) as exc:
+            explore_parallel(eng, inv, max_depth=6, workers=2, min_frontier=1)
+        failures = exc.value.failures
+        assert failures and "invariant exploded" in failures[0].error
+
+    def test_default_min_frontier_crossover(self):
+        """Satellite pin: with the codified DEFAULT_MIN_FRONTIER, levels
+        below the threshold expand in-process and levels at/above it
+        dispatch to the pool — on a frontier trajectory that crosses
+        the threshold mid-campaign."""
+        eng, params = small_engine("star", "naive", n=4, l=2)
+
+        def inv(e):
+            return safety_ok(e, params)
+
+        serial = explore(eng, inv, max_depth=7)
+        # input frontier of depth d is the output of depth d-1
+        inputs = [1] + serial.frontier_sizes[:-1]
+        assert min(inputs) < DEFAULT_MIN_FRONTIER < max(inputs), (
+            "scenario must straddle the threshold for this pin to bite"
+        )
+        events = []
+        par = explore_parallel(
+            eng, inv, max_depth=7, workers=2, progress=events.append
+        )
+        assert explore_fields(par) == explore_fields(serial)
+        in_process = {
+            int(ev.note.split("depth ")[1].split(":")[0])
+            for ev in events if "in-process" in ev.note
+        }
+        pooled = {
+            int(ev.note.split("depth ")[1].split(":")[0])
+            for ev in events if "in-process" not in ev.note
+        }
+        expected_in_process = {
+            d for d, size in enumerate(inputs, start=1)
+            if size < DEFAULT_MIN_FRONTIER
+        }
+        expected_pooled = {
+            d for d, size in enumerate(inputs, start=1)
+            if size >= DEFAULT_MIN_FRONTIER
+        }
+        assert in_process == expected_in_process
+        assert pooled == expected_pooled
+
+    def test_pool_survives_alternating_level_sizes(self):
+        """In-process levels after the pool exists queue their digest
+        deltas for the next pooled level (mirror catch-up path)."""
+        eng, params = small_engine("star", "naive", n=4, l=2)
+
+        def inv(e):
+            return safety_ok(e, params)
+
+        serial = explore(eng, inv, max_depth=7)
+        # a threshold inside the trajectory, so pooled and in-process
+        # levels interleave around it
+        par = explore_parallel(
+            eng, inv, max_depth=7, workers=2, min_frontier=30
+        )
+        assert explore_fields(par) == explore_fields(serial)
 
 
 class TestSweepDeterminism:

@@ -1,0 +1,231 @@
+"""Byte-equivalence proofs for the engine's delta codec.
+
+The exploration hot path replaces full ``save_state``/``load_state``
+round-trips with O(degree) operations: ``save_delta``/``restore_delta``
+(standalone undo of one step), ``restore_pid`` (undo against the
+retained parent snapshot), ``save_state_from`` (child snapshot sharing
+every untouched slot with its parent) and ``load_state_diff``
+(slot-identity-pruned restore).  Every one of them must be
+*byte-identical* to the full codec — these tests hold each to
+``save_state`` equality across protocol variants, baselines, the
+composed stack, tree shapes and every scheduling choice.
+"""
+
+import pytest
+
+from repro import KLParams, RoundRobinScheduler, SaturatedWorkload
+from repro.baselines.central import build_central_engine
+from repro.baselines.ring import build_ring_engine
+from repro.core.composed import build_composed_engine
+from repro.core.naive import build_naive_engine
+from repro.core.priority import build_priority_engine
+from repro.core.pusher import build_pusher_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.topology import path_tree, star_tree
+from repro.topology.graphs import ring_graph
+
+VARIANTS = {
+    "naive": build_naive_engine,
+    "pusher": build_pusher_engine,
+    "priority": build_priority_engine,
+    "selfstab": build_selfstab_engine,
+    "central": build_central_engine,
+}
+
+
+def build_variant(variant, tree):
+    params = KLParams(k=2, l=3, n=tree.n)
+    apps = [
+        SaturatedWorkload(1 + p % params.k, cs_duration=2)
+        for p in range(tree.n)
+    ]
+    kwargs = {"init": "tokens"} if variant == "selfstab" else {}
+    engine = VARIANTS[variant](
+        tree, params, apps, RoundRobinScheduler(tree.n), **kwargs
+    )
+    return engine
+
+
+def other_engines():
+    n = 5
+    params = KLParams(k=2, l=3, n=n)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(n)]
+    ring = build_ring_engine(
+        n, params, apps, RoundRobinScheduler(n), init="tokens"
+    )
+    graph = ring_graph(6)
+    gparams = KLParams(k=2, l=3, n=graph.n)
+    gapps = [SaturatedWorkload(1 + p % 2, cs_duration=2) for p in range(graph.n)]
+    composed = build_composed_engine(
+        graph, gparams, gapps, RoundRobinScheduler(graph.n)
+    )
+    return [("ring", ring), ("composed", composed)]
+
+
+def assert_states_equal(a, b, context=""):
+    for f in a.__slots__:
+        assert getattr(a, f) == getattr(b, f), f"{context}: slot {f!r} differs"
+
+
+def step_cases(engine):
+    """Every (pid, channel) footprint shape: silent, scan, explicit."""
+    cases = []
+    for pid in range(engine.n):
+        cases.append((pid, -1))
+        cases.append((pid, None))
+        for lbl in range(engine.network.degree(pid)):
+            cases.append((pid, lbl))
+    return cases
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("tree_fn", [path_tree, star_tree])
+class TestDeltaRoundTrip:
+    def test_save_restore_delta_is_exact_undo(self, variant, tree_fn):
+        engine = build_variant(variant, tree_fn(5))
+        engine.run(600)
+        for pid, chan in step_cases(engine):
+            before = engine.save_state()
+            delta = engine.save_delta(pid)
+            engine.step_pid(pid, chan)
+            engine.restore_delta(delta)
+            assert_states_equal(
+                engine.save_state(), before, f"{variant} pid={pid} ch={chan}"
+            )
+            engine.run(37)  # decorrelate the footprint shapes
+
+    def test_restore_pid_is_exact_undo(self, variant, tree_fn):
+        """The explorer's undo-against-parent-snapshot, full and with
+        precomputed cleanliness hints."""
+        engine = build_variant(variant, tree_fn(5))
+        engine.run(600)
+        for pid, chan in step_cases(engine):
+            before = engine.save_state()
+            engine.step_pid(pid, chan)
+            engine.restore_pid(before, pid)
+            assert_states_equal(
+                engine.save_state(), before, f"{variant} pid={pid} ch={chan}"
+            )
+            # hinted flavor: classify the footprint exactly as the
+            # explorer does, then restore only what was reported dirty
+            engine.step_pid(pid, chan)
+            proc_clean = engine.processes[pid].snapshot() == before.procs[pid]
+            app = getattr(engine.processes[pid], "app", None)
+            app_clean = (
+                app is None or app.snapshot_state() == before.apps[pid]
+            )
+            dirty = engine.dirty_channels(before, pid)
+            engine.restore_pid(before, pid, proc_clean, app_clean, dirty)
+            assert_states_equal(
+                engine.save_state(), before,
+                f"hinted {variant} pid={pid} ch={chan}",
+            )
+            engine.run(29)
+
+    def test_save_state_from_matches_full_snapshot(self, variant, tree_fn):
+        engine = build_variant(variant, tree_fn(5))
+        engine.run(600)
+        for pid, chan in step_cases(engine):
+            base = engine.save_state()
+            engine.step_pid(pid, chan)
+            incremental = engine.save_state_from(base, pid)
+            full = engine.save_state()
+            assert_states_equal(
+                incremental, full, f"{variant} pid={pid} ch={chan}"
+            )
+            engine.run(41)
+
+    def test_save_state_from_shares_untouched_slots(self, variant, tree_fn):
+        """Structural sharing is the point: every slot outside the
+        stepped pid's footprint must be the parent's *object*."""
+        engine = build_variant(variant, tree_fn(5))
+        engine.run(600)
+        pid = 1
+        base = engine.save_state()
+        engine.step_pid(pid, -1)
+        child = engine.save_state_from(base, pid)
+        for q in range(engine.n):
+            if q != pid:
+                assert child.procs[q] is base.procs[q]
+                assert child.apps[q] is base.apps[q]
+        incident = {slot for slot, _ in engine._pid_chans[pid]}
+        for slot in range(len(base.chans)):
+            if slot not in incident:
+                assert child.chans[slot] is base.chans[slot]
+
+
+@pytest.mark.parametrize("label_engine", other_engines(), ids=lambda le: le[0])
+class TestDeltaOnOtherStacks:
+    """Ring baseline and the composed two-layer stack ride the same codec."""
+
+    def test_round_trips(self, label_engine):
+        label, engine = label_engine
+        engine.run(2_000)
+        for pid in range(engine.n):
+            for chan in (-1, None, 0):
+                before = engine.save_state()
+                delta = engine.save_delta(pid)
+                engine.step_pid(pid, chan)
+                child_inc = engine.save_state_from(before, pid)
+                assert_states_equal(child_inc, engine.save_state(), label)
+                engine.restore_delta(delta)
+                assert_states_equal(engine.save_state(), before, label)
+                engine.step_pid(pid, chan)
+                engine.restore_pid(before, pid)
+                assert_states_equal(engine.save_state(), before, label)
+                engine.run(53)
+
+
+class TestCounterFootprint:
+    def test_materialized_kind_is_deleted_on_restore(self):
+        """A step that materializes a brand-new counter row must leave
+        no trace after the undo (save_state encodes present rows)."""
+        engine = build_variant("naive", path_tree(4))
+        # fresh engine: no counters materialized yet; the first step of
+        # a requesting process bumps "request" into existence
+        before = engine.save_state()
+        assert before.counters == ()
+        delta = engine.save_delta(0)
+        engine.step_pid(0, -1)
+        assert "request" in engine.counters
+        engine.restore_delta(delta)
+        assert_states_equal(engine.save_state(), before)
+        engine.step_pid(0, -1)
+        engine.restore_pid(before, 0)
+        assert_states_equal(engine.save_state(), before)
+
+    def test_counters_version_advances_on_bump(self):
+        engine = build_variant("naive", path_tree(4))
+        v0 = engine.counters_version
+        engine.step_pid(0, -1)  # registers a request -> bumps
+        assert engine.counters_version > v0
+
+
+class TestLoadStateDiff:
+    def test_diff_load_between_siblings(self):
+        engine = build_variant("priority", path_tree(5))
+        engine.run(400)
+        base = engine.save_state()
+        siblings = []
+        for pid in range(engine.n):
+            engine.load_state(base)
+            engine.step_pid(pid, -1)
+            siblings.append(engine.save_state_from(base, pid))
+        for i, a in enumerate(siblings):
+            for b in siblings:
+                engine.load_state(a)
+                engine.load_state_diff(a, b)
+                assert_states_equal(engine.save_state(), b, f"sib {i}")
+
+    def test_diff_load_between_unrelated_states(self):
+        """No shared slots at all: diff-load degenerates to a full load."""
+        engine = build_variant("pusher", star_tree(5))
+        engine.run(300)
+        a = engine.save_state()
+        engine.run(777)
+        b = engine.save_state()
+        engine.load_state(a)
+        engine.load_state_diff(a, b)
+        assert_states_equal(engine.save_state(), b)
+        engine.load_state_diff(b, a)
+        assert_states_equal(engine.save_state(), a)

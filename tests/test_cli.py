@@ -373,3 +373,63 @@ class TestBench:
         assert main(["bench", "--steps", "2000", "--repeat", "1",
                      "--out", ""]) == 0
         assert not (tmp_path / "BENCH_kernel.json").exists()
+
+    def test_bench_explore_suite_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_explore.json"
+        rc = main(["bench", "--suite", "explore", "--repeat", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        table = capsys.readouterr().out
+        assert "states/sec" in table and "naive-path-n5-bfs" in table
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "explore-states-per-sec"
+        scenarios = {r["scenario"] for r in doc["rows"]}
+        assert {"naive-path-n5-bfs", "priority-path-n6-bfs",
+                "priority-path-n5-dfs"} <= scenarios
+        assert all(r["states_per_sec"] > 0 for r in doc["rows"])
+        assert all(r["peak_seen_bytes"] > 0 for r in doc["rows"])
+
+    def test_bench_all_rejects_single_out(self, capsys):
+        assert main(["bench", "--suite", "all", "--out", "x.json"]) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+
+class TestExploreOutput:
+    ARGV = ["explore", "--tree", "path", "--n", "3", "--k", "1", "--l", "1",
+            "--variant", "naive", "--max-depth", "12"]
+
+    def test_reports_peak_seen_memory_on_stdout(self, capsys):
+        assert main(self.ARGV) == 0
+        out = capsys.readouterr().out
+        assert "peak seen memory : " in out
+        assert "(packed digests)" in out
+
+    def test_reports_throughput_on_stderr_only(self, capsys):
+        """Wall-clock throughput must not contaminate stdout — stdout is
+        the serial/parallel/replay byte-identity surface."""
+        assert main(self.ARGV) == 0
+        captured = capsys.readouterr()
+        assert "states/sec" in captured.err
+        assert "states/sec" not in captured.out
+
+    def test_digest_flag_changes_only_the_memory_line(self, capsys):
+        assert main(self.ARGV) == 0
+        packed = capsys.readouterr().out
+        assert main(self.ARGV + ["--digest", "tuple"]) == 0
+        tup = capsys.readouterr().out
+        def strip(text):
+            return [ln for ln in text.splitlines()
+                    if not ln.startswith("peak seen memory")]
+
+        assert strip(packed) == strip(tup)
+        assert "(tuple digests)" in tup
+
+    def test_workers_and_digest_stdout_identical(self, capsys):
+        argv = ["explore", "--tree", "star", "--n", "4", "--variant",
+                "priority", "--max-depth", "5"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2", "--min-frontier", "1"]) == 0
+        assert capsys.readouterr().out == serial
