@@ -19,6 +19,7 @@ The measured explore matrix is emitted as ``BENCH_explore.json``
 trajectory accumulates run over run, like ``BENCH_kernel.json``.
 """
 
+import json
 import os
 import time
 
@@ -33,7 +34,7 @@ from repro.core.naive import build_naive_engine
 from repro.core.priority import build_priority_engine
 from repro.core.selfstab import build_selfstab_engine
 from repro.scenarios import FIG2_NEEDS
-from repro.topology import paper_example_tree, paper_livelock_tree, path_tree
+from repro.topology import paper_example_tree, paper_livelock_tree, path_tree, star_tree
 
 #: comfortably below the ~14x observed even on slow shared CI, loud on a
 #: real regression (the PR-1 acceptance floor)
@@ -47,6 +48,12 @@ TURBO_SPEEDUP_FLOOR = 5.0
 TURBO_DFS_FLOOR = 2.0
 #: packed seen-set must be at least this much smaller (measured ~70x)
 TURBO_MEMORY_FLOOR = 8.0
+
+#: this PR's acceptance floor: sleep-set partial-order reduction must
+#: execute at least this many times fewer transitions than the full
+#: search on the gate instances (measured ~5.2-5.3x; the counts are
+#: deterministic, so the gate has no wall-clock variance at all)
+POR_REDUCTION_FLOOR = 5.0
 
 
 def fig2_instance():
@@ -269,6 +276,100 @@ def test_bench_explore_turbo_vs_reference(report):
         f"tuple-digest + full-snapshot reference "
         f"(floor {TURBO_SPEEDUP_FLOOR}x)"
     )
+
+
+# ---------------------------------------------------------------------------
+# This PR's gate: sleep-set partial-order reduction vs. the full search
+# ---------------------------------------------------------------------------
+
+def por_gate_instance(topology):
+    """Self-stabilizing variant, n=12 path/star, saturated requesters.
+
+    Wide shallow topologies maximize independent (process, channel)
+    footprints, which is exactly what sleep sets prune; n=12 at depth 9
+    keeps the full search around a second while leaving POR enough
+    commuting pairs to shed >5x of the transitions.
+    """
+    tree = path_tree(12) if topology == "path" else star_tree(12)
+    params = KLParams(k=2, l=3, n=12)
+    apps = [SaturatedWorkload(1 + p % 2, cs_duration=0) for p in range(12)]
+    eng = build_selfstab_engine(tree, params, apps, init="tokens")
+    return eng, params
+
+
+def test_bench_explore_por_reduction(report):
+    """POR must visit the identical configuration set while executing
+    >= 5x fewer transitions on both gate topologies; the measured
+    ratios are appended to the BENCH_explore.json artifact."""
+    rows = []
+    ratios = {}
+    for topology in ("path", "star"):
+        eng, params = por_gate_instance(topology)
+
+        def inv(e):
+            return safety_ok(e, params) or "unsafe"
+
+        kw = dict(max_depth=9, max_configurations=2_000_000)
+        t0 = time.perf_counter()
+        full = explore(eng, inv, **kw)
+        t_full = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        por = explore(eng, inv, por=True, **kw)
+        t_por = time.perf_counter() - t0
+        # The reduction theorem: same reachable configurations, same
+        # verdicts — only redundant interleavings disappear.  (Depth
+        # histograms may legitimately differ: pruning an edge can defer
+        # a state's discovery to a later level.)
+        assert (full.configurations, full.violation, full.exhausted) == (
+            por.configurations,
+            por.violation,
+            por.exhausted,
+        ), "POR changed the explored configuration set"
+        ratio = full.transitions / max(por.transitions, 1)
+        ratios[topology] = ratio
+        rows.append(
+            (f"selfstab {topology} n=12 saturated", full.configurations,
+             full.transitions, por.transitions, f"{ratio:.2f}x",
+             t_full, t_por)
+        )
+    report(
+        "EXPLORE — sleep-set POR vs. full search (identical configuration "
+        "sets)",
+        ["instance", "configs", "full trans", "por trans", "reduction",
+         "full s", "por s"],
+        rows,
+    )
+    # Fold the deterministic ratios into the artifact the turbo gate
+    # wrote earlier in this run (partial runs simply leave it alone).
+    out = os.environ.get("BENCH_EXPLORE_OUT", "BENCH_explore.json")
+    if os.path.exists(out):
+        with open(out) as fh:
+            doc = json.load(fh)
+        doc["por_gate"] = {
+            "instances": "selfstab-{path,star}-n12-saturated-bfs-d9",
+            "reduction_floor": POR_REDUCTION_FLOOR,
+            **{f"{t}_transition_reduction": r for t, r in ratios.items()},
+        }
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+    worst = min(ratios, key=ratios.get)
+    assert ratios[worst] >= POR_REDUCTION_FLOOR, (
+        f"POR only removed {ratios[worst]:.2f}x of the transitions on "
+        f"the {worst} gate (floor {POR_REDUCTION_FLOOR}x)"
+    )
+
+
+def test_committed_explore_baseline(bench_baseline):
+    """The committed BENCH_explore.json artifact parses and carries the
+    explore-matrix schema (skips, with instructions, when absent)."""
+    doc = bench_baseline("BENCH_explore.json")
+    assert doc.get("benchmark") == "explore-states-per-sec"
+    rows = doc.get("rows") or []
+    assert rows, "committed artifact has no measurement rows"
+    for row in rows:
+        assert {"scenario", "configurations", "transitions",
+                "states_per_sec"} <= set(row)
 
 
 def test_bench_explore_dfs_reaches_depth(benchmark):

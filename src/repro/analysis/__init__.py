@@ -13,7 +13,11 @@ Submodules
     bootstrap CIs and per-cell CI tables.
 ``explore``
     Bounded-exhaustive schedule exploration (BFS/DFS) over the
-    snapshot/restore state codec — proof-grade for small instances.
+    snapshot/restore state codec — proof-grade for small instances —
+    with optional sleep-set partial-order reduction.
+``liveness``
+    Livelock detection: lasso DFS for fair starving cycles, with
+    registry-backed fairness constraints and replayable witnesses.
 ``fuzz``
     Seeded random-walk schedule fuzzing (swarm verification) with
     replayable pid-schedule counterexamples.
@@ -38,6 +42,7 @@ from .harness import (
     waiting_spec_runner,
     waiting_sweep_runner,
 )
+from .liveness import LivelockWitness, find_livelock, format_moves
 from .invariants import (
     SafetyObserver,
     SafetyReport,
@@ -73,6 +78,9 @@ __all__ = [
     "canonical_digest",
     "packed_digest",
     "explore",
+    "LivelockWitness",
+    "find_livelock",
+    "format_moves",
     "DEFAULT_MIN_FRONTIER",
     "PersistentExplorePool",
     "FuzzResult",

@@ -262,7 +262,7 @@ def packed_digest(engine: Engine) -> bytes:
     return d.hash(d.parts())
 
 
-def _seen_bytes(seen: set) -> int:
+def _seen_bytes(seen) -> int:
     """Estimated retained bytes of a seen-set (table plus elements).
 
     Packed digests are fixed-width, so one sample multiplies out
@@ -270,14 +270,22 @@ def _seen_bytes(seen: set) -> int:
     estimate — interned and structurally-shared leaves are counted at
     every occurrence).  Either way the result is a pure function of the
     set's *contents*, so serial and parallel runs report the same value.
+
+    POR and liveness searches key a *dict* (digest → sleep-set mask);
+    those are sized as keys plus per-entry mask ints, again purely from
+    contents.
     """
     total = sys.getsizeof(seen)
     if not seen:
         return total
     sample = next(iter(seen))
     if isinstance(sample, bytes):
-        return total + len(seen) * sys.getsizeof(sample)
-    return total + sum(_deep_sizeof(v) for v in seen)
+        total += len(seen) * sys.getsizeof(sample)
+    else:
+        total += sum(_deep_sizeof(v) for v in seen)
+    if isinstance(seen, dict):
+        total += sum(sys.getsizeof(v) for v in seen.values())
+    return total
 
 
 def _deep_sizeof(obj) -> int:
@@ -307,11 +315,22 @@ class ExplorationResult:
     states_per_sec: float = 0.0
     #: estimated peak memory retained by the digest seen-set, in bytes
     peak_seen_bytes: int = 0
+    #: first fair starving cycle found by ``check="liveness"`` — a
+    #: :class:`repro.analysis.liveness.LivelockWitness` — or None
+    livelock: object | None = None
 
     @property
     def ok(self) -> bool:
         """No invariant violation found anywhere reachable."""
         return self.violation is None
+
+    @property
+    def converged(self) -> bool:
+        """The liveness verdict: every reachable configuration was
+        checked (``exhausted``), no safety violation, no fair starving
+        cycle.  For a self-stabilizing instance this is the paper's
+        claim — convergence under fairness — verified exhaustively."""
+        return self.exhausted and self.violation is None and self.livelock is None
 
 
 def _moves(engine: Engine) -> list[tuple[int, int]]:
@@ -363,6 +382,9 @@ def explore(
     workers: int | None = None,
     progress: Callable | None = None,
     min_frontier: int | None = None,
+    por: bool = False,
+    check: str = "safety",
+    fairness: str = "weak",
 ) -> ExplorationResult:
     """Explore every schedule from the current state, up to ``max_depth``.
 
@@ -402,6 +424,27 @@ def explore(
     :class:`~repro.analysis.parallel.ShardProgress` events, including
     one per in-process level.
 
+    ``por=True`` switches on partial-order reduction (sleep sets over
+    the delta codec's exact dirty-set footprints): moves with disjoint
+    process+channel footprints commute, so only one interleaving is
+    explored.  The *visited configuration set is unchanged* — only
+    redundant transitions are pruned — so violations and ``exhausted``
+    keep their meaning (violation depths may exceed the minimal depth).
+    Requires ``method="delta"`` and, for safety, ``strategy="bfs"``;
+    incompatible with ``workers > 1``.
+
+    ``check="liveness"`` searches for *livelocks* instead: a lasso DFS
+    (see :mod:`repro.analysis.liveness`) looking for a fair cycle in
+    which some process requests continuously yet never enters its
+    critical section.  ``fairness`` names the registered fairness
+    constraint cycles must satisfy (``"weak"``, ``"strong"``,
+    ``"unconditional"``); it is ignored for safety checks.  The lasso
+    search is inherently sequential (its cycle detection lives on one
+    DFS stack), so ``workers`` is ignored under liveness; ``strategy``
+    is ignored too (the search is DFS by nature) and ``method`` must be
+    ``"delta"``.  The result's ``livelock`` field carries the witness;
+    ``converged`` summarizes the verdict.
+
     Returns an :class:`ExplorationResult`; ``exhausted`` is ``True`` when
     the reachable set closed before ``max_depth`` — in that case the
     invariant holds in *every* reachable configuration, full stop.
@@ -414,6 +457,30 @@ def explore(
         raise ValueError(f"unknown method {method!r}")
     if digest not in ("packed", "tuple"):
         raise ValueError(f"unknown digest {digest!r}")
+    if check not in ("safety", "liveness"):
+        raise ValueError(f"unknown check {check!r}")
+    if check == "liveness":
+        if method != "delta":
+            raise ValueError(
+                "check='liveness' rides the delta engine (method='delta')"
+            )
+        from .liveness import find_livelock
+
+        return find_livelock(
+            engine, invariant,
+            max_depth=max_depth, max_configurations=max_configurations,
+            por=por, fairness=fairness, digest=digest,
+        )
+    if por:
+        if strategy != "bfs":
+            raise ValueError("por=True requires strategy='bfs'")
+        if method != "delta":
+            raise ValueError(
+                "por=True requires method='delta' (the reduction is built "
+                "on the delta codec's dirty-set footprints)"
+            )
+        if workers is not None and workers > 1:
+            raise ValueError("por=True is serial (workers must be <= 1)")
     if workers is not None and workers > 1:
         if strategy != "bfs" or method == "fork":
             raise ValueError(
@@ -455,11 +522,16 @@ def explore(
         )
     else:
         digester = _PackedDigester(work) if digest == "packed" else None
-        res = _explore_bfs_delta(
-            work, invariant, max_depth, max_configurations, digester
-        ) if strategy == "bfs" else _explore_dfs_delta(
-            work, invariant, max_depth, max_configurations, digester
-        )
+        if por:
+            res = _explore_bfs_delta_por(
+                work, invariant, max_depth, max_configurations, digester
+            )
+        else:
+            res = _explore_bfs_delta(
+                work, invariant, max_depth, max_configurations, digester
+            ) if strategy == "bfs" else _explore_dfs_delta(
+                work, invariant, max_depth, max_configurations, digester
+            )
     elapsed = time.perf_counter() - t0
     res.states_per_sec = res.configurations / max(elapsed, 1e-9)
     return res
@@ -529,6 +601,12 @@ class _DeltaExpander:
         "in_chans",
         "degrees",
         "pid_chans",
+        "nprocs",
+        "mid_base",
+        "static_masks",
+        "in_slots",
+        "all_moves_mask",
+        "recv_mid_mask",
     )
 
     def __init__(
@@ -558,6 +636,47 @@ class _DeltaExpander:
         self.in_chans = work._in_chans
         self.degrees = work._degrees
         self.pid_chans = work._pid_chans
+        # ---- move-id / footprint-mask infrastructure (POR, liveness) --
+        # Move ids number every (pid, channel) daemon choice densely:
+        # ``mid_base[pid]`` is pid's silent move, ``mid_base[pid]+lbl+1``
+        # its receive from incoming label ``lbl``.  Sleep sets and
+        # enabled/taken sets are int bitmasks over move ids; footprints
+        # are int bitmasks over ``nprocs + num_channels`` slots (bit
+        # ``pid`` = the process, bit ``nprocs + s`` = codec channel
+        # slot ``s`` — the same slot index ``dirty_channels`` reports).
+        n = len(procs)
+        self.nprocs = n
+        degrees = work._degrees
+        base = 0
+        mid_base = []
+        silent_mask = 0
+        for pid in range(n):
+            mid_base.append(base)
+            silent_mask |= 1 << base
+            base += degrees[pid] + 1
+        self.mid_base = mid_base
+        self.all_moves_mask = (1 << base) - 1
+        self.recv_mid_mask = self.all_moves_mask & ~silent_mask
+        # static footprint superset per move id: a step of ``pid`` can
+        # only ever touch ``pid`` and its incident channels — this is
+        # the mask a *slept* (unexecuted) move carries down the tree,
+        # while executed moves carry their exact observed footprint
+        pid_static = []
+        for pid in range(n):
+            m = 1 << pid
+            for slot, _ in work._pid_chans[pid]:
+                m |= 1 << (n + slot)
+            pid_static.append(m)
+        self.static_masks = [
+            pid_static[pid]
+            for pid in range(n)
+            for _ in range(degrees[pid] + 1)
+        ]
+        chan_index = {id(c): i for i, c in enumerate(work._chan_list)}
+        self.in_slots = [
+            [chan_index[id(c)] for c in work._in_chans[pid]]
+            for pid in range(n)
+        ]
 
     def root(self) -> tuple:
         """(digest, parts) of the engine's current configuration."""
@@ -697,6 +816,198 @@ class _DeltaExpander:
             work.restore_pid(state, prev[0], prev[1], prev[2], prev[3])
         return row
 
+    def expand_por(
+        self,
+        state,
+        parent_parts,
+        parent_digest,
+        sleep: int,
+        seen,
+        liveness: bool = False,
+    ) -> tuple[list, int]:
+        """Sleep-set expansion of ``state``: records for *executed* moves.
+
+        ``sleep`` is a move-id bitmask of moves proven redundant here
+        (an equivalent interleaving was explored elsewhere); they are
+        skipped outright — that skip *is* the partial-order reduction.
+        Every executed move yields a record
+
+        ``(midbit, pid, chan, digest, verdict, child_state,
+        child_parts, child_sleep, entered_cs)``
+
+        — unlike :meth:`expand`, duplicates and clean self-loops are
+        reported too (the caller's sleep-set bookkeeping needs every
+        edge), with ``verdict`` evaluated only for digests not already
+        in ``seen``.  A clean move's record reuses the parent's
+        ``state``/``parts``/``digest`` objects outright.
+
+        ``child_sleep`` is the sleep set the child inherits: every
+        prior entry (inherited sleep move, or earlier-executed sibling)
+        whose footprint mask is disjoint from this move's *observed*
+        footprint — disjoint footprints commute, so the child may skip
+        them.  Inherited entries carry their static pid+incident-slots
+        superset; executed siblings carry their exact observed mask
+        (stepped process, popped queue slot, dirty slots).  With
+        ``liveness=True`` only receive moves are ever slept, so the
+        per-state enabled-move accounting the fairness evaluation needs
+        stays exact for silent moves.
+
+        Returns ``(records, recv_mask)`` where ``recv_mask`` is the
+        move-id bitmask of every enabled receive move (pending queue),
+        including slept ones.  Same engine contract as :meth:`expand`:
+        holds ``state`` on entry and on exit.
+        """
+        work = self.work
+        invariant = self.invariant
+        digester = self.digester
+        snapshots = self.snapshots
+        restores = self.restores
+        app_snapshots = self.app_snapshots
+        app_restores = self.app_restores
+        on_message = self.on_message
+        on_local = self.on_local
+        in_queues = self.in_queues
+        in_chans = self.in_chans
+        degrees = self.degrees
+        pid_chans = self.pid_chans
+        mid_base = self.mid_base
+        static_masks = self.static_masks
+        in_slots = self.in_slots
+        recv_only = self.recv_mid_mask
+        n = self.nprocs
+        scan = work._scan
+        timer = work._timer_start
+        sent = work.sent_by_type
+        counters = work.counters
+        chan_list = work._chan_list
+        base_now = state.now
+        base_total_cs = state.total_cs_entries
+        base_scan = state.scan
+        base_timer = state.timer_start
+        base_counters = state.counters
+        base_sent = state.sent_by_type
+        base_procs = state.procs
+        base_apps = state.apps
+        base_chans = state.chans
+        records: list = []
+        append = records.append
+        # prior entries for child-sleep computation: inherited sleep
+        # moves (static masks), then executed siblings (observed masks)
+        entries: list[tuple[int, int]] = []
+        m = sleep
+        while m:
+            low = m & -m
+            entries.append((low, static_masks[low.bit_length() - 1]))
+            m ^= low
+        recv_mask = 0
+        prev = None
+        for pid, chan in _moves(work):
+            midbit = 1 << (mid_base[pid] + chan + 1)
+            if chan >= 0:
+                recv_mask |= midbit
+            if sleep & midbit:
+                continue
+            if prev is not None:
+                # -- inlined undo of the previous move (same contract as
+                #    in :meth:`expand`)
+                ppid, pproc_clean, papp_clean, pdirty, pcnt_clean = prev
+                work.now = base_now
+                scan[ppid] = base_scan[ppid]
+                timer[ppid] = base_timer[ppid]
+                if not pcnt_clean:
+                    work.total_cs_entries = base_total_cs
+                    if len(counters) != len(base_counters):
+                        keep = {k for k, _ in base_counters}
+                        for k in [k for k in counters if k not in keep]:
+                            del counters[k]
+                    for k, vals in base_counters:
+                        crow = counters[k]
+                        if crow[ppid] != vals[ppid]:
+                            crow[ppid] = vals[ppid]
+                if not pproc_clean:
+                    restores[ppid](base_procs[ppid])
+                if not papp_clean:
+                    app_restores[ppid](base_apps[ppid])
+                if pdirty:
+                    sent.clear()
+                    sent.update(base_sent)
+                    for slot in pdirty:
+                        chan_list[slot].restore(base_chans[slot])
+            # -- inlined observer-free step (byte-identical to step_pid)
+            cnt_version = work.counters_version
+            if chan >= 0:
+                q = in_queues[pid][chan]
+                if q:
+                    msg = q.popleft()
+                    in_chans[pid][chan].stats.delivered += 1
+                    nxt = chan + 1
+                    scan[pid] = nxt if nxt < degrees[pid] else 0
+                    on_message[pid](chan, msg)
+            on_local[pid]()
+            work.now += 1
+            # -- footprint classification
+            cnt_clean = work.counters_version == cnt_version
+            proc_snap = snapshots[pid]()
+            proc_clean = proc_snap == base_procs[pid]
+            dirty = [
+                slot
+                for slot, c in pid_chans[pid]
+                if len(c.queue) != len(base_chans[slot][0])
+            ]
+            # observed footprint: the stepped process, the popped queue
+            # slot (read even when re-filled), every dirty slot
+            fmask = 1 << pid
+            if chan >= 0:
+                fmask |= 1 << (n + in_slots[pid][chan])
+            for slot in dirty:
+                fmask |= 1 << (n + slot)
+            child_sleep = 0
+            for ebit, emask in entries:
+                if not (emask & fmask):
+                    child_sleep |= ebit
+            if liveness:
+                child_sleep &= recv_only
+            entries.append((midbit, fmask))
+            if proc_clean and not dirty:
+                # clean self-loop: the child IS the parent (entering CS
+                # flips the process state, so entered_cs is False here)
+                prev = (pid, True, True, dirty, cnt_clean)
+                append(
+                    (
+                        midbit, pid, chan, parent_digest, None,
+                        state, parent_parts, child_sleep, False,
+                    )
+                )
+                continue
+            entered = work.total_cs_entries != base_total_cs
+            snapshot_state = app_snapshots[pid]
+            if snapshot_state is not None:
+                app_snap = snapshot_state()
+                app_clean = app_snap == base_apps[pid]
+            else:
+                app_snap = None
+                app_clean = True
+            prev = (pid, proc_clean, app_clean, dirty, cnt_clean)
+            if digester is not None:
+                cur = digester.child_parts(
+                    parent_parts, pid, proc_clean, dirty, proc_snap
+                )
+                digest = digester.hash(cur)
+            else:
+                cur = None
+                digest = canonical_digest(work)
+            verdict = None if digest in seen else _verdict(invariant(work))
+            append(
+                (
+                    midbit, pid, chan, digest, verdict,
+                    work.save_state_from(state, pid, proc_snap, app_snap),
+                    cur, child_sleep, entered,
+                )
+            )
+        if prev is not None:
+            work.restore_pid(state, prev[0], prev[1], prev[2], prev[3])
+        return records, recv_mask
+
 
 class _SnapshotExpander:
     """Full-codec counterpart of :class:`_DeltaExpander`.
@@ -799,6 +1110,91 @@ def _explore_bfs_delta(
                         seen, transitions, False, None,
                         frontier_sizes + [len(nxt)],
                     )
+        frontier_sizes.append(len(nxt))
+        frontier = nxt
+        if not frontier:
+            return _finish(seen, transitions, True, None, frontier_sizes)
+    return _finish(seen, transitions, False, None, frontier_sizes)
+
+
+def _explore_bfs_delta_por(
+    work: Engine,
+    invariant: Callable[[Engine], bool | str | None],
+    max_depth: int,
+    max_configurations: int,
+    digester: _PackedDigester | None,
+) -> ExplorationResult:
+    """Sleep-set BFS: same reachable set, far fewer transitions.
+
+    The seen-set becomes a dict ``digest → sleep mask``: the
+    intersection of the sleep sets every arrival carried (what is
+    *provably* redundant at a state is only what every path agreed
+    was).  Re-arriving at an expanded state with new non-slept moves
+    shrinks the stored mask and queues a *wake-up* — a re-expansion
+    executing only the newly woken moves — processed within the same
+    depth level, so ``exhausted`` keeps its meaning and the visited
+    configuration set stays exactly the full explorer's (the
+    differential suite pins this on every variant × topology).  Masks
+    only ever shrink, so wake-ups terminate.
+
+    Violation depths are the depth at which the reduced search met the
+    violating configuration — not necessarily minimal, unlike plain
+    BFS.  ``transitions`` counts executed moves only; the full-vs-POR
+    transition ratio is the reduction the benchmark gates.
+    """
+    exp = _DeltaExpander(work, invariant, digester)
+    root_digest, parts = exp.root()
+    seen: dict = {root_digest: 0}
+    held = work.save_state()
+    frontier = [(root_digest, held, parts)]
+    # digests discovered but not yet expanded: arrivals there merge
+    # masks silently (the pending expansion reads the merged mask);
+    # arrivals at already-expanded states must queue a wake-up
+    unexpanded = {root_digest}
+    transitions = 0
+    frontier_sizes: list[int] = []
+    all_mask = exp.all_moves_mask
+
+    for depth in range(1, max_depth + 1):
+        nxt: list = []
+        # (digest, state, parts, sleep_override); None → read seen[d]
+        queue: list = [(d, s, p, None) for d, s, p in frontier]
+        qi = 0
+        while qi < len(queue):
+            d, state, parent_parts, sleep_override = queue[qi]
+            qi += 1
+            sleep = seen[d] if sleep_override is None else sleep_override
+            unexpanded.discard(d)
+            work.load_state_diff(held, state)
+            held = state
+            records, _ = exp.expand_por(state, parent_parts, d, sleep, seen)
+            for _mb, _pid, _ch, digest, msg, child, child_parts, child_sleep, _cs in records:
+                transitions += 1
+                stored = seen.get(digest)
+                if stored is None:
+                    seen[digest] = child_sleep
+                    if msg is not None:
+                        return _finish(
+                            seen, transitions, False, (depth, msg),
+                            frontier_sizes + [len(nxt)],
+                        )
+                    nxt.append((digest, child, child_parts))
+                    unexpanded.add(digest)
+                    if len(seen) >= max_configurations:
+                        return _finish(
+                            seen, transitions, False, None,
+                            frontier_sizes + [len(nxt)],
+                        )
+                else:
+                    merged = stored & child_sleep
+                    if merged != stored:
+                        seen[digest] = merged
+                        if digest not in unexpanded:
+                            woken = stored & ~child_sleep
+                            queue.append(
+                                (digest, child, child_parts,
+                                 all_mask & ~woken)
+                            )
         frontier_sizes.append(len(nxt))
         frontier = nxt
         if not frontier:

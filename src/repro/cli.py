@@ -23,10 +23,14 @@ Commands
 ``explore``
     Exhaustively enumerate every schedule of a small instance up to a
     depth bound and check safety/census invariants at each reachable
-    configuration (model checking in miniature).
+    configuration (model checking in miniature).  ``--check liveness``
+    additionally hunts fair starving cycles (livelocks) and prints them
+    as replayable move lists; ``--por`` prunes provably commuting
+    interleavings (identical verdicts, far fewer transitions).
 ``list``
     Enumerate every registered variant, topology, workload, fault,
-    observer and named scenario with a one-line description.
+    observer, named scenario and fairness constraint with a one-line
+    description.
 ``bench``
     Measure throughput across the standard scenario matrices and write
     the JSON artifact: ``--suite kernel`` (steps/sec,
@@ -63,12 +67,14 @@ from typing import Callable, Sequence
 
 from .analysis.parallel import DEFAULT_MIN_FRONTIER
 from .spec import (
+    FAIRNESS,
     FAULTS,
     OBSERVERS,
     SCENARIOS,
     TOPOLOGIES,
     VARIANTS,
     WORKLOADS,
+    FairnessSpec,
     ScenarioSpec,
     SchedulerSpec,
     SpecError,
@@ -189,11 +195,14 @@ def _campaign_spec(args: argparse.Namespace, *, cs_duration: int) -> ScenarioSpe
 def _resolve_spec(
     args: argparse.Namespace, default: Callable[[], ScenarioSpec]
 ) -> ScenarioSpec:
-    """The command's scenario: the ``--spec`` manifest, or built from flags.
+    """The command's scenario: ``--spec``, ``--scenario``, or flags.
 
-    ``--no-stats`` drops the resolved spec's observer stack — the run is
-    byte-identical either way (observers never influence an execution),
-    it just stays on the observer-free kernel.
+    Precedence: a ``--spec`` manifest wins, then a ``--scenario``
+    registered preset (``name[:key=value,...]``), then the command's
+    flag-built default.  ``--no-stats`` drops the resolved spec's
+    observer stack — the run is byte-identical either way (observers
+    never influence an execution), it just stays on the observer-free
+    kernel.
     """
     if getattr(args, "spec", None):
         try:
@@ -201,6 +210,11 @@ def _resolve_spec(
         except OSError as exc:
             raise SpecError(f"cannot read spec file {args.spec!r}: {exc}") from None
         spec = ScenarioSpec.from_json(text)
+    elif getattr(args, "scenario", None):
+        from .spec import scenario_spec
+
+        name, kwargs = parse_kind_args(args.scenario)
+        spec = scenario_spec(name, **kwargs)
     else:
         spec = default()
     if getattr(args, "no_stats", False):
@@ -336,6 +350,13 @@ def _add_common(p: argparse.ArgumentParser, *, workload: bool = False) -> None:
              "(overrides the scenario flags)",
     )
     p.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="start from a registered scenario preset, e.g. "
+             "fig3-starvation or fig2-deadlock:variant=pusher "
+             "(see `repro list`; overrides the scenario flags, "
+             "--spec wins over both)",
+    )
+    p.add_argument(
         "--dump-spec", metavar="FILE", default=None,
         help="write the scenario spec as a JSON manifest ('-' for stdout) "
              "and exit without running",
@@ -454,6 +475,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedule depth bound (default: 8)")
     p.add_argument("--max-configs", type=int, default=200_000,
                    help="configuration cap (default: 200000)")
+    p.add_argument(
+        "--check", choices=["safety", "liveness"], default="safety",
+        help="safety (default): invariants at every configuration; "
+             "liveness: additionally hunt fair starving cycles "
+             "(livelocks) with a lasso search, serial only",
+    )
+    p.add_argument(
+        "--fairness", metavar="KIND", default=None,
+        help="daemon assumption for --check liveness: weak (default), "
+             "strong or unconditional (see `repro list`); recorded in "
+             "--dump-spec manifests",
+    )
+    p.add_argument(
+        "--por", action="store_true",
+        help="sleep-set partial-order reduction: skip provably "
+             "commuting schedule interleavings (disjoint process + "
+             "channel footprints); identical configurations and "
+             "verdicts, far fewer transitions; serial BFS/lasso only",
+    )
     p.add_argument("--digest", choices=["packed", "tuple"], default="packed",
                    help="seen-set key: packed 128-bit blake2b (default) or "
                         "the nested-tuple reference (identical results, "
@@ -555,6 +595,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ("faults", FAULTS),
         ("observers", OBSERVERS),
         ("scenarios", SCENARIOS),
+        ("fairness constraints", FAIRNESS),
     )
     for title, registry in sections:
         print(f"{title}:")
@@ -750,11 +791,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    from .analysis import explore
+    from dataclasses import replace
+
+    from .analysis import explore, format_moves
 
     # cs_duration=0 keeps applications time-independent, the digest
     # soundness requirement spelled out in analysis/explore.py.
     spec = _resolve_spec(args, lambda: _campaign_spec(args, cs_duration=0))
+    if args.fairness is not None:
+        # --fairness folds into the spec so --dump-spec manifests replay
+        # liveness runs under the same daemon assumption.
+        spec = replace(spec, fairness=FairnessSpec.parse(args.fairness))
     if _dump_spec(args, spec):
         return 0
     if not _check_variant_capability(
@@ -764,12 +811,25 @@ def cmd_explore(args: argparse.Namespace) -> int:
         return 2
     if not _check_explore_spec(spec):
         return 2
+    liveness = args.check == "liveness"
+    fairness = "weak"
+    if spec.fairness is not None:
+        spec.fairness.build()  # validate the kind (and the empty args)
+        fairness = spec.fairness.kind
+    if (liveness or args.por) and (args.workers or 1) > 1:
+        print(
+            "error: --check liveness and --por are serial searches; "
+            "drop --workers",
+            file=sys.stderr,
+        )
+        return 2
     built = spec.build()
     params, tree = built.params, built.tree
     res = explore(
         built.engine, built.invariant,
         max_depth=args.max_depth, max_configurations=args.max_configs,
-        digest=args.digest,
+        digest=args.digest, check=args.check, fairness=fairness,
+        por=args.por,
         workers=args.workers, progress=_progress_printer(args),
         min_frontier=args.min_frontier,
     )
@@ -779,18 +839,39 @@ def cmd_explore(args: argparse.Namespace) -> int:
           file=sys.stderr)
     print(f"variant          : {spec.variant} (n={tree.n}, k={params.k}, l={params.l})")
     print(f"depth bound      : {args.max_depth}")
+    if liveness:
+        print(f"check            : liveness ({fairness} fairness)")
     print(f"configurations   : {res.configurations}")
     print(f"transitions      : {res.transitions}")
     print(f"peak seen memory : {res.peak_seen_bytes:,} bytes "
           f"({args.digest} digests)")
-    print(f"frontier sizes   : {res.frontier_sizes}")
+    if liveness:
+        # The lasso search is a DFS: per-depth discovery counts, not
+        # BFS frontiers.
+        print(f"depth histogram  : {res.frontier_sizes}")
+    else:
+        print(f"frontier sizes   : {res.frontier_sizes}")
     print(f"exhausted        : {res.exhausted}"
           + (" (invariant verified over ALL schedules)" if res.exhausted else ""))
     if res.ok:
         print("violation        : none found")
-        return 0
-    depth, msg = res.violation
-    print(f"violation        : depth {depth}: {msg}")
+    else:
+        depth, msg = res.violation
+        print(f"violation        : depth {depth}: {msg}")
+    if not liveness:
+        return 0 if res.ok else 1
+    lv = res.livelock
+    if lv is None:
+        print(
+            "livelock         : none "
+            + ("(starvation-freedom verified over ALL schedules)"
+               if res.exhausted else "found within bounds")
+        )
+        return 0 if res.ok else 1
+    print(f"livelock         : victims {list(lv.victims)} under "
+          f"{lv.fairness} fairness")
+    print(f"prefix           : {format_moves(lv.prefix)}")
+    print(f"cycle            : {format_moves(lv.cycle)}")
     return 1
 
 

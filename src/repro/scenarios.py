@@ -98,6 +98,38 @@ def fig3_spec(variant: str = "pusher") -> ScenarioSpec:
     )
 
 
+@register_scenario(
+    "fig3-starvation",
+    doc="Fig. 3's starving regime, exploration-legal: hogs pin every "
+        "unit while tokens circulate past the requesting root",
+)
+def fig3_starvation_spec(variant: str = "pusher") -> ScenarioSpec:
+    """The time-independent distillation of Fig. 3 for liveness checking.
+
+    The figure's exact cycle needs processes *dwelling* in their CS
+    (``cs_duration=4``), which exploration must reject — digests exclude
+    engine time.  :class:`~repro.apps.workloads.HogWorkload` is the
+    exploration-legal idealization of that dwell: the two children enter
+    their CS and stay (the set ``I`` of the (k,ℓ)-liveness property,
+    here pinning α = ℓ = 2 units), so the root's request for 1 > ℓ − α
+    units can never be served while tokens circulate uselessly around
+    it.  ``repro explore --scenario fig3-starvation --check liveness``
+    finds that cycle as a replayable lasso with victim 0 — under every
+    variant, exactly as the paper's conditional liveness permits.
+    """
+    return (
+        ScenarioBuilder()
+        .variant(variant)
+        .topology("livelock")
+        .params(k=1, l=2, cmax=2)
+        .workload("saturated", need=1, cs_duration=0)
+        .workload_for(1, "hog", need=1)
+        .workload_for(2, "hog", need=1)
+        .fairness("weak")
+        .spec()
+    )
+
+
 # ----------------------------------------------------------------------
 # Fig. 1 / Fig. 4 — DFS circulation over the virtual ring
 # ----------------------------------------------------------------------

@@ -363,8 +363,15 @@ class Engine:
         self.processes[pid].on_message(label, msg)
 
     def step(self) -> None:
-        """Execute one step of the process chosen by the scheduler."""
-        self.step_pid(self.scheduler.next_pid(self.now))
+        """Execute one step of the move chosen by the scheduler.
+
+        Goes through :meth:`Scheduler.next_move` so channel-scripted
+        schedulers (livelock-lasso replays) can steer the receive
+        choice; pid-only schedulers yield ``(pid, None)`` and behave
+        exactly as before.
+        """
+        pid, channel = self.scheduler.next_move(self.now)
+        self.step_pid(pid, channel)
 
     def step_pid(self, pid: int, channel: int | None = None) -> None:
         """Execute one step of process ``pid``.
@@ -415,7 +422,7 @@ class Engine:
             or not getattr(scheduler, "deterministic_batch", False)
         ):
             for _ in range(steps):
-                self.step_pid(scheduler.next_pid(self.now))
+                self.step()
             return self
         # ---- observer-free batched kernel ----------------------------
         # Locals for everything the loop touches: in CPython the wins

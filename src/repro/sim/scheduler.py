@@ -55,6 +55,20 @@ class Scheduler(abc.ABC):
     def next_pid(self, now: int) -> int:
         """Process to step at time ``now``."""
 
+    def next_move(self, now: int) -> tuple[int, int | None]:
+        """``(pid, channel)`` to step at time ``now``.
+
+        The channel follows the :meth:`Engine.step_pid` convention:
+        ``None`` for the normal round-robin receive scan, a label to
+        receive from exactly that channel, ``-1`` for a silent step.
+        Base schedulers choose only the pid (the paper's weakly-fair
+        daemon); :class:`ScriptedScheduler` overrides this to replay
+        full daemon moves, which is how exploration counterexamples
+        (livelock lassos, violating schedules) stay replayable through
+        the ordinary :meth:`Engine.step` path.
+        """
+        return self.next_pid(now), None
+
     def next_pids(self, now: int, count: int) -> list[int]:
         """The next ``count`` choices starting at time ``now``.
 
@@ -163,12 +177,34 @@ class ScriptedScheduler(Scheduler):
 
     deterministic_batch = True
 
-    def __init__(self, n: int, script: Iterable[int]) -> None:
+    def __init__(
+        self,
+        n: int,
+        script: Iterable[int],
+        channels: Iterable[int | None] | None = None,
+    ) -> None:
         super().__init__(n)
         self.script = list(script)
         for pid in self.script:
             if not (0 <= pid < n):
                 raise ValueError(f"scripted pid {pid} out of range")
+        self.channels: list[int | None] | None
+        if channels is None:
+            self.channels = None
+        else:
+            self.channels = list(channels)
+            if len(self.channels) != len(self.script):
+                raise ValueError(
+                    "scripted channels must match script length "
+                    f"({len(self.channels)} != {len(self.script)})"
+                )
+            for chan in self.channels:
+                if chan is not None and (not isinstance(chan, int) or chan < -1):
+                    raise ValueError(f"scripted channel {chan!r} invalid")
+            # Channel choices only reach the engine through next_move,
+            # which the batched kernel loop bypasses — force the
+            # per-step path so the full daemon move is honored.
+            self.deterministic_batch = False
         self._i = 0
 
     def next_pid(self, now: int) -> int:
@@ -178,12 +214,24 @@ class ScriptedScheduler(Scheduler):
             return pid
         return (now - len(self.script)) % self.n
 
+    def next_move(self, now: int) -> tuple[int, int | None]:
+        if self.channels is not None and self._i < len(self.script):
+            chan = self.channels[self._i]
+            return self.next_pid(now), chan
+        return self.next_pid(now), None
+
     def extend(self, more: Iterable[int]) -> None:
-        """Append further scripted steps (adversary reacting online)."""
+        """Append further scripted steps (adversary reacting online).
+
+        Pid-only extension: when channel choices are scripted, the new
+        steps use the default receive scan (``None``).
+        """
         for pid in more:
             if not (0 <= pid < self.n):
                 raise ValueError(f"scripted pid {pid} out of range")
             self.script.append(pid)
+            if self.channels is not None:
+                self.channels.append(None)
 
     @property
     def exhausted(self) -> bool:

@@ -9,6 +9,7 @@ that ``spec.build()`` and the CLI resolve against.
 
 from .builder import ScenarioBuilder
 from .registry import (
+    FAIRNESS,
     FAULTS,
     OBSERVERS,
     SCENARIOS,
@@ -19,6 +20,7 @@ from .registry import (
     RegistryEntry,
     SpecError,
     UnknownSpecKey,
+    register_fairness,
     register_fault,
     register_observer,
     register_scenario,
@@ -28,6 +30,7 @@ from .registry import (
 )
 from .spec import (
     BuiltScenario,
+    FairnessSpec,
     FaultSpec,
     KindSpec,
     ObserverSpec,
@@ -48,6 +51,7 @@ __all__ = [
     "WorkloadSpec",
     "FaultSpec",
     "ObserverSpec",
+    "FairnessSpec",
     "SchedulerSpec",
     "scenario_spec",
     "parse_kind_args",
@@ -61,10 +65,12 @@ __all__ = [
     "FAULTS",
     "OBSERVERS",
     "SCENARIOS",
+    "FAIRNESS",
     "register_variant",
     "register_topology",
     "register_workload",
     "register_fault",
     "register_observer",
     "register_scenario",
+    "register_fairness",
 ]

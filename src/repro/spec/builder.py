@@ -26,6 +26,7 @@ from typing import Any
 from .registry import SpecError
 from .spec import (
     BuiltScenario,
+    FairnessSpec,
     FaultSpec,
     ObserverSpec,
     ScenarioSpec,
@@ -53,6 +54,7 @@ class ScenarioBuilder:
         self._faults: list[FaultSpec] = []
         self._observers: list[ObserverSpec] = []
         self._scheduler = SchedulerSpec("round_robin")
+        self._fairness: FairnessSpec | None = None
         self._seed = 0
 
     def variant(self, name: str, **options: Any) -> "ScenarioBuilder":
@@ -115,6 +117,12 @@ class ScenarioBuilder:
         self._scheduler = SchedulerSpec(kind, args)
         return self
 
+    def fairness(self, kind: str) -> "ScenarioBuilder":
+        """Pin the daemon assumption for ``--check liveness`` runs
+        (weak/strong/unconditional; simulation ignores it)."""
+        self._fairness = FairnessSpec(kind)
+        return self
+
     def seed(self, seed: int) -> "ScenarioBuilder":
         """Set the master seed (scheduler/fault sub-seeds derive from it)."""
         self._seed = int(seed)
@@ -135,6 +143,7 @@ class ScenarioBuilder:
             workload_overrides=tuple(sorted(self._overrides.items())),
             faults=tuple(self._faults),
             observers=tuple(self._observers),
+            fairness=self._fairness,
             scheduler=self._scheduler,
             seed=self._seed,
             variant_options=self._variant_options,

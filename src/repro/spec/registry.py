@@ -33,12 +33,14 @@ __all__ = [
     "FAULTS",
     "OBSERVERS",
     "SCENARIOS",
+    "FAIRNESS",
     "register_variant",
     "register_topology",
     "register_workload",
     "register_fault",
     "register_observer",
     "register_scenario",
+    "register_fairness",
 ]
 
 
@@ -89,6 +91,7 @@ _PROVIDER_MODULES = (
     "repro.sim.observers",
     "repro.analysis.invariants",
     "repro.analysis.census",
+    "repro.analysis.liveness",
     "repro.scenarios",
 )
 
@@ -200,6 +203,12 @@ OBSERVERS = Registry("observer")
 #: Named scenario presets: ``fn(**kwargs) -> ScenarioSpec``.
 SCENARIOS = Registry("scenario")
 
+#: Fairness constraints for liveness checking: ``fn(*, enabled_all,
+#: enabled_any, taken, stepped_pids, all_pids) -> bool`` — True iff a
+#: cycle with those move bitmasks is admissible under the constraint
+#: (see :mod:`repro.analysis.liveness` for the mask conventions).
+FAIRNESS = Registry("fairness", plural="fairness constraints")
+
 
 def register_variant(
     name: str,
@@ -259,3 +268,10 @@ def register_scenario(
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a named scenario preset returning a ``ScenarioSpec``."""
     return SCENARIOS.register(name, doc=doc)
+
+
+def register_fairness(
+    name: str, *, doc: str | None = None
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a fairness constraint (cycle-admissibility predicate)."""
+    return FAIRNESS.register(name, doc=doc)

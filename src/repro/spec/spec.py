@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..core.params import KLParams
 from .registry import (
+    FAIRNESS,
     FAULTS,
     OBSERVERS,
     TOPOLOGIES,
@@ -63,6 +64,7 @@ __all__ = [
     "WorkloadSpec",
     "FaultSpec",
     "ObserverSpec",
+    "FairnessSpec",
     "SchedulerSpec",
     "ScenarioSpec",
     "BuiltScenario",
@@ -259,6 +261,28 @@ class ObserverSpec(KindSpec):
 
 
 @dataclass(frozen=True, slots=True)
+class FairnessSpec(KindSpec):
+    """Names a registered fairness constraint for liveness checking.
+
+    Part of a scenario manifest so a ``repro explore --check liveness``
+    run replays under the same daemon assumption.  The registered
+    constraints are pure cycle predicates and take no construction
+    arguments — a non-empty ``args`` mapping is rejected at build time
+    rather than silently ignored.
+    """
+
+    def build(self) -> Callable[..., bool]:
+        """The cycle-admissibility predicate from the fairness registry."""
+        fn = FAIRNESS.get(self.kind)
+        if self.args:
+            raise SpecError(
+                f"fairness constraint {self.kind!r} takes no arguments "
+                f"(got {sorted(self.args)})"
+            )
+        return fn
+
+
+@dataclass(frozen=True, slots=True)
 class SchedulerSpec(KindSpec):
     """Names a scheduler kind (not a registry: the four sim schedulers)."""
 
@@ -359,7 +383,9 @@ class ScenarioSpec:
     attached after the faults (attachment order = spec order);
     ``variant_options`` pass through to the variant's engine factory
     (e.g. ``init="tokens"``, ``seam``, ``timeout_interval`` for
-    ``selfstab`` and the ``ring`` baseline).
+    ``selfstab`` and the ``ring`` baseline); ``fairness`` names the
+    daemon assumption liveness checking replays under (simulation
+    ignores it).
     """
 
     topology: TopologySpec
@@ -372,6 +398,9 @@ class ScenarioSpec:
     workload_overrides: tuple[tuple[int, WorkloadSpec], ...] = ()
     faults: tuple[FaultSpec, ...] = ()
     observers: tuple[ObserverSpec, ...] = ()
+    #: daemon assumption for ``--check liveness`` runs; ``None`` = the
+    #: checker's default (``weak``).  Never affects a simulation run.
+    fairness: FairnessSpec | None = None
     scheduler: SchedulerSpec = field(
         default_factory=lambda: SchedulerSpec("round_robin")
     )
@@ -391,9 +420,10 @@ class ScenarioSpec:
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready mapping; inverse of :meth:`from_dict`.
 
-        ``observers`` is emitted only when non-empty, so manifests of
-        observer-free scenarios are byte-identical to the pre-observer
-        schema (the ``--dump-spec``/``--spec`` replay contract).
+        ``observers`` is emitted only when non-empty and ``fairness``
+        only when set, so manifests of scenarios without them are
+        byte-identical to the earlier schema (the
+        ``--dump-spec``/``--spec`` replay contract).
         """
         d = {
             "version": SPEC_VERSION,
@@ -414,6 +444,8 @@ class ScenarioSpec:
         }
         if self.observers:
             d["observers"] = [o.to_dict() for o in self.observers]
+        if self.fairness is not None:
+            d["fairness"] = self.fairness.to_dict()
         return d
 
     @classmethod
@@ -434,6 +466,7 @@ class ScenarioSpec:
             "workload_overrides",
             "faults",
             "observers",
+            "fairness",
             "scheduler",
             "seed",
         }
@@ -468,6 +501,11 @@ class ScenarioSpec:
             faults=tuple(FaultSpec.from_dict(f) for f in d.get("faults") or ()),
             observers=tuple(
                 ObserverSpec.from_dict(o) for o in d.get("observers") or ()
+            ),
+            fairness=(
+                FairnessSpec.from_dict(d["fairness"])
+                if d.get("fairness") is not None
+                else None
             ),
             scheduler=(
                 SchedulerSpec.from_dict(d["scheduler"])

@@ -208,6 +208,40 @@ class TestThroughputFields:
         assert res.states_per_sec == 0.0
         assert res.peak_seen_bytes == 0
 
+    def test_peak_seen_bytes_is_deterministic(self):
+        """Wall-clock throughput is the *only* run-to-run variable:
+        repeated searches of the same instance must report identical
+        peak memory and identical search-shape fields, while both runs
+        still report a positive (but uncomparable) states/sec."""
+        runs = []
+        for _ in range(2):
+            eng, params = naive_engine(n=4, k=2, l=3,
+                                       needs={1: 2, 2: 1, 3: 2})
+
+            def inv(e):
+                return safety_ok(e, params) or "unsafe"
+
+            runs.append(explore(eng, inv, max_depth=10))
+        a, b = runs
+        assert a.peak_seen_bytes == b.peak_seen_bytes > 0
+        assert (a.configurations, a.transitions, a.exhausted,
+                a.violation, a.frontier_sizes) == \
+               (b.configurations, b.transitions, b.exhausted,
+                b.violation, b.frontier_sizes)
+        assert a.states_per_sec > 0 and b.states_per_sec > 0
+
+    def test_peak_seen_bytes_deterministic_under_por(self):
+        eng1, params = naive_engine(n=4, k=2, l=3, needs={1: 2, 2: 1})
+
+        def inv(e):
+            return safety_ok(e, params) or "unsafe"
+
+        eng2, _ = naive_engine(n=4, k=2, l=3, needs={1: 2, 2: 1})
+        a = explore(eng1, inv, max_depth=10, por=True)
+        b = explore(eng2, inv, max_depth=10, por=True)
+        assert a.peak_seen_bytes == b.peak_seen_bytes > 0
+        assert a.transitions == b.transitions
+
 
 class TestExploreMechanics:
     def test_closes_reachable_set(self):

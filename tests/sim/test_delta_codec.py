@@ -12,6 +12,8 @@ composed stack, tree shapes and every scheduling choice.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import KLParams, RoundRobinScheduler, SaturatedWorkload
 from repro.baselines.central import build_central_engine
@@ -21,7 +23,7 @@ from repro.core.naive import build_naive_engine
 from repro.core.priority import build_priority_engine
 from repro.core.pusher import build_pusher_engine
 from repro.core.selfstab import build_selfstab_engine
-from repro.topology import path_tree, star_tree
+from repro.topology import path_tree, random_tree, star_tree
 from repro.topology.graphs import ring_graph
 
 VARIANTS = {
@@ -229,3 +231,97 @@ class TestLoadStateDiff:
         assert_states_equal(engine.save_state(), b)
         engine.load_state_diff(b, a)
         assert_states_equal(engine.save_state(), a)
+
+
+@st.composite
+def footprint_runs(draw):
+    """A random engine plus a random schedule to probe it with.
+
+    The topology is a uniformly random tree, the warm-up decorrelates
+    the starting configuration, and each raw move is (pid, channel
+    seed) — the seed is folded into the pid's actual degree at run
+    time, with negatives meaning a silent step.
+    """
+    variant = draw(st.sampled_from(sorted(VARIANTS)))
+    n = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    warmup = draw(st.integers(min_value=0, max_value=80))
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=-1, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return variant, n, seed, warmup, moves
+
+
+class TestFootprintProperty:
+    """The POR soundness obligation, as a property: the reported
+    footprint of a step — ``dirty_channels`` plus the snapshot-compared
+    process/app cleanliness — covers *exactly* the slots that differ
+    between the parent and child snapshots.  Under-reporting would
+    corrupt hinted restores and break POR's commutation argument;
+    over-reporting would erode the reduction.  Both directions are
+    asserted, on random schedules over random small trees."""
+
+    @given(footprint_runs())
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_exactly_covers_slot_diff(self, run):
+        variant, n, seed, warmup, moves = run
+        engine = build_variant(variant, random_tree(n, seed=seed))
+        engine.run(warmup)
+        for pid, raw_chan in moves:
+            degree = len(engine._in_chans[pid])
+            chan = -1 if raw_chan < 0 or degree == 0 else raw_chan % degree
+            base = engine.save_state()
+            engine.step_pid(pid, chan)
+            child = engine.save_state()
+
+            # Channel slots: dirty_channels is exact, both directions.
+            dirty = set(engine.dirty_channels(base, pid))
+            diff = {
+                s
+                for s in range(len(base.chans))
+                if base.chans[s] != child.chans[s]
+            }
+            ctx = f"{variant} n={n} seed={seed} pid={pid} ch={chan}"
+            assert diff <= dirty, (
+                f"{ctx}: changed slots {sorted(diff - dirty)} not reported"
+            )
+            assert dirty <= diff, (
+                f"{ctx}: clean slots {sorted(dirty - diff)} reported dirty"
+            )
+
+            # Process/app slots: only the stepped pid may move, and the
+            # explorer's cleanliness classification must agree with the
+            # actual snapshot diff.
+            for q in range(engine.n):
+                if q != pid:
+                    assert child.procs[q] == base.procs[q], ctx
+                    assert child.apps[q] == base.apps[q], ctx
+            proc_clean = (
+                engine.processes[pid].snapshot() == base.procs[pid]
+            )
+            assert proc_clean == (child.procs[pid] == base.procs[pid]), ctx
+            app = getattr(engine.processes[pid], "app", None)
+            app_clean = (
+                app is None or app.snapshot_state() == base.apps[pid]
+            )
+            assert app_clean == (child.apps[pid] == base.apps[pid]), ctx
+
+            # The incremental child snapshot agrees byte-for-byte and
+            # shares every slot outside the stepped pid's static
+            # footprint with its parent by identity.
+            shared = engine.save_state_from(base, pid)
+            assert_states_equal(shared, child, ctx)
+            incident = {slot for slot, _ in engine._pid_chans[pid]}
+            assert dirty <= incident, (
+                f"{ctx}: step touched a non-incident channel"
+            )
+            for slot in range(len(base.chans)):
+                if slot not in incident:
+                    assert shared.chans[slot] is base.chans[slot], ctx

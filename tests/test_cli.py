@@ -433,3 +433,80 @@ class TestExploreOutput:
         serial = capsys.readouterr().out
         assert main(argv + ["--workers", "2", "--min-frontier", "1"]) == 0
         assert capsys.readouterr().out == serial
+
+    def test_stdout_byte_identical_across_repeated_runs(self, capsys):
+        """The whole stdout report is the determinism surface: two runs
+        of the same instance must agree byte-for-byte (throughput, the
+        only wall-clock quantity, lives on stderr)."""
+        assert main(self.ARGV) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGV) == 0
+        assert capsys.readouterr().out == first
+
+    def test_por_stdout_differs_only_in_transition_counts(self, capsys):
+        """The CI diff contract: POR may change transition counts and
+        the depth histogram, never configurations/exhausted/violation."""
+        argv = ["explore", "--tree", "path", "--n", "4", "--variant",
+                "pusher", "--max-depth", "8"]
+        assert main(argv) == 0
+        full = capsys.readouterr().out
+        assert main(argv + ["--por"]) == 0
+        por = capsys.readouterr().out
+
+        def keep(text):
+            return [ln for ln in text.splitlines()
+                    if ln.split(":")[0].strip() in
+                    ("configurations", "exhausted", "violation")]
+
+        assert keep(full) == keep(por)
+
+
+class TestExploreLiveness:
+    """The ``--check liveness`` CLI surface, against both anchors."""
+
+    def test_starvation_scenario_reports_livelock(self, capsys):
+        rc = main(["explore", "--scenario", "fig3-starvation",
+                   "--check", "liveness", "--max-depth", "40"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "check            : liveness (weak fairness)" in out
+        assert "livelock         : victims [0] under weak fairness" in out
+        assert "prefix           : " in out
+        assert "cycle            : " in out
+
+    def test_convergent_scenario_exits_clean(self, capsys):
+        rc = main(["explore", "--scenario", "fig1-circulation",
+                   "--check", "liveness", "--max-depth", "40"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "starvation-freedom verified over ALL schedules" in out
+        assert "prefix" not in out
+
+    def test_scenario_kwargs_flow_through(self, capsys):
+        rc = main(["explore", "--scenario", "fig3-starvation:variant=naive",
+                   "--check", "liveness", "--max-depth", "40"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "variant          : naive" in out
+
+    def test_fairness_flag_overrides_spec(self, capsys):
+        rc = main(["explore", "--scenario", "fig3-starvation",
+                   "--check", "liveness", "--fairness", "unconditional",
+                   "--max-depth", "40"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "liveness (unconditional fairness)" in out
+
+    def test_unknown_fairness_rejected(self, capsys):
+        rc = main(["explore", "--scenario", "fig3-starvation",
+                   "--check", "liveness", "--fairness", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "bogus" in err
+
+    def test_liveness_is_serial_only(self, capsys):
+        rc = main(["explore", "--scenario", "fig3-starvation",
+                   "--check", "liveness", "--workers", "2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "serial" in err or "workers" in err
