@@ -23,6 +23,8 @@ import json
 import os
 import time
 
+import pytest
+
 
 from repro import KLParams
 from repro.analysis import safety_ok
@@ -94,6 +96,7 @@ def timed(eng, params, *, depth, cap, method):
     return res, time.perf_counter() - t0
 
 
+@pytest.mark.slow
 def test_bench_explore_snapshot_vs_fork(benchmark, report):
     cases = [
         ("fig2 naive (paper tree)", fig2_instance, 14, 4_000),
@@ -200,6 +203,7 @@ def best_of(make_ref, make_turbo, rounds=3):
     return ref, t_ref, turbo, t_turbo
 
 
+@pytest.mark.slow
 def test_bench_explore_turbo_vs_reference(report):
     """>= 5x explored states/sec and >= 8x less seen-set memory on the
     selfstab n=6 gate scenario; emits the BENCH_explore.json artifact."""
@@ -297,6 +301,7 @@ def por_gate_instance(topology):
     return eng, params
 
 
+@pytest.mark.slow
 def test_bench_explore_por_reduction(report):
     """POR must visit the identical configuration set while executing
     >= 5x fewer transitions on both gate topologies; the measured

@@ -95,6 +95,7 @@ def test_bench_scheduler_batch_draws(benchmark):
     benchmark.pedantic(draw_many, rounds=5, iterations=1)
 
 
+@pytest.mark.slow
 class TestKernelVsPreRefactor:
     """The kernel/observer split's measurable payoff, gated."""
 

@@ -25,9 +25,11 @@ machine noise only ever subtracts from it.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -37,6 +39,7 @@ from ..spec.builder import ScenarioBuilder
 __all__ = [
     "BenchRow",
     "ExploreBenchRow",
+    "BenchComparison",
     "bench_engine",
     "bench_spec",
     "default_bench_matrix",
@@ -45,8 +48,11 @@ __all__ = [
     "default_explore_matrix",
     "run_explore_bench",
     "write_bench_json",
+    "host_fingerprint",
+    "compare_bench",
     "render_bench_table",
     "render_explore_table",
+    "render_compare_table",
 ]
 
 #: Default measured window per scenario (steps).
@@ -55,6 +61,11 @@ DEFAULT_STEPS = 150_000
 DEFAULT_WARMUP = 5_000
 #: Default timed repetitions (best is kept).
 DEFAULT_REPEAT = 3
+
+#: Artifact schema: bumped to 2 when ``host`` metadata, ``backend`` row
+#: columns and ``schema_version`` itself were added.  ``compare_bench``
+#: treats version-1 artifacts (no host stamp) as cross-host.
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -67,6 +78,7 @@ class BenchRow:
     n: int
     steps: int
     steps_per_sec: float
+    backend: str = "object"
 
 
 def bench_engine(
@@ -109,17 +121,26 @@ def bench_spec(
         n=built.tree.n,
         steps=steps,
         steps_per_sec=rate,
+        backend=spec.backend,
     )
 
 
-def _scenario(variant: str, topology: str, n: int, seed: int = 1, **topo_args):
+def _scenario(
+    variant: str, topology: str, n: int, seed: int = 1,
+    backend: str = "object", **topo_args,
+):
     builder = (
         ScenarioBuilder()
-        .topology(topology, n=n, **({"seed": seed} if topology == "random" else topo_args))
+        .topology(
+            topology,
+            n=n,
+            **({"seed": seed} if topology == "random" else topo_args),
+        )
         .params(k=2, l=4)
         .workload("saturated", cs_duration=2)
         .scheduler("random", seed=seed)
         .seed(seed)
+        .backend(backend)
     )
     if variant in ("selfstab", "ring"):
         builder.variant(variant, init="tokens")
@@ -134,6 +155,10 @@ def default_bench_matrix() -> list[tuple[str, ScenarioSpec]]:
     ``selfstab-ring-n16`` is the headline scenario the regression gate
     compares against the pre-kernel fossil; the rest track every
     registered token-circulation variant on representative topologies.
+    The n=10^4/10^5 rows track the struct-of-arrays backend at the
+    scales the object kernel cannot reach (plus one object row at
+    n=10^4, the denominator of the array speedup gate in
+    ``benchmarks/test_bench_array_engine.py``).
     """
     return [
         ("selfstab-ring-n16", _scenario("ring", "path", 16)),
@@ -142,6 +167,12 @@ def default_bench_matrix() -> list[tuple[str, ScenarioSpec]]:
         ("priority-tree-n16", _scenario("priority", "random", 16)),
         ("pusher-tree-n16", _scenario("pusher", "random", 16)),
         ("naive-path-n16", _scenario("naive", "path", 16)),
+        ("selfstab-tree-n10000-object",
+         _scenario("selfstab", "random", 10_000)),
+        ("selfstab-tree-n10000-array",
+         _scenario("selfstab", "random", 10_000, backend="array")),
+        ("selfstab-tree-n100000-array",
+         _scenario("selfstab", "random", 100_000, backend="array")),
     ]
 
 
@@ -283,6 +314,20 @@ def run_explore_bench(
     return rows
 
 
+def host_fingerprint() -> dict:
+    """The host metadata stamped into bench artifacts.
+
+    Throughput numbers are only comparable on similar hardware;
+    ``compare_bench`` warns when the committed artifact's fingerprint
+    differs from the measuring host's.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_bench_json(
     rows: Sequence,
     path: str | Path,
@@ -293,13 +338,128 @@ def write_bench_json(
     """Write a bench artifact (``BENCH_kernel.json`` / ``BENCH_explore.json``)."""
     doc = {
         "benchmark": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "created_unix": int(time.time()),
         "python": sys.version.split()[0],
+        "host": host_fingerprint(),
         "rows": [asdict(r) for r in rows],
     }
     if extra:
         doc.update(extra)
     Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Regression diff against a committed artifact (``repro bench --compare``)
+# ---------------------------------------------------------------------------
+
+#: A row's throughput column, whichever suite it came from.
+_RATE_FIELDS = ("steps_per_sec", "states_per_sec")
+
+#: Default regression tolerance: fresh < 80% of committed fails.
+COMPARE_TOLERANCE = 0.2
+
+
+def _row_rate(row: dict) -> float | None:
+    for f in _RATE_FIELDS:
+        if f in row:
+            return float(row[f])
+    return None
+
+
+@dataclass(slots=True)
+class BenchComparison:
+    """Fresh-vs-committed throughput diff for one artifact."""
+
+    path: str
+    #: (scenario, committed rate, fresh rate, fresh/committed ratio)
+    matched: list[tuple[str, float, float, float]] = field(default_factory=list)
+    #: human-readable failures; non-empty ⇒ a regression beyond tolerance
+    regressions: list[str] = field(default_factory=list)
+    #: non-fatal caveats (missing baseline, cross-host, new scenarios)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_bench(
+    rows: Sequence,
+    committed_path: str | Path,
+    *,
+    tolerance: float = COMPARE_TOLERANCE,
+) -> BenchComparison:
+    """Diff freshly measured ``rows`` against a committed artifact.
+
+    Rows are matched by their unique ``scenario`` label.  A match whose
+    fresh throughput falls below ``(1 - tolerance)`` of the committed
+    number is a regression.  Missing artifacts and unmatched scenarios
+    are notes, not failures, so the diff stays usable mid-migration;
+    a committed artifact from a different host (or one predating the
+    host stamp) is flagged because the comparison is then cross-host.
+    """
+    cmp = BenchComparison(path=str(committed_path))
+    try:
+        doc = json.loads(Path(committed_path).read_text())
+    except FileNotFoundError:
+        cmp.notes.append(
+            f"no committed baseline at {committed_path}; nothing to compare"
+        )
+        return cmp
+    except (OSError, json.JSONDecodeError) as exc:
+        cmp.notes.append(f"cannot read baseline {committed_path}: {exc}")
+        return cmp
+    committed_host = doc.get("host")
+    if committed_host is None:
+        cmp.notes.append(
+            f"{committed_path} predates the host stamp (schema_version "
+            f"{doc.get('schema_version', 1)}); treating the diff as "
+            "cross-host — ratios may reflect hardware, not code"
+        )
+    elif committed_host != host_fingerprint():
+        cmp.notes.append(
+            f"{committed_path} was measured on a different host "
+            f"({committed_host}); ratios may reflect hardware, not code"
+        )
+    committed = {}
+    for row in doc.get("rows") or []:
+        rate = _row_rate(row)
+        if row.get("scenario") and rate:
+            committed[row["scenario"]] = rate
+    for row in rows:
+        d = asdict(row) if not isinstance(row, dict) else row
+        label = d["scenario"]
+        fresh = _row_rate(d)
+        base = committed.get(label)
+        if base is None:
+            cmp.notes.append(f"no committed row for {label} (new scenario?)")
+            continue
+        ratio = fresh / base
+        cmp.matched.append((label, base, fresh, ratio))
+        if ratio < 1.0 - tolerance:
+            cmp.regressions.append(
+                f"{label}: {fresh:,.0f}/s is {ratio:.2f}x the committed "
+                f"{base:,.0f}/s (tolerance {1.0 - tolerance:.2f}x)"
+            )
+    return cmp
+
+
+def render_compare_table(cmp: BenchComparison) -> str:
+    """Fixed-width fresh-vs-committed table (the ``--compare`` report)."""
+    if not cmp.matched:
+        return f"no comparable rows against {cmp.path}"
+    width = max(len(label) for label, *_ in cmp.matched)
+    lines = [
+        f"{'scenario'.ljust(width)}  {'committed/s':>12}  "
+        f"{'fresh/s':>12}  {'ratio':>6}"
+    ]
+    for label, base, fresh, ratio in cmp.matched:
+        lines.append(
+            f"{label.ljust(width)}  {base:>12,.0f}  {fresh:>12,.0f}  "
+            f"{ratio:>5.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def render_bench_table(rows: Sequence[BenchRow]) -> str:

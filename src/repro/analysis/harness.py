@@ -329,8 +329,17 @@ def run_waiting_time(
     if not stabilize(engine, params):
         raise RuntimeError("system failed to stabilize during warmup")
     warmup_end = engine.now
+    # The array backend keeps O(1) streaming aggregates instead of
+    # per-request ledgers; its epoch mark replaces ``since_step``
+    # filtering and yields the same RunMetrics fields.
+    mark = getattr(engine, "mark_metrics_epoch", None)
+    if mark is not None:
+        mark()
     engine.run(measure_steps)
-    metrics = collect_metrics(engine, apps, since_step=warmup_end)
+    if mark is not None:
+        metrics = engine.run_metrics()
+    else:
+        metrics = collect_metrics(engine, apps, since_step=warmup_end)
     return WaitingTimeResult(
         metrics=metrics, bound=waiting_time_bound(params, tree.n), n=tree.n
     )

@@ -36,6 +36,9 @@ Commands
     the JSON artifact: ``--suite kernel`` (steps/sec,
     ``BENCH_kernel.json``, the default), ``--suite explore`` (explored
     states/sec, ``BENCH_explore.json``) or ``--suite all``.
+    ``--compare`` diffs fresh numbers against the committed artifacts
+    instead of overwriting them and exits non-zero on a >20%
+    throughput regression.
 
 Every scenario-taking command parses its flags into a declarative
 :class:`~repro.spec.ScenarioSpec` and constructs the engine exclusively
@@ -55,6 +58,11 @@ Long-running commands accept ``--no-stats``: the scenario's observer
 stack (e.g. one declared in a ``--spec`` manifest) is dropped and the
 run executes on the observer-free kernel.  Results are unchanged —
 observers are instrumentation, never simulation state — only faster.
+They also accept ``--backend array|object``: ``array`` lowers the
+built scenario into the struct-of-arrays kernel
+(:mod:`repro.sim.array_engine`) — identical step semantics proven by
+the differential suite, flat-array state, batched scheduling — while
+``object`` pins the per-process reference engine.
 """
 
 from __future__ import annotations
@@ -219,6 +227,11 @@ def _resolve_spec(
         spec = default()
     if getattr(args, "no_stats", False):
         spec = spec.without_observers()
+    backend = getattr(args, "backend", None)
+    if backend is not None and backend != spec.backend:
+        from dataclasses import replace
+
+        spec = replace(spec, backend=backend)
     return spec
 
 
@@ -366,6 +379,12 @@ def _add_common(p: argparse.ArgumentParser, *, workload: bool = False) -> None:
         help="drop the scenario's observer stack (run on the observer-free "
              "kernel; results are identical, just faster)",
     )
+    p.add_argument(
+        "--backend", choices=["object", "array"], default=None,
+        help="kernel backend: object (reference) or array "
+             "(struct-of-arrays, same semantics, no observers/traces; "
+             "overrides the spec manifest's backend)",
+    )
 
 
 def _add_campaign(p: argparse.ArgumentParser) -> None:
@@ -459,6 +478,13 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_explore.json per suite; '' to skip; only valid with "
              "a single suite)",
     )
+    p.add_argument(
+        "--compare", action="store_true",
+        help="diff the fresh numbers against the committed "
+             "BENCH_kernel.json / BENCH_explore.json instead of "
+             "overwriting them; exit non-zero on a >20%% throughput "
+             "regression (warns when the baseline came from another host)",
+    )
 
     p = sub.add_parser(
         "explore",
@@ -524,8 +550,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print("failed to stabilize", file=sys.stderr)
         return 1
     t0 = engine.now
+    mark = getattr(engine, "mark_metrics_epoch", None)
+    if mark is not None:
+        mark()  # array backend: O(1) streaming aggregates, same fields
     engine.run(args.steps)
-    m = collect_metrics(engine, built.apps, since_step=t0)
+    m = (engine.run_metrics() if mark is not None
+         else collect_metrics(engine, built.apps, since_step=t0))
     print(f"stabilized at step {t0}; census {take_census(engine).as_tuple()}")
     print(f"{m.satisfied} requests satisfied in {args.steps} steps "
           f"({m.messages_per_cs:.2f} msgs/CS, "
@@ -615,7 +645,9 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import (
+        compare_bench,
         render_bench_table,
+        render_compare_table,
         render_explore_table,
         run_explore_bench,
         run_kernel_bench,
@@ -629,6 +661,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("--out is ambiguous with --suite all; run one suite per --out",
               file=sys.stderr)
         return 2
+    if args.compare and args.out is not None:
+        print("--compare diffs against the committed artifacts and never "
+              "writes; drop --out", file=sys.stderr)
+        return 2
+
+    def _diff(rows, baseline) -> bool:
+        cmp = compare_bench(rows, baseline)
+        for note in cmp.notes:
+            print(f"[compare] note: {note}", file=sys.stderr)
+        print(render_compare_table(cmp))
+        for line in cmp.regressions:
+            print(f"[compare] REGRESSION {line}", file=sys.stderr)
+        return cmp.ok
+
+    ok = True
     if args.suite in ("kernel", "all"):
         rows = run_kernel_bench(
             steps=args.steps,
@@ -639,10 +686,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
         print(render_bench_table(rows))
-        out = "BENCH_kernel.json" if args.out is None else args.out
-        if out:
-            write_bench_json(rows, out)
-            print(f"wrote {out}", file=sys.stderr)
+        if args.compare:
+            ok = _diff(rows, "BENCH_kernel.json") and ok
+        else:
+            out = "BENCH_kernel.json" if args.out is None else args.out
+            if out:
+                write_bench_json(rows, out)
+                print(f"wrote {out}", file=sys.stderr)
     if args.suite in ("explore", "all"):
         rows = run_explore_bench(
             repeat=args.repeat,
@@ -652,11 +702,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
         print(render_explore_table(rows))
-        out = "BENCH_explore.json" if args.out is None else args.out
-        if out:
-            write_bench_json(rows, out, name="explore-states-per-sec")
-            print(f"wrote {out}", file=sys.stderr)
-    return 0
+        if args.compare:
+            ok = _diff(rows, "BENCH_explore.json") and ok
+        else:
+            out = "BENCH_explore.json" if args.out is None else args.out
+            if out:
+                write_bench_json(rows, out, name="explore-states-per-sec")
+                print(f"wrote {out}", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:

@@ -1,0 +1,1535 @@
+"""Struct-of-arrays kernel backend.
+
+:class:`ArrayEngine` executes the same protocol step semantics as
+:class:`~repro.sim.engine.Engine`, but holds the entire configuration in
+flat arrays — per-pid integer columns for protocol state, CSR adjacency
+for the topology, and fixed-capacity ring buffers for every channel —
+with **no per-process Python objects on the hot path**.
+
+Lowering contract
+-----------------
+An array engine is *lowered* from a fully built object engine
+(:meth:`ArrayEngine.from_engine`), after faults have been applied, so
+every fault schedule is supported for free.  Lowering is a bijection on
+the observable configuration: :meth:`config_snapshot` reproduces the
+object engine's :meth:`~repro.sim.engine.Engine.save_state` tuple field
+for field (minus the ``apps`` ledger, which the array backend replaces
+with O(1) streaming aggregates).  The object engine remains the
+differential reference — ``tests/sim/test_array_engine_diff.py`` proves
+step-for-step agreement across every variant × topology × scheduler.
+
+What the SoA layout can represent:
+
+* all five protocol variants (naive / pusher / priority / selfstab
+  tree + root / ring baseline), classified by exact process type;
+* the deterministic schedulers (``deterministic_batch`` is required so
+  whole batches can be drawn via ``next_pids``);
+* the deterministic workloads (idle / saturated / oneshot / scripted /
+  hog) as per-pid integer columns;
+* any initial configuration, including fault-injected garbage.
+
+What it cannot represent (lowering raises :class:`LoweringError`):
+
+* observers (the hook lists must stay empty — use the object engine);
+* :class:`~repro.apps.workloads.StochasticWorkload` (draws RNG state
+  even on steps that request nothing);
+* non-batchable schedulers (``FunctionScheduler``, channel-scripted
+  ``ScriptedScheduler``) and crash controllers;
+* the explorer's delta codec (``save_delta``/``restore_pid``) — the
+  explorer always runs on the object engine;
+* unbounded channel queues: channels become fixed-capacity ring buffers
+  and overflow raises :class:`ChannelOverflow` instead of growing.
+
+Message packing: each message is two int64 words.  ``w0`` packs the
+type tag (bits 0–1: 0=ResT 1=PushT 2=PrioT 3=Ctrl) and, for Ctrl, the
+``r`` flag (bit 2), ``ppr`` (bits 3–4) and ``pt`` (bits 5+); ``w1``
+holds the token uid, or ``c`` (the root's circulation stamp) for Ctrl.
+
+Batched stepping: ``run(steps)`` draws scheduler batches of up to 4096
+pids.  Below ``filter_threshold`` processes every draw is executed
+directly (the *dense* path).  At or above it, a numpy activity filter
+skips steps that are provably no-ops — a per-pid ``ready_at`` stamp is
+0 while messages are pending and otherwise the earliest time the local
+guard tail could fire (request intake, CS entry/exit, priority release,
+root timeout).  Steps activated mid-batch by a send are merged into the
+execution order through a position heap, so both paths are
+step-for-step identical to the object engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..apps.workloads import (
+    HogWorkload,
+    IdleApplication,
+    OneShotWorkload,
+    SaturatedWorkload,
+    ScriptedWorkload,
+)
+from ..baselines.ring import RingProcess, RingRoot
+from ..core.messages import Ctrl, PrioT, PushT, ResT, fresh_uid
+from ..core.naive import NaiveProcess
+from ..core.priority import PriorityProcess
+from ..core.pusher import PusherProcess
+from ..core.selfstab import SelfStabProcess, SelfStabRoot
+from .engine import CounterMap, Engine
+from .scheduler import RandomScheduler, RoundRobinScheduler, Scheduler
+
+__all__ = ["ArrayEngine", "ChannelOverflow", "LoweringError"]
+
+#: time stamp meaning "this process cannot act until a message arrives"
+_NEVER = 1 << 62
+#: scheduler batch size (mirrors Engine._RUN_BATCH)
+_RUN_BATCH = 4096
+
+# protocol phases (decoded back to the object engine's strings in views)
+_OUT, _REQ, _IN = 0, 1, 2
+_STATE_NAMES = ("Out", "Req", "In")
+
+# message type tags
+_MT_REST, _MT_PUSHT, _MT_PRIOT, _MT_CTRL = 0, 1, 2, 3
+_MT_NAMES = ("ResT", "PushT", "PrioT", "Ctrl")
+
+# process kinds
+_K_NAIVE = 0
+_K_PUSHER = 1
+_K_PRIORITY = 2
+_K_SELFSTAB = 3
+_K_SELFSTAB_ROOT = 4
+_K_RING = 5
+_K_RING_ROOT = 6
+
+# workload kinds
+_A_NONE = 0
+_A_IDLE = 1
+_A_SATURATED = 2
+_A_ONESHOT = 3
+_A_SCRIPTED = 4
+_A_HOG = 5
+
+
+class LoweringError(ValueError):
+    """The object configuration cannot be represented in flat arrays."""
+
+
+class ChannelOverflow(RuntimeError):
+    """A ring-buffer channel exceeded its fixed capacity.
+
+    Raise ``channel_capacity`` at lowering time; the object engine's
+    unbounded deques remain available via ``backend="object"``.
+    """
+
+
+def _pack_ctrl(c: int, r: bool, pt: int, ppr: int) -> tuple[int, int]:
+    return _MT_CTRL | (4 if r else 0) | (ppr << 3) | (pt << 5), c
+
+
+def _decode(w0: int, w1: int):
+    """Packed words back to the frozen message dataclass (codec only)."""
+    mt = w0 & 3
+    if mt == _MT_REST:
+        return ResT(uid=w1)
+    if mt == _MT_PUSHT:
+        return PushT(uid=w1)
+    if mt == _MT_PRIOT:
+        return PrioT(uid=w1)
+    return Ctrl(c=w1, r=bool(w0 & 4), pt=w0 >> 5, ppr=(w0 >> 3) & 3)
+
+
+class _ProcView:
+    """Live, read-only view of one lowered process.
+
+    Attribute presence mirrors the object process classes exactly —
+    a naive view has no ``prio``, a ring view no ``succ`` — so
+    :func:`~repro.analysis.invariants.domains_ok`-style ``getattr``
+    probing sees the same shape on both backends.
+    """
+
+    __slots__ = ("_e", "pid")
+
+    #: attributes available per kind, beyond the base set
+    _EXTRA = {
+        _K_NAIVE: frozenset(),
+        _K_PUSHER: frozenset(),
+        _K_PRIORITY: frozenset({"prio", "_prio_uid"}),
+        _K_SELFSTAB: frozenset({"prio", "_prio_uid", "myc", "succ"}),
+        _K_SELFSTAB_ROOT: frozenset(
+            {
+                "prio",
+                "_prio_uid",
+                "myc",
+                "succ",
+                "reset",
+                "stoken",
+                "sprio",
+                "spush",
+                "circulations",
+                "resets",
+                "seam",
+            }
+        ),
+        _K_RING: frozenset({"prio", "_prio_uid", "myc"}),
+        _K_RING_ROOT: frozenset(
+            {
+                "prio",
+                "_prio_uid",
+                "myc",
+                "reset",
+                "stoken",
+                "sprio",
+                "spush",
+                "circulations",
+                "resets",
+            }
+        ),
+    }
+
+    def __init__(self, engine: "ArrayEngine", pid: int) -> None:
+        object.__setattr__(self, "_e", engine)
+        object.__setattr__(self, "pid", pid)
+
+    def __getattr__(self, name: str):
+        e: ArrayEngine = self._e
+        p: int = self.pid
+        if name == "degree":
+            return e._deg[p]
+        if name == "state":
+            return _STATE_NAMES[e._state[p]]
+        if name == "need":
+            return e._need[p]
+        if name == "rset":
+            return list(e._rset.get(p, ()))
+        if name == "is_root":
+            return bool(e._is_root[p])
+        if name == "params":
+            return e._params
+        kind = e._kind[p]
+        if name not in self._EXTRA[kind]:
+            raise AttributeError(name)
+        if name == "prio":
+            v = e._prio[p]
+            return None if v < 0 else v
+        if name == "_prio_uid":
+            return e._prio_uid[p]
+        if name == "myc":
+            return e._myc[p]
+        if name == "succ":
+            return e._succ[p]
+        # root-only scalars
+        return getattr(e, "_root_" + name.lstrip("_"))
+
+    def reserved_tokens(self) -> list[tuple[int, int]]:
+        """``(label, uid)`` pairs currently reserved (mirror of base)."""
+        return list(self._e._rset.get(self.pid, ()))
+
+    def holds_priority(self) -> bool:
+        """Whether this process currently holds the priority token."""
+        return self._e._prio[self.pid] >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<array proc {self.pid} {self.state}>"
+
+
+class _ProcSeq(Sequence):
+    """Lazy sequence of :class:`_ProcView` (built on first access)."""
+
+    __slots__ = ("_e", "_cache")
+
+    def __init__(self, engine: "ArrayEngine") -> None:
+        self._e = engine
+        self._cache: dict[int, _ProcView] = {}
+
+    def __len__(self) -> int:
+        return self._e.n
+
+    def __getitem__(self, pid):
+        if isinstance(pid, slice):
+            return [self[i] for i in range(*pid.indices(len(self)))]
+        if pid < 0:
+            pid += len(self)
+        if not 0 <= pid < len(self):
+            raise IndexError(pid)
+        view = self._cache.get(pid)
+        if view is None:
+            view = self._cache[pid] = _ProcView(self._e, pid)
+        return view
+
+    def __iter__(self) -> Iterator[_ProcView]:
+        for pid in range(len(self)):
+            yield self[pid]
+
+
+class _NetView:
+    """Topology/traffic facade matching the :class:`Network` accessors
+    the analysis layer uses (census + pending-message probes)."""
+
+    __slots__ = ("_e",)
+
+    def __init__(self, engine: "ArrayEngine") -> None:
+        self._e = engine
+
+    @property
+    def n(self) -> int:
+        return self._e.n
+
+    def degree(self, pid: int) -> int:
+        return self._e._deg[pid]
+
+    def free_token_counts(self) -> dict[str, int]:
+        """In-flight token census by type (mirror of Network)."""
+        e = self._e
+        counts = {"ResT": 0, "PushT": 0, "PrioT": 0}
+        cap = e._cap
+        buf0 = e._buf0
+        for slot, ln in enumerate(e._ch_len):
+            if not ln:
+                continue
+            base = slot * cap
+            head = e._ch_head[slot]
+            for off in range(ln):
+                mt = int(buf0[base + (head + off) % cap]) & 3
+                if mt == _MT_REST:
+                    counts["ResT"] += 1
+                elif mt == _MT_PUSHT:
+                    counts["PushT"] += 1
+                elif mt == _MT_PRIOT:
+                    counts["PrioT"] += 1
+        return counts
+
+    def pending_messages(self) -> int:
+        """Total queued messages across all channels."""
+        return sum(self._e._ch_len)
+
+
+class ArrayEngine:
+    """Flat-array kernel, step-for-step equivalent to :class:`Engine`.
+
+    Construct via :meth:`from_engine` (lower a built object engine) or
+    :meth:`from_scratch` (build the arrays directly — used for scales
+    where even instantiating the object network is too expensive).
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        params,
+        scheduler: Scheduler,
+        timeout_interval: int,
+        channel_capacity: int,
+        filter_threshold: int = 1024,
+    ) -> None:
+        if not getattr(scheduler, "deterministic_batch", False):
+            raise LoweringError(
+                "array backend requires a deterministic_batch scheduler "
+                f"(got {type(scheduler).__name__}); use backend='object'"
+            )
+        self.n = n
+        self.now = 0
+        self.total_cs_entries = 0
+        self.scheduler = scheduler
+        self.timeout_interval = timeout_interval
+        self.counters: CounterMap = CounterMap(n)
+        self.counters_version = 0
+        self.sent_by_type: dict[str, int] = {}
+        self.filter_threshold = filter_threshold
+        self._params = params
+        self._k = params.k
+        self._l = params.l
+        self._pt_cap = params.pt_cap
+        self._small_cap = params.small_cap
+        self._myc_mod = 2  # set per root kind during construction
+        # topology (CSR): neighbor edge e = _nbr_off[p] + label
+        self._deg = [0] * n
+        self._nbr_off = [0] * (n + 1)
+        self._in_slot: list[int] = []
+        self._out_slot: list[int] = []
+        # channels: ring buffers, slot order = Network.channels order
+        self._cap = channel_capacity
+        self._nchan = 0
+        self._buf0 = np.empty(0, dtype=np.int64)
+        self._buf1 = np.empty(0, dtype=np.int64)
+        self._ch_head: list[int] = []
+        self._ch_len: list[int] = []
+        self._ch_sent: list[int] = []
+        self._ch_delivered: list[int] = []
+        self._ch_peak: list[int] = []
+        self._ch_src: list[int] = []
+        self._ch_dst: list[int] = []
+        # per-pid protocol state
+        self._kind = [0] * n
+        self._is_root = [False] * n
+        self._state = [0] * n
+        self._need = [0] * n
+        self._rset: dict[int, list[tuple[int, int]]] = {}
+        self._prio = [-1] * n
+        self._prio_uid = [0] * n
+        self._myc = [0] * n
+        self._succ = [0] * n
+        self._scan = [0] * n
+        self._timer_start = [0] * n
+        # root scalars (at most one stabilizing root per configuration)
+        self._root_pid = -1
+        self._root_reset = False
+        self._root_stoken = 0
+        self._root_sprio = 0
+        self._root_spush = 0
+        self._root_circulations = 0
+        self._root_resets = 0
+        self._root_seam = "consistent"
+        # workloads
+        self._app_kind = [0] * n
+        self._app_need = [0] * n
+        self._app_at = [0] * n
+        self._app_dur = [1] * n
+        self._app_think = [0] * n
+        self._app_last_exit = [-1] * n
+        self._app_done = [False] * n
+        self._cs_since = [-1] * n
+        self._cs_len = [1] * n
+        self._scr_off = [0] * (n + 1)
+        self._scr_at: list[int] = []
+        self._scr_need: list[int] = []
+        self._scr_dur: list[int] = []
+        self._scr_i = [0] * n  # absolute index into the flat script arrays
+        # streaming request metrics (O(1) memory, replaces the app ledger)
+        self._epoch = 0
+        self._m_requests = 0
+        self._m_satisfied = 0
+        self._m_wait_sum = 0
+        self._m_wait_n = 0
+        self._m_wait_max = -1
+        self._m_wait_steps_max = -1
+        self._open_req = [False] * n
+        self._req_at = [0] * n
+        self._cs_at_req = [0] * n
+        # activity filter
+        self._pending = [0] * n
+        self._wake_at = [0] * n
+        self._ready_at = np.zeros(n, dtype=np.int64)
+        self._dsts: list[int] = []  # send destinations of the current step
+        self._track_dsts = False
+        # facades
+        self.processes = _ProcSeq(self)
+        self.network = _NetView(self)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_engine(
+        cls,
+        engine: Engine,
+        *,
+        channel_capacity: int | None = None,
+        filter_threshold: int = 1024,
+    ) -> "ArrayEngine":
+        """Lower a built (and possibly fault-injected) object engine."""
+        if engine._observers:
+            raise LoweringError(
+                "array backend cannot attach observers; use backend='object'"
+            )
+        procs = engine.processes
+        if not procs:
+            raise LoweringError("cannot lower an empty engine")
+        params = procs[0].params
+        max_qlen = max(
+            (len(c.queue) for c in engine._chan_list), default=0
+        )
+        if channel_capacity is None:
+            # One channel must be able to absorb the legitimate token
+            # population (l + push + prio), the root's full reset
+            # generation minted on top of stale in-flight garbage, and
+            # whatever the lowered queues already hold.
+            channel_capacity = max(
+                8, 2 * params.l + params.cmax + 8, max_qlen + params.l + 4
+            )
+        elif channel_capacity < max_qlen:
+            raise LoweringError(
+                f"channel_capacity={channel_capacity} below an existing "
+                f"queue of {max_qlen} messages"
+            )
+        self = cls(
+            n=engine.network.n,
+            params=params,
+            scheduler=engine.scheduler,
+            timeout_interval=engine.timeout_interval,
+            channel_capacity=channel_capacity,
+            filter_threshold=filter_threshold,
+        )
+        self.now = engine.now
+        self.total_cs_entries = engine.total_cs_entries
+        for kind, row in engine.counters.items():
+            self.counters[kind] = list(row)
+        self.counters_version = engine.counters_version
+        self.sent_by_type = dict(engine.sent_by_type)
+        self._scan = list(engine._scan)
+        self._timer_start = list(engine._timer_start)
+        # -- channels: slot order is the object codec's slot order
+        network = engine.network
+        chan_list = engine._chan_list
+        slot_of = {id(c): i for i, c in enumerate(chan_list)}
+        self._alloc_channels(len(chan_list))
+        for slot, chan in enumerate(chan_list):
+            self._ch_src[slot] = chan.src
+            self._ch_dst[slot] = chan.dst
+            self._ch_sent[slot] = chan.stats.sent
+            self._ch_delivered[slot] = chan.stats.delivered
+            for msg in chan.queue:
+                self._enqueue_raw(slot, *self._pack_message(msg))
+            # After the replay (which tracks occupancy): the object stat
+            # is authoritative — faults may splice messages into the
+            # deque without ever touching the channel's send-path stats.
+            self._ch_peak[slot] = chan.stats.peak_occupancy
+        # -- CSR adjacency
+        off = 0
+        for p in range(self.n):
+            deg = network.degree(p)
+            self._deg[p] = deg
+            self._nbr_off[p] = off
+            for lbl in range(deg):
+                self._out_slot.append(slot_of[id(network.out_channel(p, lbl))])
+                self._in_slot.append(slot_of[id(network.in_channel(p, lbl))])
+            off += deg
+        self._nbr_off[self.n] = off
+        # -- processes (ascending pid keeps the script CSR offsets sorted)
+        for p, proc in enumerate(procs):
+            self._lower_process(p, proc)
+            self._lower_app(p, getattr(proc, "app", None))
+            self._scr_off[p + 1] = len(self._scr_at)
+        self._recompute_all_wakes()
+        return self
+
+    def _pack_message(self, msg) -> tuple[int, int]:
+        t = type(msg)
+        if t is Ctrl:
+            if not (0 <= msg.ppr <= 3 and 0 <= msg.pt and 0 <= msg.c < 1 << 62):
+                raise LoweringError(
+                    f"Ctrl fields out of packable range: {msg!r}"
+                )
+            return _pack_ctrl(msg.c, msg.r, msg.pt, msg.ppr)
+        if t is ResT:
+            mt = _MT_REST
+        elif t is PushT:
+            mt = _MT_PUSHT
+        elif t is PrioT:
+            mt = _MT_PRIOT
+        else:
+            raise LoweringError(f"cannot pack message type {t.__name__}")
+        if not 0 <= msg.uid < 1 << 62:
+            raise LoweringError(f"token uid out of packable range: {msg!r}")
+        return mt, msg.uid
+
+    def _alloc_channels(self, nchan: int) -> None:
+        self._nchan = nchan
+        cap = self._cap
+        self._buf0 = np.zeros(nchan * cap, dtype=np.int64)
+        self._buf1 = np.zeros(nchan * cap, dtype=np.int64)
+        self._ch_head = [0] * nchan
+        self._ch_len = [0] * nchan
+        self._ch_sent = [0] * nchan
+        self._ch_delivered = [0] * nchan
+        self._ch_peak = [0] * nchan
+        self._ch_src = [0] * nchan
+        self._ch_dst = [0] * nchan
+
+    def _enqueue_raw(self, slot: int, w0: int, w1: int) -> None:
+        """Enqueue without traffic accounting (initial queue contents)."""
+        ln = self._ch_len[slot]
+        if ln >= self._cap:
+            raise ChannelOverflow(
+                f"channel slot {slot} exceeded capacity {self._cap}"
+            )
+        cap = self._cap
+        pos = slot * cap + (self._ch_head[slot] + ln) % cap
+        self._buf0[pos] = w0
+        self._buf1[pos] = w1
+        self._ch_len[slot] = ln + 1
+        if ln + 1 > self._ch_peak[slot]:
+            self._ch_peak[slot] = ln + 1
+        self._pending[self._ch_dst[slot]] += 1
+
+    def _lower_process(self, p: int, proc) -> None:
+        t = type(proc)
+        if t is NaiveProcess:
+            kind = _K_NAIVE
+        elif t is PusherProcess:
+            kind = _K_PUSHER
+        elif t is PriorityProcess:
+            kind = _K_PRIORITY
+        elif t is SelfStabProcess:
+            kind = _K_SELFSTAB
+        elif t is SelfStabRoot:
+            kind = _K_SELFSTAB_ROOT
+        elif t is RingProcess:
+            kind = _K_RING
+        elif t is RingRoot:
+            kind = _K_RING_ROOT
+        else:
+            raise LoweringError(
+                f"array backend cannot represent process type {t.__name__}; "
+                "use backend='object'"
+            )
+        if kind >= _K_PUSHER and getattr(proc, "pusher_guard", "prose") != "prose":
+            raise LoweringError(
+                "array backend implements only the prose pusher guard "
+                f"(got {proc.pusher_guard!r}); use backend='object'"
+            )
+        self._kind[p] = kind
+        self._is_root[p] = bool(getattr(proc, "is_root", False))
+        self._state[p] = _STATE_NAMES.index(proc.state)
+        self._need[p] = proc.need
+        if proc.rset:
+            self._rset[p] = [tuple(e) for e in proc.rset]
+        if kind >= _K_PRIORITY:
+            self._prio[p] = -1 if proc.prio is None else proc.prio
+            self._prio_uid[p] = proc._prio_uid
+        if kind in (_K_SELFSTAB, _K_SELFSTAB_ROOT):
+            self._myc[p] = proc.myc
+            self._succ[p] = proc.succ
+        elif kind in (_K_RING, _K_RING_ROOT):
+            self._myc[p] = proc.myc
+        if kind in (_K_SELFSTAB_ROOT, _K_RING_ROOT):
+            if self._root_pid >= 0:
+                raise LoweringError("more than one stabilizing root")
+            self._root_pid = p
+            self._root_reset = bool(proc.reset)
+            self._root_stoken = proc.stoken
+            self._root_sprio = proc.sprio
+            self._root_spush = proc.spush
+            self._root_circulations = proc.circulations
+            self._root_resets = proc.resets
+            if kind == _K_SELFSTAB_ROOT:
+                self._root_seam = proc.seam
+                self._myc_mod = self._params.myc_modulus
+            else:
+                from ..baselines.ring import ring_myc_modulus
+
+                self._myc_mod = ring_myc_modulus(self._params)
+
+    def _lower_app(self, p: int, app) -> None:
+        if app is None:
+            self._app_kind[p] = _A_NONE
+            return
+        t = type(app)
+        if t is IdleApplication:
+            self._app_kind[p] = _A_IDLE
+        elif t is SaturatedWorkload:
+            self._app_kind[p] = _A_SATURATED
+            self._app_need[p] = app.need
+            self._app_dur[p] = app.cs_duration
+            self._app_think[p] = app.think_time
+            le = app._last_exit
+            self._app_last_exit[p] = -1 if le is None else le
+        elif t is OneShotWorkload:
+            self._app_kind[p] = _A_ONESHOT
+            self._app_need[p] = app.need
+            self._app_at[p] = app.at
+            self._app_dur[p] = app.cs_duration
+            self._app_done[p] = app._done
+        elif t is ScriptedWorkload:
+            self._app_kind[p] = _A_SCRIPTED
+            base = len(self._scr_at)
+            for at, need, dur in app.script:
+                self._scr_at.append(at)
+                self._scr_need.append(need)
+                self._scr_dur.append(dur)
+            self._scr_off[p] = base
+            self._scr_i[p] = base + app._i
+            self._cs_len[p] = app._cs_len
+        elif t is HogWorkload:
+            self._app_kind[p] = _A_HOG
+            self._app_need[p] = app.need
+            self._app_at[p] = app.at
+            self._app_done[p] = app._done
+        else:
+            raise LoweringError(
+                f"array backend cannot represent workload {t.__name__} "
+                "(non-deterministic or unknown); use backend='object'"
+            )
+        cs = app._cs_since
+        self._cs_since[p] = -1 if cs is None else cs
+        # replay the request ledger into the streaming aggregates
+        for rec in app.requests:
+            self._m_requests += 1
+            if rec.entered_at is not None:
+                self._m_satisfied += 1
+                wt = rec.cs_total_at_enter - rec.cs_total_at_request
+                ws = rec.entered_at - rec.requested_at
+                self._m_wait_sum += wt
+                self._m_wait_n += 1
+                if wt > self._m_wait_max:
+                    self._m_wait_max = wt
+                if ws > self._m_wait_steps_max:
+                    self._m_wait_steps_max = ws
+        if app.requests and app.requests[-1].entered_at is None:
+            rec = app.requests[-1]
+            self._open_req[p] = True
+            self._req_at[p] = rec.requested_at
+            self._cs_at_req[p] = rec.cs_total_at_request
+
+    @classmethod
+    def from_scratch(
+        cls,
+        tree,
+        params,
+        *,
+        variant: str = "selfstab",
+        scheduler: Scheduler | None = None,
+        workload: str = "saturated",
+        cs_duration: int = 1,
+        think_time: int = 0,
+        init: str = "tokens",
+        seam: str = "consistent",
+        timeout_interval: int | None = None,
+        channel_capacity: int | None = None,
+        filter_threshold: int = 1024,
+    ) -> "ArrayEngine":
+        """Build the arrays directly from an :class:`OrientedTree`.
+
+        Skips the object network entirely, so n=10^6 scenarios fit in
+        memory.  Supports the bench scenario shape: ``selfstab`` on a
+        tree with the ``saturated`` (need = 1 + pid mod k) or ``idle``
+        workload.  Equality with the lowered construction is proven by
+        the differential suite at small n.
+        """
+        if variant != "selfstab":
+            raise LoweringError(
+                "from_scratch supports the selfstab variant only; lower "
+                "an object engine for other variants"
+            )
+        if workload not in ("saturated", "idle"):
+            raise LoweringError("from_scratch workload must be saturated|idle")
+        n = tree.n
+        if timeout_interval is None:
+            ring_len = max(2 * (n - 1), 1)
+            timeout_interval = 4 * ring_len * n + 64
+        if channel_capacity is None:
+            channel_capacity = max(8, 2 * params.l + params.cmax + 8)
+        self = cls(
+            n=n,
+            params=params,
+            scheduler=scheduler or RoundRobinScheduler(n),
+            timeout_interval=timeout_interval,
+            channel_capacity=channel_capacity,
+            filter_threshold=filter_threshold,
+        )
+        # channel slot order replicates Network.__init__ insertion order:
+        # for p ascending, for q in labels order: (p, q) then (q, p).
+        slot_of: dict[tuple[int, int], int] = {}
+        order: list[tuple[int, int]] = []
+        for p in range(n):
+            for q in tree.neighbors(p):
+                for edge in ((p, q), (q, p)):
+                    if edge not in slot_of:
+                        slot_of[edge] = len(order)
+                        order.append(edge)
+        self._alloc_channels(len(order))
+        for slot, (src, dst) in enumerate(order):
+            self._ch_src[slot] = src
+            self._ch_dst[slot] = dst
+        off = 0
+        for p in range(n):
+            nbrs = tree.neighbors(p)
+            self._deg[p] = len(nbrs)
+            self._nbr_off[p] = off
+            for q in nbrs:
+                self._out_slot.append(slot_of[(p, q)])
+                self._in_slot.append(slot_of[(q, p)])
+            off += len(nbrs)
+        self._nbr_off[n] = off
+        root = tree.root
+        for p in range(n):
+            self._kind[p] = _K_SELFSTAB_ROOT if p == root else _K_SELFSTAB
+            self._is_root[p] = p == root
+        self._root_pid = root
+        self._root_seam = seam
+        self._myc_mod = params.myc_modulus
+        if workload == "saturated":
+            for p in range(n):
+                self._app_kind[p] = _A_SATURATED
+                self._app_need[p] = 1 + p % params.k
+                self._app_dur[p] = cs_duration
+                self._app_think[p] = think_time
+        else:
+            for p in range(n):
+                self._app_kind[p] = _A_IDLE
+        if init == "tokens" and n > 1:
+            slot = self._out_slot[self._nbr_off[root]]
+            for _ in range(params.l):
+                self._enqueue_raw(slot, _MT_REST, fresh_uid())
+            self._enqueue_raw(slot, _MT_PUSHT, fresh_uid())
+            self._enqueue_raw(slot, _MT_PRIOT, fresh_uid())
+        elif init not in ("tokens", "empty"):
+            raise LoweringError(f"unknown init {init!r}")
+        self._recompute_all_wakes()
+        return self
+
+    # ------------------------------------------------------------------
+    # Channel primitives
+    # ------------------------------------------------------------------
+    def _send(self, p: int, label: int, w0: int, w1: int) -> None:
+        slot = self._out_slot[self._nbr_off[p] + label]
+        ln = self._ch_len[slot]
+        if ln >= self._cap:
+            raise ChannelOverflow(
+                f"channel {self._ch_src[slot]}->{self._ch_dst[slot]} "
+                f"exceeded capacity {self._cap}; raise channel_capacity "
+                "or use backend='object'"
+            )
+        cap = self._cap
+        pos = slot * cap + (self._ch_head[slot] + ln) % cap
+        self._buf0[pos] = w0
+        self._buf1[pos] = w1
+        self._ch_len[slot] = ln + 1
+        self._ch_sent[slot] += 1
+        if ln + 1 > self._ch_peak[slot]:
+            self._ch_peak[slot] = ln + 1
+        name = _MT_NAMES[w0 & 3]
+        counts = self.sent_by_type
+        counts[name] = counts.get(name, 0) + 1
+        dst = self._ch_dst[slot]
+        self._pending[dst] += 1
+        self._ready_at[dst] = 0
+        if self._track_dsts:
+            self._dsts.append(dst)
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _bump(self, p: int, kind: str) -> None:
+        self.counters_version += 1
+        row = self.counters.get(kind)
+        if row is None:
+            row = self.counters[kind] = [0] * self.n
+        row[p] += 1
+        if kind == "enter_cs":
+            self.total_cs_entries += 1
+
+    # ------------------------------------------------------------------
+    # Step executor (exact transcription of the object semantics)
+    # ------------------------------------------------------------------
+    def _exec_step(self, p: int, t: int) -> None:
+        deg = self._deg[p]
+        if deg and self._pending[p]:
+            scan = self._scan[p]
+            nbr = self._nbr_off[p]
+            for off in range(deg):
+                label = scan + off
+                if label >= deg:
+                    label -= deg
+                slot = self._in_slot[nbr + label]
+                if self._ch_len[slot]:
+                    cap = self._cap
+                    head = self._ch_head[slot]
+                    pos = slot * cap + head
+                    w0 = int(self._buf0[pos])
+                    w1 = int(self._buf1[pos])
+                    self._ch_head[slot] = (head + 1) % cap
+                    self._ch_len[slot] -= 1
+                    self._ch_delivered[slot] += 1
+                    self._pending[p] -= 1
+                    nxt = label + 1
+                    self._scan[p] = nxt if nxt < deg else 0
+                    self._dispatch(p, label, w0, w1, t)
+                    break
+        self._on_local(p, t)
+        self._recompute_wake(p)
+
+    def _dispatch(self, p: int, q: int, w0: int, w1: int, t: int) -> None:
+        mt = w0 & 3
+        kind = self._kind[p]
+        if mt == _MT_CTRL:
+            if kind == _K_SELFSTAB:
+                self._ctrl_selfstab(p, q, w0, w1)
+            elif kind == _K_SELFSTAB_ROOT:
+                self._ctrl_selfstab_root(p, q, w0, w1, t)
+            elif kind == _K_RING:
+                self._ctrl_ring(p, q, w0, w1)
+            elif kind == _K_RING_ROOT:
+                self._ctrl_ring_root(p, q, w0, w1, t)
+            return  # naive/pusher/priority drop Ctrl
+        # token messages
+        if kind >= _K_RING:
+            if self._root_pid == p and self._root_reset:
+                return  # ring root drops tokens while resetting
+            q = 0  # ring mixin canonicalizes token arrivals to PRED
+        elif kind == _K_SELFSTAB_ROOT and self._root_reset:
+            return  # tree root drops tokens while resetting
+        if mt == _MT_REST:
+            self._handle_rest(p, q, w1, kind)
+        elif mt == _MT_PUSHT:
+            if kind == _K_NAIVE:
+                return
+            self._handle_pusht(p, q, w1, kind)
+        else:  # PrioT
+            if kind <= _K_PUSHER:
+                return
+            self._handle_priot(p, q, w1, kind)
+
+    # -- seam bookkeeping (root octopus/ring seam counters) -------------
+    def _at_seam(self, p: int, kind: int, lbl: int) -> bool:
+        if kind == _K_SELFSTAB_ROOT:
+            return lbl == self._deg[p] - 1
+        return kind == _K_RING_ROOT  # ring tokens always arrive at PRED
+
+    def _handle_rest(self, p: int, q: int, uid: int, kind: int) -> None:
+        if self._state[p] == _REQ and len(self._rset.get(p, ())) < self._need[p]:
+            if self._at_seam(p, kind, q) and (
+                kind == _K_RING_ROOT or self._root_seam == "consistent"
+            ):
+                s = self._root_stoken + 1
+                self._root_stoken = s if s < self._pt_cap else self._pt_cap
+            self._rset.setdefault(p, []).append((q, uid))
+        else:
+            if self._at_seam(p, kind, q):  # forward hook fires in both modes
+                s = self._root_stoken + 1
+                self._root_stoken = s if s < self._pt_cap else self._pt_cap
+            nxt = q + 1
+            self._send(p, nxt if nxt < self._deg[p] else 0, _MT_REST, uid)
+
+    def _release_rset(self, p: int, kind: int) -> None:
+        rset = self._rset.get(p)
+        if not rset:
+            return
+        deg = self._deg[p]
+        literal_root = (
+            kind == _K_SELFSTAB_ROOT and self._root_seam == "literal"
+        )
+        for lbl, uid in rset:
+            if literal_root and lbl == deg - 1:
+                s = self._root_stoken + 1
+                self._root_stoken = s if s < self._pt_cap else self._pt_cap
+            nxt = lbl + 1
+            self._send(p, nxt if nxt < deg else 0, _MT_REST, uid)
+        rset.clear()
+
+    def _handle_pusht(self, p: int, q: int, uid: int, kind: int) -> None:
+        enabled = (
+            self._state[p] == _REQ
+            and len(self._rset.get(p, ())) >= self._need[p]
+        )
+        prio_clause = self._prio[p] < 0  # holds for pusher (no prio attr)
+        if prio_clause and not enabled and self._state[p] != _IN:
+            self._release_rset(p, kind)
+        if self._at_seam(p, kind, q):  # push-forward seam hook (both modes)
+            s = self._root_spush + 1
+            self._root_spush = s if s < self._small_cap else self._small_cap
+        nxt = q + 1
+        self._send(p, nxt if nxt < self._deg[p] else 0, _MT_PUSHT, uid)
+
+    def _handle_priot(self, p: int, q: int, uid: int, kind: int) -> None:
+        seam = self._at_seam(p, kind, q) and (
+            kind == _K_RING_ROOT or self._root_seam == "consistent"
+        )
+        if self._prio[p] < 0:
+            if seam:
+                s = self._root_sprio + 1
+                self._root_sprio = s if s < self._small_cap else self._small_cap
+            self._prio[p] = q
+            self._prio_uid[p] = uid
+        else:
+            if seam:
+                s = self._root_sprio + 1
+                self._root_sprio = s if s < self._small_cap else self._small_cap
+            nxt = q + 1
+            self._send(p, nxt if nxt < self._deg[p] else 0, _MT_PRIOT, uid)
+
+    def _rset_count(self, p: int, q: int) -> int:
+        rset = self._rset.get(p)
+        if not rset:
+            return 0
+        return sum(1 for lbl, _ in rset if lbl == q)
+
+    # -- controller handlers -------------------------------------------
+    def _ctrl_selfstab(self, p: int, q: int, w0: int, w1: int) -> None:
+        c = w1
+        r = bool(w0 & 4)
+        ppr = (w0 >> 3) & 3
+        pt = w0 >> 5
+        ok = False
+        if q == self._succ[p] and self._myc[p] == c and self._succ[p] != 0:
+            self._succ[p] = (self._succ[p] + 1) % self._deg[p]
+            ok = True
+            if r:
+                self._rset.pop(p, None)
+                self._prio[p] = -1
+        if q == 0:
+            ok = True
+            if self._myc[p] != c:
+                self._succ[p] = min(1, self._deg[p] - 1)
+                if r:
+                    self._rset.pop(p, None)
+                    self._prio[p] = -1
+            self._myc[p] = c
+        if ok:
+            pt2 = pt + self._rset_count(p, q)
+            if pt2 > self._pt_cap:
+                pt2 = self._pt_cap
+            ppr2 = ppr
+            if self._prio[p] == q:
+                ppr2 = ppr + 1
+                if ppr2 > self._small_cap:
+                    ppr2 = self._small_cap
+            self._send(p, self._succ[p], *_pack_ctrl(self._myc[p], r, pt2, ppr2))
+
+    def _ctrl_selfstab_root(
+        self, p: int, q: int, w0: int, w1: int, t: int
+    ) -> None:
+        c = w1
+        ppr = (w0 >> 3) & 3
+        pt = w0 >> 5
+        if q != self._succ[p] or self._myc[p] != c:
+            return
+        deg = self._deg[p]
+        self._succ[p] = (self._succ[p] + 1) % deg
+        if self._succ[p] == 0:
+            self._myc[p] = (self._myc[p] + 1) % self._myc_mod
+            self._root_circulations += 1
+            reset = (
+                pt + self._root_stoken > self._l
+                or ppr + self._root_sprio > 1
+                or self._root_spush > 1
+            )
+            self._root_reset = reset
+            if reset:
+                self._root_resets += 1
+                self._rset.pop(p, None)
+                self._prio[p] = -1
+                self._bump(p, "reset")
+            else:
+                if ppr + self._root_sprio < 1:
+                    self._send(p, 0, _MT_PRIOT, fresh_uid())
+                    self._bump(p, "create_prio")
+                while pt + self._root_stoken < self._l:
+                    self._send(p, 0, _MT_REST, fresh_uid())
+                    s = self._root_stoken + 1
+                    self._root_stoken = (
+                        s if s < self._pt_cap else self._pt_cap
+                    )
+                    self._bump(p, "create_rest")
+                if self._root_spush < 1:
+                    self._send(p, 0, _MT_PUSHT, fresh_uid())
+                    self._bump(p, "create_push")
+            self._root_stoken = 0
+            self._root_sprio = 0
+            self._root_spush = 0
+            pt = 0
+            ppr = 0
+        pt2 = pt + self._rset_count(p, q)
+        if pt2 > self._pt_cap:
+            pt2 = self._pt_cap
+        ppr2 = ppr
+        if self._prio[p] == q:
+            ppr2 = ppr + 1
+            if ppr2 > self._small_cap:
+                ppr2 = self._small_cap
+        self._send(
+            p,
+            self._succ[p],
+            *_pack_ctrl(self._myc[p], self._root_reset, pt2, ppr2),
+        )
+        self._timer_start[p] = t
+
+    def _ctrl_ring(self, p: int, q: int, w0: int, w1: int) -> None:
+        if q != 0:  # PRED only
+            return
+        c = w1
+        if c != self._myc[p]:
+            r = bool(w0 & 4)
+            ppr = (w0 >> 3) & 3
+            pt = w0 >> 5
+            self._myc[p] = c
+            if r:
+                self._rset.pop(p, None)
+                self._prio[p] = -1
+            pt2 = pt + self._rset_count(p, 0)
+            if pt2 > self._pt_cap:
+                pt2 = self._pt_cap
+            ppr2 = ppr
+            if self._prio[p] == 0:
+                ppr2 = ppr + 1
+                if ppr2 > self._small_cap:
+                    ppr2 = self._small_cap
+            self._send(p, 1, *_pack_ctrl(self._myc[p], r, pt2, ppr2))
+        else:
+            self._send(p, 1, w0, w1)  # stale duplicate: relay unchanged
+
+    def _ctrl_ring_root(self, p: int, q: int, w0: int, w1: int, t: int) -> None:
+        if q != 0 or w1 != self._myc[p]:
+            return
+        ppr = (w0 >> 3) & 3
+        pt = w0 >> 5
+        self._root_circulations += 1
+        self._myc[p] = (self._myc[p] + 1) % self._myc_mod
+        reset = (
+            pt + self._root_stoken > self._l
+            or ppr + self._root_sprio > 1
+            or self._root_spush > 1
+        )
+        self._root_reset = reset
+        if reset:
+            self._root_resets += 1
+            self._rset.pop(p, None)
+            self._prio[p] = -1
+            self._bump(p, "reset")
+        else:
+            if ppr + self._root_sprio < 1:
+                self._send(p, 1, _MT_PRIOT, fresh_uid())
+                self._bump(p, "create_prio")
+            missing = self._l - min(pt + self._root_stoken, self._l)
+            for _ in range(missing):
+                self._send(p, 1, _MT_REST, fresh_uid())
+                self._bump(p, "create_rest")
+            if self._root_spush < 1:
+                self._send(p, 1, _MT_PUSHT, fresh_uid())
+                self._bump(p, "create_push")
+        self._root_stoken = 0
+        self._root_sprio = 0
+        self._root_spush = 0
+        pt0 = self._rset_count(p, 0)
+        if pt0 > self._pt_cap:
+            pt0 = self._pt_cap
+        ppr0 = 1 if self._prio[p] == 0 else 0
+        self._send(p, 1, *_pack_ctrl(self._myc[p], reset, pt0, ppr0))
+        self._timer_start[p] = t
+
+    # -- local guard tail ----------------------------------------------
+    def _on_local(self, p: int, t: int) -> None:
+        state = self._state[p]
+        ak = self._app_kind[p]
+        if state == _OUT and ak:
+            need = self._maybe_request(p, t)
+            if need is not None:
+                need = min(need, self._k)
+                self._need[p] = need if need > 0 else 0
+                self._state[p] = state = _REQ
+                self._open_req[p] = True
+                self._req_at[p] = t
+                self._cs_at_req[p] = self.total_cs_entries
+                self._m_requests += 1
+                self._bump(p, "request")
+        if state == _REQ and (
+            len(self._rset.get(p, ())) >= self._need[p] or self._deg[p] == 0
+        ):
+            self._state[p] = state = _IN
+            self._bump(p, "enter_cs")
+            if ak:
+                self._cs_since[p] = t
+                if self._open_req[p]:
+                    self._open_req[p] = False
+                    if self._req_at[p] >= self._epoch:
+                        self._m_satisfied += 1
+                        wt = (self.total_cs_entries - 1) - self._cs_at_req[p]
+                        ws = t - self._req_at[p]
+                        self._m_wait_sum += wt
+                        self._m_wait_n += 1
+                        if wt > self._m_wait_max:
+                            self._m_wait_max = wt
+                        if ws > self._m_wait_steps_max:
+                            self._m_wait_steps_max = ws
+        if state == _IN and self._release_cs(p, t):
+            kind = self._kind[p]
+            self._release_rset(p, kind)
+            self._state[p] = _OUT
+            self._bump(p, "exit_cs")
+            if ak:
+                self._cs_since[p] = -1
+                if ak == _A_SATURATED:
+                    self._app_last_exit[p] = t
+        kind = self._kind[p]
+        if kind >= _K_PRIORITY:
+            prio = self._prio[p]
+            if prio >= 0 and (
+                self._state[p] != _REQ
+                or len(self._rset.get(p, ())) >= self._need[p]
+            ):
+                if (
+                    kind == _K_SELFSTAB_ROOT
+                    and self._root_seam == "literal"
+                    and prio == self._deg[p] - 1
+                ):
+                    s = self._root_sprio + 1
+                    self._root_sprio = (
+                        s if s < self._small_cap else self._small_cap
+                    )
+                nxt = prio + 1
+                deg = self._deg[p]
+                self._send(p, nxt if nxt < deg else 0, _MT_PRIOT, self._prio_uid[p])
+                self._prio[p] = -1
+        if kind == _K_SELFSTAB_ROOT:
+            if self._deg[p] and t - self._timer_start[p] >= self.timeout_interval:
+                self._send(
+                    p,
+                    self._succ[p],
+                    *_pack_ctrl(self._myc[p], self._root_reset, 0, 0),
+                )
+                self._timer_start[p] = t
+                self._bump(p, "timeout")
+        elif kind == _K_RING_ROOT:
+            if self._deg[p] and t - self._timer_start[p] >= self.timeout_interval:
+                self._send(
+                    p, 1, *_pack_ctrl(self._myc[p], self._root_reset, 0, 0)
+                )
+                self._timer_start[p] = t
+                self._bump(p, "timeout")
+
+    def _maybe_request(self, p: int, t: int) -> int | None:
+        ak = self._app_kind[p]
+        if ak == _A_SATURATED:
+            le = self._app_last_exit[p]
+            if le >= 0 and t - le < self._app_think[p]:
+                return None
+            return self._app_need[p]
+        if ak == _A_ONESHOT or ak == _A_HOG:
+            if self._app_done[p] or t < self._app_at[p]:
+                return None
+            self._app_done[p] = True
+            return self._app_need[p]
+        if ak == _A_SCRIPTED:
+            i = self._scr_i[p]
+            if i >= self._scr_off[p + 1] or t < self._scr_at[i]:
+                return None
+            self._scr_i[p] = i + 1
+            self._cs_len[p] = self._scr_dur[i]
+            return self._scr_need[i]
+        return None  # idle
+
+    def _release_cs(self, p: int, t: int) -> bool:
+        ak = self._app_kind[p]
+        if ak == _A_NONE or ak == _A_IDLE:
+            return True
+        cs = self._cs_since[p]
+        if cs < 0:
+            return True
+        if ak == _A_HOG:
+            return False
+        if ak == _A_SCRIPTED:
+            return t - cs >= self._cs_len[p]
+        return t - cs >= self._app_dur[p]  # saturated / oneshot
+
+    # ------------------------------------------------------------------
+    # Activity filter
+    # ------------------------------------------------------------------
+    def _recompute_wake(self, p: int) -> None:
+        state = self._state[p]
+        ak = self._app_kind[p]
+        w = _NEVER
+        if state == _OUT:
+            if ak == _A_SATURATED:
+                le = self._app_last_exit[p]
+                w = 0 if le < 0 else le + self._app_think[p]
+            elif ak == _A_ONESHOT or ak == _A_HOG:
+                if not self._app_done[p]:
+                    w = self._app_at[p]
+            elif ak == _A_SCRIPTED:
+                i = self._scr_i[p]
+                if i < self._scr_off[p + 1]:
+                    w = self._scr_at[i]
+        elif state == _REQ:
+            if len(self._rset.get(p, ())) >= self._need[p] or self._deg[p] == 0:
+                w = 0
+        else:  # _IN
+            cs = self._cs_since[p]
+            if ak == _A_NONE or ak == _A_IDLE or cs < 0:
+                w = 0
+            elif ak == _A_SCRIPTED:
+                w = cs + self._cs_len[p]
+            elif ak != _A_HOG:
+                w = cs + self._app_dur[p]
+        if w > 0 and self._prio[p] >= 0:
+            if state != _REQ or len(self._rset.get(p, ())) >= self._need[p]:
+                w = 0
+        if w > 0 and self._kind[p] in (_K_SELFSTAB_ROOT, _K_RING_ROOT):
+            if self._deg[p]:
+                tw = self._timer_start[p] + self.timeout_interval
+                if tw < w:
+                    w = tw
+        self._wake_at[p] = w
+        self._ready_at[p] = 0 if self._pending[p] else w
+
+    def _recompute_all_wakes(self) -> None:
+        for p in range(self.n):
+            self._recompute_wake(p)
+
+    # ------------------------------------------------------------------
+    # Batched run loop
+    # ------------------------------------------------------------------
+    def _draw_batch(self, now: int, count: int) -> np.ndarray:
+        sch = self.scheduler
+        t = type(sch)
+        if t is RoundRobinScheduler:
+            return (now + np.arange(count, dtype=np.int64)) % self.n
+        if t is RandomScheduler:
+            out = np.empty(count, dtype=np.int64)
+            filled = 0
+            while filled < count:
+                if sch._buf is None or sch._i >= len(sch._buf):
+                    sch._buf = sch.rng.integers(0, sch.n, size=sch._BATCH)
+                    sch._i = 0
+                take = min(count - filled, len(sch._buf) - sch._i)
+                out[filled : filled + take] = sch._buf[sch._i : sch._i + take]
+                sch._i += take
+                filled += take
+            return out
+        return np.asarray(sch.next_pids(now, count), dtype=np.int64)
+
+    def run(self, steps: int) -> "ArrayEngine":
+        """Advance ``steps`` scheduler steps (batched)."""
+        remaining = steps
+        now = self.now
+        dense = self.n < self.filter_threshold
+        while remaining > 0:
+            b = min(_RUN_BATCH, remaining)
+            pids = self._draw_batch(now, b)
+            if dense:
+                t = now
+                for p in pids.tolist():
+                    self._exec_step(p, t)
+                    t += 1
+            else:
+                self._run_filtered(pids, now, b)
+            now += b
+            self.now = now
+            remaining -= b
+        return self
+
+    def _next_pos(self, pids: np.ndarray, start: int, p: int) -> int:
+        """First position >= ``start`` scheduling ``p``, or -1."""
+        if start >= len(pids):
+            return -1
+        if type(self.scheduler) is RoundRobinScheduler:
+            # pids[j] = (now0 + j) % n — closed form, no scan
+            j = start + (p - int(pids[start])) % self.n
+            return j if j < len(pids) else -1
+        hits = np.flatnonzero(pids[start:] == p)
+        return start + int(hits[0]) if len(hits) else -1
+
+    def _run_filtered(self, pids: np.ndarray, now0: int, b: int) -> None:
+        active = np.flatnonzero(
+            self._ready_at[pids] <= now0 + np.arange(b, dtype=np.int64)
+        )
+        scheduled = np.zeros(b, dtype=bool)
+        scheduled[active] = True
+        heap: list[int] = []
+        ai = 0
+        na = len(active)
+        dsts = self._dsts
+        self._track_dsts = True
+        try:
+            while True:
+                anext = int(active[ai]) if ai < na else b
+                hnext = heap[0] if heap else b
+                if anext >= b and hnext >= b:
+                    break
+                if anext <= hnext:
+                    i = anext
+                    ai += 1
+                    if hnext == anext:
+                        heapq.heappop(heap)
+                else:
+                    i = heapq.heappop(heap)
+                p = int(pids[i])
+                dsts.clear()
+                self._exec_step(p, now0 + i)
+                # reschedule this pid within the rest of the batch
+                if self._pending[p]:
+                    start = i + 1
+                else:
+                    w = self._wake_at[p]
+                    start = max(i + 1, w - now0) if w < _NEVER else b
+                if start < b:
+                    j = self._next_pos(pids, start, p)
+                    if j >= 0 and not scheduled[j]:
+                        scheduled[j] = True
+                        heapq.heappush(heap, j)
+                # activate message destinations from this step's sends
+                if dsts:
+                    for q in dsts:
+                        j = self._next_pos(pids, i + 1, q)
+                        if j >= 0 and not scheduled[j]:
+                            scheduled[j] = True
+                            heapq.heappush(heap, j)
+        finally:
+            self._track_dsts = False
+            dsts.clear()
+
+    def run_until(self, pred, max_steps: int, check_every: int = 1):
+        """Run until ``pred(self)`` holds (mirror of Engine.run_until)."""
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        done = 0
+        if pred(self):
+            return True
+        while done < max_steps:
+            chunk = min(check_every, max_steps - done)
+            self.run(chunk)
+            done += chunk
+            if pred(self):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Accessors (mirror of Engine)
+    # ------------------------------------------------------------------
+    def process(self, pid: int) -> _ProcView:
+        """Live view of process ``pid``."""
+        return self.processes[pid]
+
+    def counter(self, kind: str, pid: int | None = None) -> int:
+        """Counter total (or one pid's cell) without creating rows."""
+        row = self.counters.get(kind)
+        if row is None:
+            return 0
+        return sum(row) if pid is None else row[pid]
+
+    def counter_row(self, kind: str) -> tuple[int, ...]:
+        """Per-pid counter row (zeros if the kind never fired)."""
+        row = self.counters.get(kind)
+        if row is None:
+            return (0,) * self.n
+        return tuple(row)
+
+    def message_counts(self) -> dict[str, int]:
+        """Messages sent by type name (copy)."""
+        return dict(self.sent_by_type)
+
+    def cs_entries(self, pid: int | None = None) -> int:
+        """Total CS entries, or one process's count."""
+        if pid is None:
+            return self.total_cs_entries
+        return self.counter("enter_cs", pid)
+
+    # ------------------------------------------------------------------
+    # Streaming metrics
+    # ------------------------------------------------------------------
+    def mark_metrics_epoch(self) -> None:
+        """Start a fresh measurement window at the current step.
+
+        Requests issued before the mark are excluded from
+        :meth:`run_metrics` — the O(1)-memory equivalent of
+        ``collect_metrics(..., since_step=now)`` on the object ledger.
+        """
+        self._epoch = self.now
+        self._m_requests = 0
+        self._m_satisfied = 0
+        self._m_wait_sum = 0
+        self._m_wait_n = 0
+        self._m_wait_max = -1
+        self._m_wait_steps_max = -1
+
+    def run_metrics(self):
+        """Aggregate request metrics since the last epoch mark."""
+        from ..analysis.metrics import RunMetrics
+
+        wait_n = self._m_wait_n
+        return RunMetrics(
+            steps=self.now,
+            cs_entries=self.cs_entries(),
+            requests=self._m_requests,
+            satisfied=self._m_satisfied,
+            max_waiting_time=self._m_wait_max if wait_n else None,
+            mean_waiting_time=(
+                self._m_wait_sum / wait_n if wait_n else None
+            ),
+            max_waiting_steps=(
+                self._m_wait_steps_max if wait_n else None
+            ),
+            messages_by_type=self.message_counts(),
+        )
+
+    # ------------------------------------------------------------------
+    # Configuration codec
+    # ------------------------------------------------------------------
+    def _proc_snapshot(self, p: int) -> tuple:
+        base = (
+            _STATE_NAMES[self._state[p]],
+            self._need[p],
+            tuple(self._rset.get(p, ())),
+        )
+        kind = self._kind[p]
+        if kind <= _K_PUSHER:
+            return base
+        prio = self._prio[p]
+        pr = (base, None if prio < 0 else prio, self._prio_uid[p])
+        if kind == _K_PRIORITY:
+            return pr
+        if kind == _K_SELFSTAB:
+            return (pr, self._myc[p], self._succ[p])
+        if kind == _K_SELFSTAB_ROOT:
+            return (
+                pr,
+                self._myc[p],
+                self._succ[p],
+                self._root_reset,
+                self._root_stoken,
+                self._root_sprio,
+                self._root_spush,
+                self._root_circulations,
+                self._root_resets,
+            )
+        if kind == _K_RING:
+            return (pr, self._myc[p])
+        return (
+            pr,
+            self._myc[p],
+            self._root_reset,
+            self._root_stoken,
+            self._root_sprio,
+            self._root_spush,
+            self._root_circulations,
+            self._root_resets,
+        )
+
+    def _chan_snapshot(self, slot: int) -> tuple:
+        cap = self._cap
+        base = slot * cap
+        head = self._ch_head[slot]
+        msgs = tuple(
+            _decode(
+                int(self._buf0[base + (head + off) % cap]),
+                int(self._buf1[base + (head + off) % cap]),
+            )
+            for off in range(self._ch_len[slot])
+        )
+        return (
+            msgs,
+            self._ch_sent[slot],
+            self._ch_delivered[slot],
+            self._ch_peak[slot],
+        )
+
+    def config_snapshot(self) -> tuple:
+        """The object engine's ``save_state`` tuple, minus the apps
+        ledger — decoded messages and per-variant nesting included, so
+        the differential suite compares configurations structurally."""
+        return (
+            self.now,
+            self.total_cs_entries,
+            tuple(self._scan),
+            tuple(self._timer_start),
+            tuple((k, tuple(v)) for k, v in self.counters.items()),
+            tuple(self.sent_by_type.items()),
+            tuple(self._proc_snapshot(p) for p in range(self.n)),
+            tuple(self._chan_snapshot(s) for s in range(self._nchan)),
+        )
+
+
+def object_config_projection(state: Any) -> tuple:
+    """Project an object :class:`~repro.sim.engine.EngineState` onto the
+    :meth:`ArrayEngine.config_snapshot` shape (drops the apps ledger)."""
+    return (
+        state.now,
+        state.total_cs_entries,
+        state.scan,
+        state.timer_start,
+        state.counters,
+        state.sent_by_type,
+        state.procs,
+        state.chans,
+    )

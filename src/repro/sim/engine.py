@@ -48,6 +48,7 @@ from .scheduler import RoundRobinScheduler, Scheduler
 from .trace import NullTrace, Trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .channel import Channel
     from .observers import Observer
 
 __all__ = ["Context", "CounterMap", "DeltaState", "Engine", "EngineState"]
@@ -231,14 +232,14 @@ class Engine:
         #: channel incident to ``pid`` — the only channels a step of
         #: ``pid`` can mutate (sends go out of ``pid``, receives come
         #: in); this is the delta codec's dirty set.
-        self._pid_chans = tuple(
-            tuple(
-                (slot, c)
-                for slot, c in enumerate(self._chan_list)
-                if c.src == p or c.dst == p
-            )
-            for p in range(network.n)
-        )
+        incident: list[list[tuple[int, Channel]]] = [
+            [] for _ in range(network.n)
+        ]
+        for slot, c in enumerate(self._chan_list):
+            incident[c.src].append((slot, c))
+            if c.dst != c.src:
+                incident[c.dst].append((slot, c))
+        self._pid_chans = tuple(tuple(entries) for entries in incident)
         # -- kernel tables: flat per-pid tuples precomputed at bind time
         # so the hot loop indexes lists instead of calling accessors.
         n = network.n

@@ -56,6 +56,7 @@ class ScenarioBuilder:
         self._scheduler = SchedulerSpec("round_robin")
         self._fairness: FairnessSpec | None = None
         self._seed = 0
+        self._backend = "object"
 
     def variant(self, name: str, **options: Any) -> "ScenarioBuilder":
         """Choose the protocol variant; ``options`` reach its factory."""
@@ -128,6 +129,16 @@ class ScenarioBuilder:
         self._seed = int(seed)
         return self
 
+    def backend(self, name: str) -> "ScenarioBuilder":
+        """Choose the kernel backend (``object`` or ``array``).
+
+        ``array`` lowers the built engine into the struct-of-arrays
+        kernel (:mod:`repro.sim.array_engine`) — same step semantics,
+        flat-array state, batched scheduling.
+        """
+        self._backend = name
+        return self
+
     def spec(self) -> ScenarioSpec:
         """Freeze the accumulated components into a :class:`ScenarioSpec`."""
         if self._topology is None:
@@ -147,6 +158,7 @@ class ScenarioBuilder:
             scheduler=self._scheduler,
             seed=self._seed,
             variant_options=self._variant_options,
+            backend=self._backend,
         )
 
     def build(self, *, trace: Any = None) -> BuiltScenario:

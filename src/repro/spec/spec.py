@@ -406,8 +406,16 @@ class ScenarioSpec:
     )
     seed: int = 0
     variant_options: Mapping[str, Any] = field(default_factory=dict)
+    #: kernel backend: ``"object"`` (the reference engine) or ``"array"``
+    #: (the struct-of-arrays engine lowered from it; see
+    #: :mod:`repro.sim.array_engine` for what it can't represent)
+    backend: str = "object"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("object", "array"):
+            raise SpecError(
+                f"unknown backend {self.backend!r} (expected object|array)"
+            )
         object.__setattr__(self, "variant_options", dict(self.variant_options))
         object.__setattr__(self, "faults", tuple(self.faults))
         object.__setattr__(self, "observers", tuple(self.observers))
@@ -446,6 +454,8 @@ class ScenarioSpec:
             d["observers"] = [o.to_dict() for o in self.observers]
         if self.fairness is not None:
             d["fairness"] = self.fairness.to_dict()
+        if self.backend != "object":
+            d["backend"] = self.backend
         return d
 
     @classmethod
@@ -469,6 +479,7 @@ class ScenarioSpec:
             "fairness",
             "scheduler",
             "seed",
+            "backend",
         }
         extra = set(d) - known
         if extra:
@@ -514,6 +525,7 @@ class ScenarioSpec:
             ),
             seed=int(d.get("seed", 0)),
             variant_options=dict(d.get("variant_options") or {}),
+            backend=d.get("backend", "object"),
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -612,6 +624,18 @@ class ScenarioSpec:
         for i, fault in enumerate(self.faults):
             tag = "faults" if i == 0 else f"faults.{i}"
             fault.apply(engine, params, derive_seed(self.seed, tag))
+        if self.backend == "array":
+            if self.observers or trace is not None:
+                raise SpecError(
+                    "backend='array' cannot attach observers or traces; "
+                    "drop them or use backend='object'"
+                )
+            from ..sim.array_engine import ArrayEngine, LoweringError
+
+            try:
+                engine = ArrayEngine.from_engine(engine)
+            except LoweringError as exc:
+                raise SpecError(str(exc)) from exc
         built_observers = [o.build(params) for o in self.observers]
         for obs in built_observers:
             engine.add_observer(obs)

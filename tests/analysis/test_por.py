@@ -77,6 +77,7 @@ def assert_same_clean_space(full, por, context=""):
     )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
 @pytest.mark.parametrize("variant", sorted(VARIANTS))
 class TestPorMatchesFull:
