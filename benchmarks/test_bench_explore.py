@@ -365,6 +365,80 @@ def test_bench_explore_por_reduction(report):
     )
 
 
+# ---------------------------------------------------------------------------
+# This PR's gate: owner-computes explorer vs. the persistent-pool explorer
+# ---------------------------------------------------------------------------
+
+#: the owner-computes explorer adds per-level digest routing on top of
+#: the frontier-sharding pool; on in-RAM workloads (no spill) it must
+#: stay within 20% of the pool baseline (throughput ratio >= 0.8)
+OWNER_GATE_FLOOR = 0.8
+
+
+@pytest.mark.slow
+def test_bench_explore_owner_gate(report):
+    """Owner-computes (2 shards, in-RAM) vs. the PR-5 persistent-pool
+    explorer (2 workers) on the selfstab gate instance: identical
+    counts, throughput within 20%; the ratio is appended to the
+    BENCH_explore.json artifact."""
+    from repro.analysis import fork_available
+
+    if not fork_available():
+        pytest.skip("owner gate needs the fork start method")
+    eng, params = selfstab_gate_instance()
+
+    def inv(e):
+        return safety_ok(e, params) or "unsafe"
+
+    # Depth 28 (~2k configs, ~0.5s/side) so real expansion dominates the
+    # per-call fork/pool setup cost; at d16 (~360 configs, ~0.09s/side)
+    # the ratio is mostly measuring fixed overhead and flakes on 1-CPU
+    # runners.
+    kw = dict(max_depth=28, max_configurations=8_000)
+    # Single-core runners still show a ±20% noise tail (both sides fork
+    # workers per call and timeshare one CPU), so a measurement that
+    # lands under the floor is re-taken once before it can fail the
+    # gate: failing needs two independent bad samples, not one.
+    for _ in range(2):
+        pool, t_pool, owner, t_owner = best_of(
+            lambda: explore(eng, inv, workers=2, min_frontier=1, **kw),
+            lambda: explore(eng, inv, workers=2, distributed=True, **kw),
+            rounds=5,
+        )
+        same_space(pool, owner)
+        ratio = t_pool / max(t_owner, 1e-9)
+        if ratio >= OWNER_GATE_FLOOR:
+            break
+    report(
+        "EXPLORE — owner-computes (2 shards) vs. persistent pool "
+        "(2 workers), same run",
+        ["instance", "configs", "pool s", "owner s", "owner/pool"],
+        [
+            ("selfstab n=6 oneshot bfs d28", pool.configurations,
+             t_pool, t_owner, f"{ratio:.2f}x"),
+        ],
+    )
+    out = os.environ.get("BENCH_EXPLORE_OUT", "BENCH_explore.json")
+    if os.path.exists(out):
+        with open(out) as fh:
+            doc = json.load(fh)
+        doc["owner_gate"] = {
+            "instance": "selfstab-path-n6-oneshot-bfs-d28",
+            "baseline": "persistent-pool-2-workers",
+            "throughput_ratio_floor": OWNER_GATE_FLOOR,
+            "pool_states_per_sec": pool.configurations / max(t_pool, 1e-9),
+            "owner_states_per_sec": owner.configurations / max(t_owner, 1e-9),
+            "owner_vs_pool_throughput_ratio": ratio,
+        }
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+    assert ratio >= OWNER_GATE_FLOOR, (
+        f"owner-computes explorer ran at {ratio:.2f}x the pool baseline "
+        f"(floor {OWNER_GATE_FLOOR}x) on an in-RAM workload"
+    )
+
+
 def test_committed_explore_baseline(bench_baseline):
     """The committed BENCH_explore.json artifact parses and carries the
     explore-matrix schema (skips, with instructions, when absent)."""

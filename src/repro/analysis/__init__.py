@@ -24,11 +24,21 @@ Submodules
 ``parallel``
     Multi-core campaign runner sharding sweeps, fuzz campaigns and
     explorations across worker processes with serial-identical merges.
+``distributed``
+    Owner-computes exploration: digest-partitioned seen-set shards with
+    disk spill and campaign checkpoint/resume.
 ``trajectories``
     Token tracking and circulation lap times.
 """
 
 from .census import CensusObserver, TokenCensus, population_correct, take_census
+from .distributed import (
+    CheckpointError,
+    ShardStore,
+    explore_owner,
+    make_partitioner,
+    read_manifest,
+)
 from .explore import ExplorationResult, canonical_digest, explore, packed_digest
 from .fuzz import FuzzResult, campaign_result, fuzz, replay_schedule, run_walk_range
 from .harness import (
@@ -101,6 +111,11 @@ __all__ = [
     "run_sweep_parallel",
     "fuzz_parallel",
     "explore_parallel",
+    "CheckpointError",
+    "ShardStore",
+    "explore_owner",
+    "make_partitioner",
+    "read_manifest",
     "PowerLawFit",
     "bootstrap_ci",
     "cell_cis",

@@ -378,6 +378,10 @@ class BenchComparison:
     regressions: list[str] = field(default_factory=list)
     #: non-fatal caveats (missing baseline, cross-host, new scenarios)
     notes: list[str] = field(default_factory=list)
+    #: True when the committed artifact was measured on a different host
+    #: (or predates the host stamp) — thresholds are then unreliable and
+    #: the CLI prints an explicit warning
+    cross_host: bool = False
 
     @property
     def ok(self) -> bool:
@@ -412,12 +416,14 @@ def compare_bench(
         return cmp
     committed_host = doc.get("host")
     if committed_host is None:
+        cmp.cross_host = True
         cmp.notes.append(
             f"{committed_path} predates the host stamp (schema_version "
             f"{doc.get('schema_version', 1)}); treating the diff as "
             "cross-host — ratios may reflect hardware, not code"
         )
     elif committed_host != host_fingerprint():
+        cmp.cross_host = True
         cmp.notes.append(
             f"{committed_path} was measured on a different host "
             f"({committed_host}); ratios may reflect hardware, not code"

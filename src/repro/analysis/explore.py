@@ -313,8 +313,16 @@ class ExplorationResult:
     #: distinct configurations discovered per wall-clock second (0.0 for
     #: results that never entered the search loop)
     states_per_sec: float = 0.0
-    #: estimated peak memory retained by the digest seen-set, in bytes
+    #: estimated peak memory retained by the digest seen-set, in bytes.
+    #: For POR/liveness searches the seen-set is a dict digest → sleep
+    #: mask, and the estimate includes the per-entry mask ints; for
+    #: distributed runs it is the summed *resident* shard estimate
+    #: (RAM sets + prefix filters), with spilled digests reported
+    #: separately in ``peak_disk_bytes``.
     peak_seen_bytes: int = 0
+    #: peak bytes of seen-set digests spilled to disk (owner-computes
+    #: distributed exploration with a memory budget; 0 otherwise)
+    peak_disk_bytes: int = 0
     #: first fair starving cycle found by ``check="liveness"`` — a
     #: :class:`repro.analysis.liveness.LivelockWitness` — or None
     livelock: object | None = None
@@ -374,8 +382,8 @@ def explore(
     engine: Engine,
     invariant: Callable[[Engine], bool | str | None],
     *,
-    max_depth: int = 12,
-    max_configurations: int = 200_000,
+    max_depth: int | None = None,
+    max_configurations: int | None = None,
     strategy: str = "bfs",
     method: str = "delta",
     digest: str = "packed",
@@ -385,6 +393,15 @@ def explore(
     por: bool = False,
     check: str = "safety",
     fairness: str = "weak",
+    distributed: bool = False,
+    partitioner: str | None = None,
+    partitioner_args: dict | None = None,
+    mem_budget: int | None = None,
+    spill_dir: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume_dir: str | None = None,
+    spec=None,
 ) -> ExplorationResult:
     """Explore every schedule from the current state, up to ``max_depth``.
 
@@ -445,11 +462,24 @@ def explore(
     ``"delta"``.  The result's ``livelock`` field carries the witness;
     ``converged`` summarizes the verdict.
 
+    ``distributed=True`` (or any of ``mem_budget`` / ``partitioner`` /
+    ``checkpoint_dir`` / ``resume_dir``) routes to the **owner-computes
+    distributed explorer**
+    (:func:`repro.analysis.distributed.explore_owner`): the seen-set is
+    partitioned across ``workers`` shards, each shard may spill to disk
+    under a per-shard ``mem_budget``, and campaigns checkpoint into /
+    resume from a manifest directory.  Counts are serial-identical for
+    campaigns that run to closure or the depth bound; early stops
+    (violation, ``max_configurations``) are level-granular.  Requires
+    the defaults ``strategy="bfs"``, ``method="delta"``,
+    ``digest="packed"``, no POR, ``check="safety"``.
+
     Returns an :class:`ExplorationResult`; ``exhausted`` is ``True`` when
     the reachable set closed before ``max_depth`` — in that case the
     invariant holds in *every* reachable configuration, full stop.
     ``states_per_sec`` and ``peak_seen_bytes`` report the search's
-    throughput and the (estimated) memory its seen-set retained.
+    throughput and the (estimated) memory its seen-set retained
+    (``peak_disk_bytes`` adds the spilled portion for distributed runs).
     """
     if strategy not in ("bfs", "dfs"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -459,6 +489,37 @@ def explore(
         raise ValueError(f"unknown digest {digest!r}")
     if check not in ("safety", "liveness"):
         raise ValueError(f"unknown check {check!r}")
+    if (
+        distributed
+        or partitioner is not None
+        or mem_budget is not None
+        or checkpoint_dir is not None
+        or resume_dir is not None
+    ):
+        if strategy != "bfs" or method != "delta" or digest != "packed":
+            raise ValueError(
+                "distributed exploration requires strategy='bfs', "
+                "method='delta' and digest='packed'"
+            )
+        if por or check != "safety":
+            raise ValueError(
+                "distributed exploration supports check='safety' without POR"
+            )
+        from .distributed import explore_owner
+
+        return explore_owner(
+            engine, invariant,
+            max_depth=max_depth, max_configurations=max_configurations,
+            workers=workers, partitioner=partitioner,
+            partitioner_args=partitioner_args, mem_budget=mem_budget,
+            spill_dir=spill_dir, checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every, resume_dir=resume_dir,
+            spec=spec, progress=progress,
+        )
+    if max_depth is None:
+        max_depth = 12
+    if max_configurations is None:
+        max_configurations = 200_000
     if check == "liveness":
         if method != "delta":
             raise ValueError(

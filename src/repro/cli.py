@@ -78,6 +78,7 @@ from .spec import (
     FAIRNESS,
     FAULTS,
     OBSERVERS,
+    PARTITIONERS,
     SCENARIOS,
     TOPOLOGIES,
     VARIANTS,
@@ -482,8 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true",
         help="diff the fresh numbers against the committed "
              "BENCH_kernel.json / BENCH_explore.json instead of "
-             "overwriting them; exit non-zero on a >20%% throughput "
-             "regression (warns when the baseline came from another host)",
+             "overwriting them; exit non-zero on a throughput regression "
+             "beyond --tolerance (warns when the baseline came from "
+             "another host)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None, metavar="PCT",
+        help="regression tolerance for --compare, in percent (default: "
+             "20 — fresh below 80%% of committed fails); only valid "
+             "with --compare",
     )
 
     p = sub.add_parser(
@@ -497,10 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol variant under test (default: priority; selfstab is "
              "excluded — its timeout makes configurations time-dependent)",
     )
-    p.add_argument("--max-depth", type=int, default=8,
-                   help="schedule depth bound (default: 8)")
-    p.add_argument("--max-configs", type=int, default=200_000,
-                   help="configuration cap (default: 200000)")
+    p.add_argument("--max-depth", type=int, default=None,
+                   help="schedule depth bound (default: 8; with --resume, "
+                        "the checkpoint's value — raise it to deepen a "
+                        "finished bounded campaign)")
+    p.add_argument("--max-configs", type=int, default=None,
+                   help="configuration cap (default: 200000; with "
+                        "--resume, the checkpoint's value)")
     p.add_argument(
         "--check", choices=["safety", "liveness"], default="safety",
         help="safety (default): invariants at every configuration; "
@@ -529,6 +540,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "persistent worker pool (default: "
                         f"{DEFAULT_MIN_FRONTIER}; smaller levels expand "
                         "in-process)")
+    p.add_argument(
+        "--distributed", action="store_true",
+        help="owner-computes exploration: the seen-set is partitioned "
+             "across --workers shards, each the dedup authority for its "
+             "digests (serial-identical counts; enables --mem-budget "
+             "disk spill and --checkpoint/--resume)",
+    )
+    p.add_argument(
+        "--mem-budget", metavar="BYTES", default=None,
+        help="per-shard resident budget for the seen-set (suffixes k/M/G); "
+             "over-budget shards spill sorted digest runs to disk "
+             "(implies --distributed)",
+    )
+    p.add_argument(
+        "--partitioner", metavar="NAME", default=None,
+        help="digest-space partitioner mapping digests to owning shards "
+             "(default: topbits; see `repro list`; implies --distributed)",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="write a resumable campaign checkpoint (manifest + shard "
+             "files) into DIR every --checkpoint-every levels (implies "
+             "--distributed)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="levels between checkpoints (default: 1; with --resume, "
+             "the checkpoint's value)",
+    )
+    p.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume a checkpointed campaign from DIR: the scenario and "
+             "campaign parameters come from its manifest (scenario flags "
+             "are ignored), and checkpointing continues into DIR",
+    )
     _add_campaign(p)
     return parser
 
@@ -626,6 +672,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         ("observers", OBSERVERS),
         ("scenarios", SCENARIOS),
         ("fairness constraints", FAIRNESS),
+        ("partitioners", PARTITIONERS),
     )
     for title, registry in sections:
         print(f"{title}:")
@@ -665,11 +712,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("--compare diffs against the committed artifacts and never "
               "writes; drop --out", file=sys.stderr)
         return 2
+    if args.tolerance is not None and not args.compare:
+        print("--tolerance only applies to --compare", file=sys.stderr)
+        return 2
+    tolerance_pct = 20.0 if args.tolerance is None else args.tolerance
+    if not 0.0 <= tolerance_pct < 100.0:
+        print("--tolerance must be a percentage in [0, 100)", file=sys.stderr)
+        return 2
 
     def _diff(rows, baseline) -> bool:
-        cmp = compare_bench(rows, baseline)
+        cmp = compare_bench(rows, baseline, tolerance=tolerance_pct / 100.0)
         for note in cmp.notes:
             print(f"[compare] note: {note}", file=sys.stderr)
+        if cmp.cross_host:
+            print("[compare] WARNING: cross-host comparison, thresholds "
+                  "unreliable", file=sys.stderr)
         print(render_compare_table(cmp))
         for line in cmp.regressions:
             print(f"[compare] REGRESSION {line}", file=sys.stderr)
@@ -843,18 +900,90 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _parse_size(text: str | None) -> int | None:
+    """Parse a byte count with an optional k/M/G suffix (powers of 1024)."""
+    if text is None:
+        return None
+    scale = 1
+    suffix = text[-1:].lower()
+    if suffix in ("k", "m", "g"):
+        scale = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[suffix]
+        text = text[:-1]
+    value = int(text) * scale
+    if value < 1:
+        raise ValueError(f"byte count must be >= 1, got {value}")
+    return value
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from .analysis import explore, format_moves
 
-    # cs_duration=0 keeps applications time-independent, the digest
-    # soundness requirement spelled out in analysis/explore.py.
-    spec = _resolve_spec(args, lambda: _campaign_spec(args, cs_duration=0))
-    if args.fairness is not None:
-        # --fairness folds into the spec so --dump-spec manifests replay
-        # liveness runs under the same daemon assumption.
-        spec = replace(spec, fairness=FairnessSpec.parse(args.fairness))
+    distributed = (
+        args.distributed
+        or args.mem_budget is not None
+        or args.partitioner is not None
+        or args.checkpoint is not None
+        or args.resume is not None
+    )
+    liveness = args.check == "liveness"
+    if distributed and (liveness or args.por):
+        print(
+            "error: distributed exploration checks safety without POR; "
+            "drop --check liveness / --por",
+            file=sys.stderr,
+        )
+        return 2
+    if distributed and args.digest != "packed":
+        print("error: distributed exploration requires --digest packed",
+              file=sys.stderr)
+        return 2
+    if distributed and args.min_frontier is not None:
+        print(
+            "error: --min-frontier tunes the persistent pool; the "
+            "distributed explorer always dispatches every level",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        mem_budget = _parse_size(args.mem_budget)
+    except ValueError:
+        print(f"bad --mem-budget value: {args.mem_budget!r}", file=sys.stderr)
+        return 2
+    if args.resume is not None:
+        # The manifest is the authority on resume: it carries the
+        # scenario (so scenario flags are ignored) and the campaign
+        # parameters (overridable — raising --max-depth deepens a
+        # finished bounded campaign).
+        from .analysis.distributed import read_manifest
+
+        manifest = read_manifest(args.resume)
+        if manifest.get("spec") is None:
+            print(
+                "error: checkpoint manifest carries no scenario spec; "
+                "it cannot be resumed from the CLI",
+                file=sys.stderr,
+            )
+            return 2
+        spec = ScenarioSpec.from_dict(manifest["spec"])
+        max_depth, max_configs = args.max_depth, args.max_configs
+        depth_bound = (manifest["campaign"]["max_depth"]
+                       if max_depth is None else max_depth)
+    else:
+        # cs_duration=0 keeps applications time-independent, the digest
+        # soundness requirement spelled out in analysis/explore.py.
+        spec = _resolve_spec(args, lambda: _campaign_spec(args, cs_duration=0))
+        if args.fairness is not None:
+            # --fairness folds into the spec so --dump-spec manifests
+            # replay liveness runs under the same daemon assumption.
+            spec = replace(spec, fairness=FairnessSpec.parse(args.fairness))
+        max_depth = 8 if args.max_depth is None else args.max_depth
+        max_configs = 200_000 if args.max_configs is None else args.max_configs
+        depth_bound = max_depth
     if _dump_spec(args, spec):
         return 0
     if not _check_variant_capability(
@@ -864,7 +993,6 @@ def cmd_explore(args: argparse.Namespace) -> int:
         return 2
     if not _check_explore_spec(spec):
         return 2
-    liveness = args.check == "liveness"
     fairness = "weak"
     if spec.fairness is not None:
         spec.fairness.build()  # validate the kind (and the empty args)
@@ -880,24 +1008,33 @@ def cmd_explore(args: argparse.Namespace) -> int:
     params, tree = built.params, built.tree
     res = explore(
         built.engine, built.invariant,
-        max_depth=args.max_depth, max_configurations=args.max_configs,
+        max_depth=max_depth, max_configurations=max_configs,
         digest=args.digest, check=args.check, fairness=fairness,
         por=args.por,
         workers=args.workers, progress=_progress_printer(args),
         min_frontier=args.min_frontier,
+        distributed=args.distributed, partitioner=args.partitioner,
+        mem_budget=mem_budget, checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every, resume_dir=args.resume,
+        spec=spec,
     )
     # Wall-clock throughput goes to stderr: stdout stays byte-identical
     # across runs, worker counts and machines (the CI diff contract).
     print(f"[explore] throughput: {res.states_per_sec:,.0f} states/sec",
           file=sys.stderr)
     print(f"variant          : {spec.variant} (n={tree.n}, k={params.k}, l={params.l})")
-    print(f"depth bound      : {args.max_depth}")
+    print(f"depth bound      : {depth_bound}")
     if liveness:
         print(f"check            : liveness ({fairness} fairness)")
     print(f"configurations   : {res.configurations}")
     print(f"transitions      : {res.transitions}")
     print(f"peak seen memory : {res.peak_seen_bytes:,} bytes "
           f"({args.digest} digests)")
+    if distributed:
+        # Resident vs. spilled split: the budget bounds the first, the
+        # second is the sorted-run bytes on disk.
+        print(f"peak disk memory : {res.peak_disk_bytes:,} bytes "
+              "(spilled runs)")
     if liveness:
         # The lasso search is a DFS: per-depth discovery counts, not
         # BFS frontiers.

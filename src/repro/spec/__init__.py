@@ -12,6 +12,7 @@ from .registry import (
     FAIRNESS,
     FAULTS,
     OBSERVERS,
+    PARTITIONERS,
     SCENARIOS,
     TOPOLOGIES,
     VARIANTS,
@@ -23,6 +24,7 @@ from .registry import (
     register_fairness,
     register_fault,
     register_observer,
+    register_partitioner,
     register_scenario,
     register_topology,
     register_variant,
@@ -66,6 +68,7 @@ __all__ = [
     "OBSERVERS",
     "SCENARIOS",
     "FAIRNESS",
+    "PARTITIONERS",
     "register_variant",
     "register_topology",
     "register_workload",
@@ -73,4 +76,5 @@ __all__ = [
     "register_observer",
     "register_scenario",
     "register_fairness",
+    "register_partitioner",
 ]

@@ -1,0 +1,400 @@
+"""Owner-computes distributed exploration: partition algebra, the
+disk-backed shard store, serial-identity differentials, repartitioning
+identity, and checkpoint/resume (including kill -9 mid-campaign).
+
+The load-bearing claim is the ownership invariant: every packed digest
+has exactly one owning shard, so per-shard dedup is *exact* — no
+parent-side authority — and the per-level new-state sets (hence every
+count the result reports) are independent of the worker count, the
+memory budget, and checkpoint/resume boundaries.
+"""
+
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import KLParams, RoundRobinScheduler, SaturatedWorkload
+from repro.analysis import fork_available, safety_ok
+from repro.analysis.distributed import (
+    CheckpointError,
+    ShardStore,
+    explore_owner,
+    make_partitioner,
+    read_manifest,
+)
+from repro.analysis.explore import explore
+from repro.core.naive import build_naive_engine
+from repro.core.selfstab import build_selfstab_engine
+from repro.spec import SpecError
+from repro.topology import path_tree
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def naive_engine(n=4, k=1, l=2):
+    tree = path_tree(n)
+    params = KLParams(k=k, l=l, n=n)
+    apps = [SaturatedWorkload(1, cs_duration=0) for _ in range(n)]
+    return build_naive_engine(tree, params, apps), params
+
+
+def selfstab_engine(n=5):
+    tree = path_tree(n)
+    params = KLParams(k=2, l=3, n=n)
+    apps = [SaturatedWorkload(1 + p % params.k, cs_duration=0)
+            for p in range(n)]
+    engine = build_selfstab_engine(
+        tree, params, apps, RoundRobinScheduler(n), init="tokens"
+    )
+    return engine, params
+
+
+def invariant_for(params):
+    def inv(e):
+        return safety_ok(e, params) or "unsafe"
+    return inv
+
+
+def fields(res):
+    """Everything the serial-identity contract covers (not throughput)."""
+    return (res.configurations, res.transitions, res.exhausted,
+            res.violation, res.frontier_sizes)
+
+
+def digests(n, salt=b""):
+    """n distinct deterministic 16-byte digests."""
+    return [
+        hashlib.blake2b(salt + str(i).encode(), digest_size=16).digest()
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+class TestPartitioners:
+    @given(
+        digest=st.binary(min_size=16, max_size=16),
+        shards=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_every_digest_has_exactly_one_owner(self, digest, shards):
+        part = make_partitioner("topbits", shards)
+        owner = part(digest)
+        assert isinstance(owner, int)
+        assert 0 <= owner < shards
+        # Ownership is a (deterministic) function: re-asking never moves
+        # a digest, and a fresh partitioner instance agrees — the
+        # property workers rely on to dedup without coordination.
+        assert part(digest) == owner
+        assert make_partitioner("topbits", shards)(digest) == owner
+
+    def test_single_shard_owns_everything(self):
+        part = make_partitioner("topbits", 1)
+        assert all(part(d) == 0 for d in digests(64))
+
+    def test_topbits_spreads_across_shards(self):
+        part = make_partitioner("topbits", 4)
+        owners = {part(d) for d in digests(512)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(SpecError):
+            make_partitioner("nope", 2)
+
+    def test_nonpositive_shard_count_rejected(self):
+        with pytest.raises(SpecError):
+            make_partitioner("topbits", 0)
+
+
+# ----------------------------------------------------------------------
+# ShardStore
+# ----------------------------------------------------------------------
+class TestShardStore:
+    def test_add_and_membership_in_ram(self):
+        store = ShardStore()
+        ds = digests(100)
+        assert all(store.add(d) for d in ds)
+        assert all(not store.add(d) for d in ds)  # exact dedup
+        assert len(store) == 100
+        assert all(d in store for d in ds)
+        assert digests(1, salt=b"x")[0] not in store
+        assert store.disk_bytes() == 0 and store.run_count == 0
+        store.close()
+
+    def test_budget_forces_spill_and_bounds_ram(self, tmp_path):
+        store = ShardStore(mem_budget=2048, spill_dir=str(tmp_path))
+        ds = digests(2000)
+        for d in ds:
+            store.add(d)
+        assert store.run_count > 0
+        assert store.disk_bytes() > 0
+        assert len(store) == 2000
+        # Spilled digests stay members, and dedup still holds through
+        # the filter + binary-search path.
+        assert all(d in store for d in ds)
+        assert all(not store.add(d) for d in ds)
+        # The RAM set itself stays under the spill threshold.
+        assert len(store._ram) < max(16, 2048 // 72) + 1
+        store.close()
+
+    def test_compaction_bounds_run_count(self, tmp_path):
+        store = ShardStore(
+            mem_budget=2048, spill_dir=str(tmp_path), max_runs=3
+        )
+        ds = digests(3000)
+        for d in ds:
+            store.add(d)
+        assert store.run_count <= 3
+        assert len(store) == 3000
+        assert all(d in store for d in ds)
+        store.close()
+
+    def test_checkpoint_restore_round_trip(self, tmp_path):
+        src = tmp_path / "ckpt"
+        store = ShardStore(mem_budget=2048, spill_dir=str(src))
+        ds = digests(1500)
+        for d in ds:
+            store.add(d)
+        fragment = store.checkpoint(str(src))
+        assert fragment["count"] == 1500
+        restored = ShardStore.restore(str(src), fragment, mem_budget=2048)
+        assert len(restored) == 1500
+        assert all(d in restored for d in ds)
+        # The restored store keeps spilling into the same directory with
+        # fresh sequence numbers.
+        extra = digests(500, salt=b"extra")
+        assert all(restored.add(d) for d in extra)
+        assert len(restored) == 2000
+        store.close()
+        restored.close()
+
+    def test_restore_rejects_corrupt_count(self, tmp_path):
+        src = tmp_path / "ckpt"
+        store = ShardStore(mem_budget=1024, spill_dir=str(src))
+        for d in digests(600):
+            store.add(d)
+        fragment = store.checkpoint(str(src))
+        fragment["count"] += 1
+        with pytest.raises(ValueError):
+            ShardStore.restore(str(src), fragment, mem_budget=1024)
+        store.close()
+
+    def test_unbudgeted_store_never_spills(self):
+        store = ShardStore()
+        for d in digests(5000):
+            store.add(d)
+        assert store.run_count == 0 and store.disk_bytes() == 0
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Owner-computes vs serial differential
+# ----------------------------------------------------------------------
+class TestOwnerDifferential:
+    def test_single_shard_matches_serial(self):
+        eng, params = naive_engine()
+        serial = explore(eng, invariant_for(params), max_depth=8)
+        owned = explore_owner(eng, invariant_for(params), max_depth=8,
+                              workers=1)
+        assert fields(owned) == fields(serial)
+
+    @needs_fork
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_multi_shard_matches_serial(self, workers):
+        eng, params = naive_engine()
+        serial = explore(eng, invariant_for(params), max_depth=8)
+        owned = explore_owner(eng, invariant_for(params), max_depth=8,
+                              workers=workers)
+        assert fields(owned) == fields(serial)
+
+    @needs_fork
+    def test_tiny_budget_spills_and_stays_identical(self, tmp_path):
+        eng, params = naive_engine(n=5)
+        serial = explore(eng, invariant_for(params), max_depth=10)
+        owned = explore_owner(
+            eng, invariant_for(params), max_depth=10, workers=2,
+            mem_budget=2048, spill_dir=str(tmp_path),
+        )
+        assert owned.peak_disk_bytes > 0  # the budget really spilled
+        assert fields(owned) == fields(serial)
+
+    def test_violation_depth_and_message_match_serial(self):
+        eng, params = naive_engine(n=3, k=1, l=1)
+        for p in range(3):
+            eng.step_pid(p, -1)
+
+        def inv(e):
+            return e.total_cs_entries == 0 or "someone entered the CS"
+
+        serial = explore(eng, inv, max_depth=8)
+        owned = explore_owner(eng, inv, max_depth=8, workers=1)
+        assert not owned.ok
+        assert owned.violation == serial.violation
+
+    def test_explore_routes_distributed_keyword(self):
+        eng, params = naive_engine()
+        serial = explore(eng, invariant_for(params), max_depth=8)
+        routed = explore(eng, invariant_for(params), max_depth=8,
+                         distributed=True, workers=1)
+        assert fields(routed) == fields(serial)
+
+    def test_explore_rejects_distributed_por(self):
+        eng, params = naive_engine()
+        with pytest.raises(ValueError):
+            explore(eng, invariant_for(params), max_depth=4,
+                    distributed=True, por=True)
+
+    @needs_fork
+    @pytest.mark.slow
+    def test_selfstab_repartitioning_is_identity(self):
+        """Re-exploring under a different worker count (a different
+        digest→owner map) must reproduce identical totals — the
+        satellite's repartitioning claim, on selfstab n=5."""
+        eng, params = selfstab_engine(n=5)
+        runs = [
+            explore_owner(eng.fork(), invariant_for(params), max_depth=6,
+                          workers=w)
+            for w in (1, 2, 4)
+        ]
+        assert fields(runs[0]) == fields(runs[1]) == fields(runs[2])
+        serial = explore(eng.fork(), invariant_for(params), max_depth=6)
+        assert fields(runs[0]) == fields(serial)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_finished_campaign_short_circuits_to_stored_result(
+        self, tmp_path
+    ):
+        eng, params = naive_engine()
+        ckpt = str(tmp_path / "ckpt")
+        first = explore_owner(eng, invariant_for(params), max_depth=8,
+                              workers=1, checkpoint_dir=ckpt)
+        man = read_manifest(ckpt)
+        assert man["progress"]["complete"]
+        resumed = explore_owner(eng, invariant_for(params),
+                                resume_dir=ckpt)
+        assert fields(resumed) == fields(first)
+        # The stored result never re-enters the search loop.
+        assert resumed.states_per_sec == 0.0
+
+    def test_depth_extension_resumes_from_stored_frontier(self, tmp_path):
+        eng, params = naive_engine()
+        full = explore(eng, invariant_for(params), max_depth=10)
+        ckpt = str(tmp_path / "ckpt")
+        explore_owner(eng, invariant_for(params), max_depth=5, workers=1,
+                      checkpoint_dir=ckpt, checkpoint_every=1)
+        deeper = explore_owner(eng, invariant_for(params), max_depth=10,
+                               resume_dir=ckpt)
+        assert fields(deeper) == fields(full)
+
+    def test_resume_rejects_conflicting_workers(self, tmp_path):
+        eng, params = naive_engine()
+        ckpt = str(tmp_path / "ckpt")
+        explore_owner(eng, invariant_for(params), max_depth=4, workers=1,
+                      checkpoint_dir=ckpt)
+        with pytest.raises(CheckpointError):
+            explore_owner(eng, invariant_for(params), resume_dir=ckpt,
+                          workers=3)
+
+    def test_resume_rejects_conflicting_partitioner(self, tmp_path):
+        eng, params = naive_engine()
+        ckpt = str(tmp_path / "ckpt")
+        explore_owner(eng, invariant_for(params), max_depth=4, workers=1,
+                      checkpoint_dir=ckpt)
+        with pytest.raises(CheckpointError):
+            explore_owner(eng, invariant_for(params), resume_dir=ckpt,
+                          partitioner="nope")
+
+    def test_resume_missing_directory_is_clean_error(self, tmp_path):
+        eng, params = naive_engine()
+        with pytest.raises(CheckpointError):
+            explore_owner(eng, invariant_for(params),
+                          resume_dir=str(tmp_path / "absent"))
+
+    @needs_fork
+    @pytest.mark.slow
+    def test_kill_midcampaign_then_cli_resume_matches_serial(
+        self, tmp_path
+    ):
+        """SIGKILL a checkpointing CLI campaign mid-flight, resume from
+        the surviving manifest, and require the final stdout counts to
+        be byte-identical to an unconstrained serial run."""
+        ckpt = str(tmp_path / "ckpt")
+        scenario = [
+            "--variant", "naive", "--tree", "path", "--n", "5",
+            "--k", "1", "--l", "2", "--max-depth", "10",
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "explore", *scenario,
+             "--distributed", "--mem-budget", "2k",
+             "--checkpoint", ckpt, "--checkpoint-every", "1"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        manifest = os.path.join(ckpt, "manifest.json")
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if os.path.exists(manifest) or proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert os.path.exists(manifest), "no checkpoint survived the kill"
+
+        run = subprocess.run(
+            [sys.executable, "-m", "repro", "explore", "--resume", ckpt],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert run.returncode == 0, run.stderr
+        serial = subprocess.run(
+            [sys.executable, "-m", "repro", "explore", *scenario],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert serial.returncode == 0, serial.stderr
+
+        def counts(out):
+            keep = ("configurations", "transitions", "frontier sizes",
+                    "exhausted", "violation")
+            return [line for line in out.splitlines()
+                    if line.split(":")[0].strip() in keep]
+
+        assert counts(run.stdout) == counts(serial.stdout)
+
+
+# ----------------------------------------------------------------------
+# Memory-bound contract
+# ----------------------------------------------------------------------
+class TestBoundedMemory:
+    def test_budgeted_run_reports_resident_below_unbudgeted(self):
+        """Same campaign, tiny budget: the resident estimate must drop
+        (digests moved to disk) while every count stays identical."""
+        eng, params = naive_engine(n=5)
+        free = explore_owner(eng, invariant_for(params), max_depth=10,
+                             workers=1)
+        tight = explore_owner(eng, invariant_for(params), max_depth=10,
+                              workers=1, mem_budget=2048)
+        assert fields(tight) == fields(free)
+        assert tight.peak_disk_bytes > 0
+        assert free.peak_disk_bytes == 0
+        # Resident RAM-set share: the budgeted run keeps at most the
+        # spill threshold in RAM; the prefix filter (128 KiB) is a fixed
+        # overhead reported as part of the resident estimate.
+        assert tight.peak_seen_bytes - 128 * 1024 < free.peak_seen_bytes

@@ -243,6 +243,54 @@ class TestThroughputFields:
         assert a.transitions == b.transitions
 
 
+class TestSeenBytesAccounting:
+    """``_seen_bytes`` must charge POR/liveness sleep masks, not just
+    the digest keys — a dict seen-set retains its values too."""
+
+    DIGESTS = [bytes([i]) * 16 for i in range(128)]
+
+    def test_dict_mask_values_are_counted(self):
+        import sys
+
+        from repro.analysis.explore import _seen_bytes
+
+        zero = {d: 0 for d in self.DIGESTS}
+        wide = {d: (1 << 300) - 1 for d in self.DIGESTS}
+        # Only the mask values differ, so the estimates must differ by
+        # exactly the summed value-size delta — anything else means the
+        # values fell out of the accounting.
+        delta = len(self.DIGESTS) * (
+            sys.getsizeof((1 << 300) - 1) - sys.getsizeof(0)
+        )
+        assert delta > 0
+        assert _seen_bytes(wide) - _seen_bytes(zero) == delta
+
+    def test_estimate_is_pure_function_of_contents(self):
+        from repro.analysis.explore import _seen_bytes
+
+        fwd = {d: i % 7 for i, d in enumerate(self.DIGESTS)}
+        rev = dict(reversed(list(fwd.items())))
+        assert _seen_bytes(fwd) == _seen_bytes(rev)
+        assert (_seen_bytes(set(self.DIGESTS))
+                == _seen_bytes(set(reversed(self.DIGESTS))))
+
+    def test_por_run_charges_digests_and_masks(self):
+        import sys
+
+        eng, params = naive_engine(n=4, k=2, l=3, needs={1: 2, 2: 1})
+
+        def inv(e):
+            return safety_ok(e, params) or "unsafe"
+
+        res = explore(eng, inv, max_depth=10, por=True)
+        # Lower bound: every entry retains a 16-byte digest key plus at
+        # least a small-int mask (sys.getsizeof(0) is the int floor).
+        floor = res.configurations * (
+            sys.getsizeof(b"\x00" * 16) + sys.getsizeof(0)
+        )
+        assert res.peak_seen_bytes >= floor
+
+
 class TestExploreMechanics:
     def test_closes_reachable_set(self):
         # 2 processes, 1 token, no requesters: the token just circulates;

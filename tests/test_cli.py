@@ -130,7 +130,9 @@ class TestCommands:
     def test_explore_defaults_are_toy_sized(self):
         args = build_parser().parse_args(["explore"])
         assert args.n == 4 and args.l == 2
-        assert args.variant == "priority" and args.max_depth == 8
+        # --max-depth parses to None (a sentinel so --resume can tell
+        # "unset" from "explicit"); cmd_explore resolves it to 8.
+        assert args.variant == "priority" and args.max_depth is None
 
 
 class TestList:
@@ -459,6 +461,102 @@ class TestExploreOutput:
                     ("configurations", "exhausted", "violation")]
 
         assert keep(full) == keep(por)
+
+
+class TestExploreDistributed:
+    """The owner-computes CLI surface: flag routing, the stdout count
+    contract vs the serial explorer, and checkpoint/resume."""
+
+    ARGV = ["explore", "--tree", "path", "--n", "4", "--k", "1", "--l", "2",
+            "--variant", "naive", "--max-depth", "8"]
+
+    @staticmethod
+    def counts(text):
+        keep = ("configurations", "transitions", "frontier sizes",
+                "exhausted", "violation", "depth bound")
+        return [ln for ln in text.splitlines()
+                if ln.split(":")[0].strip() in keep]
+
+    def test_distributed_counts_match_serial(self, capsys):
+        assert main(self.ARGV) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGV + ["--distributed"]) == 0
+        dist = capsys.readouterr().out
+        assert self.counts(dist) == self.counts(serial)
+        assert "peak disk memory : " in dist
+        assert "peak disk memory : " not in serial
+
+    def test_mem_budget_implies_distributed_and_spills(self, capsys):
+        assert main(self.ARGV) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGV + ["--mem-budget", "2k"]) == 0
+        dist = capsys.readouterr().out
+        assert self.counts(dist) == self.counts(serial)
+        disk = [ln for ln in dist.splitlines()
+                if ln.startswith("peak disk memory")]
+        assert disk and "0 bytes" not in disk[0]
+
+    def test_checkpoint_then_resume_counts_identical(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(self.ARGV + ["--distributed", "--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(["explore", "--resume", ckpt]) == 0
+        resumed = capsys.readouterr().out
+        assert self.counts(resumed) == self.counts(first)
+
+    def test_resume_depth_extension_matches_direct_run(
+        self, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(self.ARGV[:-1] + ["5", "--distributed",
+                                      "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["explore", "--resume", ckpt, "--max-depth", "8"]) == 0
+        resumed = capsys.readouterr().out
+        assert main(self.ARGV) == 0
+        direct = capsys.readouterr().out
+        assert self.counts(resumed) == self.counts(direct)
+
+    def test_rejects_por_and_liveness(self, capsys):
+        assert main(self.ARGV + ["--distributed", "--por"]) == 2
+        assert main(self.ARGV + ["--distributed",
+                                 "--check", "liveness"]) == 2
+
+    def test_rejects_tuple_digest(self, capsys):
+        assert main(self.ARGV + ["--distributed",
+                                 "--digest", "tuple"]) == 2
+
+    def test_rejects_min_frontier(self, capsys):
+        assert main(self.ARGV + ["--distributed",
+                                 "--min-frontier", "1"]) == 2
+
+    def test_rejects_bad_mem_budget(self, capsys):
+        assert main(self.ARGV + ["--mem-budget", "lots"]) == 2
+        assert main(self.ARGV + ["--mem-budget", "0"]) == 2
+
+    def test_resume_missing_checkpoint_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        rc = main(["explore", "--resume", str(tmp_path / "absent")])
+        assert rc == 2
+
+    def test_partitioners_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "partitioners:" in out
+        assert "topbits" in out
+
+
+class TestBenchTolerance:
+    def test_tolerance_requires_compare(self, capsys):
+        assert main(["bench", "--tolerance", "10"]) == 2
+        assert "--tolerance only applies to --compare" in (
+            capsys.readouterr().err
+        )
+
+    def test_tolerance_must_be_percentage(self, capsys):
+        assert main(["bench", "--compare", "--tolerance", "150"]) == 2
+        assert main(["bench", "--compare", "--tolerance", "-5"]) == 2
 
 
 class TestExploreLiveness:
