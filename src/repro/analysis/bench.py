@@ -212,6 +212,7 @@ class ExploreBenchRow:
     transitions: int
     states_per_sec: float
     peak_seen_bytes: int
+    backend: str = "object"
 
 
 def bench_explore_spec(
@@ -257,10 +258,13 @@ def bench_explore_spec(
         transitions=best.transitions,
         states_per_sec=best.states_per_sec,
         peak_seen_bytes=best.peak_seen_bytes,
+        backend=spec.backend,
     )
 
 
-def _explore_scenario(variant: str, topology: str, n: int, **topo_args):
+def _explore_scenario(
+    variant: str, topology: str, n: int, *, backend: str = "object", **topo_args
+):
     """A time-independent (digest-sound) campaign spec for exploration."""
     return (
         ScenarioBuilder()
@@ -268,6 +272,7 @@ def _explore_scenario(variant: str, topology: str, n: int, **topo_args):
         .params(k=2, l=2)
         .workload("saturated", cs_duration=0)
         .variant(variant)
+        .backend(backend)
         .seed(1)
         .spec()
     )
@@ -294,6 +299,21 @@ def default_explore_matrix() -> list[tuple[str, ScenarioSpec, dict]]:
          {"max_depth": 9, "max_configurations": 3_000}),
         ("priority-path-n5-dfs", _explore_scenario("priority", "path", 5),
          {"max_depth": 24, "max_configurations": 3_000, "strategy": "dfs"}),
+        # array-backend twins at n=6: same spaces as their object rows,
+        # so the artifact shows the backend ratio on identical work
+        ("priority-path-n6-bfs-array",
+         _explore_scenario("priority", "path", 6, backend="array"),
+         {"max_depth": 8, "max_configurations": 3_000}),
+        ("selfstab-path-n6-bfs", _explore_scenario("selfstab", "path", 6),
+         {"max_depth": 8, "max_configurations": 3_000}),
+        ("selfstab-path-n6-bfs-array",
+         _explore_scenario("selfstab", "path", 6, backend="array"),
+         {"max_depth": 8, "max_configurations": 3_000}),
+        # from-scratch n=8 smoke: depth-limited so the row stays in
+        # CI-smoke territory while proving the array path scales up
+        ("selfstab-path-n8-bfs-array-smoke",
+         _explore_scenario("selfstab", "path", 8, backend="array"),
+         {"max_depth": 6, "max_configurations": 4_000}),
     ]
 
 
@@ -484,12 +504,13 @@ def render_explore_table(rows: Sequence[ExploreBenchRow]) -> str:
     """Fixed-width table of the explore suite (CLI + README source)."""
     width = max((len(r.scenario) for r in rows), default=len("scenario"))
     lines = [
-        f"{'scenario'.ljust(width)}  {'variant':>9}  {'configs':>8}  "
-        f"{'states/sec':>11}  {'seen KiB':>9}"
+        f"{'scenario'.ljust(width)}  {'variant':>9}  {'backend':>7}  "
+        f"{'configs':>8}  {'states/sec':>11}  {'seen KiB':>9}"
     ]
     for r in rows:
         lines.append(
-            f"{r.scenario.ljust(width)}  {r.variant:>9}  {r.configurations:>8}  "
-            f"{r.states_per_sec:>11,.0f}  {r.peak_seen_bytes / 1024:>9,.1f}"
+            f"{r.scenario.ljust(width)}  {r.variant:>9}  {r.backend:>7}  "
+            f"{r.configurations:>8}  {r.states_per_sec:>11,.0f}  "
+            f"{r.peak_seen_bytes / 1024:>9,.1f}"
         )
     return "\n".join(lines)

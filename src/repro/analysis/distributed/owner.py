@@ -58,9 +58,12 @@ import time
 import traceback
 from typing import Any, Callable
 
+from ...sim.array_engine import ArrayEngine
 from ...sim.engine import Engine
 from ..explore import (
     ExplorationResult,
+    _ArrayDigester,
+    _ArrayExpander,
     _check,
     _DeltaExpander,
     _PackedDigester,
@@ -133,7 +136,14 @@ class _OwnerWorker:
         self.rank = rank
         self.shards = shards
         self.owner_of = make_partitioner(partitioner, shards, partitioner_args)
-        self.expander = _DeltaExpander(engine, invariant, _PackedDigester(engine))
+        if isinstance(engine, ArrayEngine):
+            self.expander = _ArrayExpander(
+                engine, invariant, _ArrayDigester(engine)
+            )
+        else:
+            self.expander = _DeltaExpander(
+                engine, invariant, _PackedDigester(engine)
+            )
         self.store = ShardStore(mem_budget=mem_budget, spill_dir=spill_dir)
         self.view = _SeenView(self.store, self.owner_of, rank)
         self.frontier: list = []
@@ -505,6 +515,16 @@ def explore_owner(
                 f"checkpoint was partitioned by {campaign['partitioner']!r}; "
                 f"cannot resume with {partitioner!r}"
             )
+        stored_backend = campaign.get("backend", "object")
+        resumed_backend = (
+            "array" if isinstance(engine, ArrayEngine) else "object"
+        )
+        if stored_backend != resumed_backend:
+            raise CheckpointError(
+                f"checkpoint was explored on the {stored_backend!r} backend; "
+                f"its digests mean nothing to {resumed_backend!r} — resume "
+                "with the same backend"
+            )
         workers = campaign["workers"]
         partitioner = campaign["partitioner"]
         partitioner_args = campaign.get("partitioner_args") or None
@@ -588,6 +608,7 @@ def explore_owner(
         "partitioner_args": partitioner_args or {},
         "mem_budget": mem_budget,
         "checkpoint_every": checkpoint_every,
+        "backend": "array" if isinstance(work, ArrayEngine) else "object",
     }
 
     transitions = 0
@@ -640,7 +661,11 @@ def explore_owner(
         if manifest is None:
             # Root bootstrap: compute the root digest parent-side and
             # route it to its owner as a level-0 ingest.
-            digester = _PackedDigester(work)
+            digester = (
+                _ArrayDigester(work)
+                if isinstance(work, ArrayEngine)
+                else _PackedDigester(work)
+            )
             root_digest = digester.hash(digester.parts())
             root_state = work.save_state()
             owner_of = make_partitioner(partitioner, shards, partitioner_args)

@@ -79,7 +79,10 @@ from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Callable
 
+import struct
+
 from ..core.messages import Ctrl, Message, PrioT, PushT, ResT
+from ..sim.array_engine import ArrayEngine, ChannelOverflow
 from ..sim.engine import Engine
 
 __all__ = [
@@ -489,6 +492,27 @@ def explore(
         raise ValueError(f"unknown digest {digest!r}")
     if check not in ("safety", "liveness"):
         raise ValueError(f"unknown check {check!r}")
+    if isinstance(engine, ArrayEngine):
+        if method != "delta":
+            raise ValueError(
+                "the array backend explores via method='delta' only "
+                "(snapshot/fork are object-engine references); "
+                "use backend='object'"
+            )
+        if digest != "packed":
+            raise ValueError(
+                "the array backend requires digest='packed' (the tuple "
+                "reference digest is object-only); use backend='object'"
+            )
+        if por:
+            raise ValueError(
+                "por=True runs on the object engine; use backend='object'"
+            )
+        if check != "safety":
+            raise ValueError(
+                "check='liveness' runs on the object engine; "
+                "use backend='object'"
+            )
     if (
         distributed
         or partitioner is not None
@@ -582,16 +606,23 @@ def explore(
             fork=False,
         )
     else:
-        digester = _PackedDigester(work) if digest == "packed" else None
+        if isinstance(work, ArrayEngine):
+            digester = None
+            expander = _ArrayExpander(work, invariant, _ArrayDigester(work))
+        else:
+            digester = _PackedDigester(work) if digest == "packed" else None
+            expander = None
         if por:
             res = _explore_bfs_delta_por(
                 work, invariant, max_depth, max_configurations, digester
             )
         else:
             res = _explore_bfs_delta(
-                work, invariant, max_depth, max_configurations, digester
+                work, invariant, max_depth, max_configurations, digester,
+                expander,
             ) if strategy == "bfs" else _explore_dfs_delta(
-                work, invariant, max_depth, max_configurations, digester
+                work, invariant, max_depth, max_configurations, digester,
+                expander,
             )
     elapsed = time.perf_counter() - t0
     res.states_per_sec = res.configurations / max(elapsed, 1e-9)
@@ -1125,12 +1156,351 @@ class _SnapshotExpander:
         return row
 
 
+class _ArrayDigester:
+    """Packed-bytes digester over :class:`ArrayEngine` flat state.
+
+    Same slot layout as :class:`_PackedDigester` (one part per process,
+    then one per channel in codec slot order) and the same canonical
+    partition (token uids dropped, reserved-token labels sorted,
+    circulation totals excluded), but each part is count-prefixed
+    little-endian int64 words read straight from the arrays — no Python
+    string building — and the digest hashes the concatenated raw bytes.
+    Array digests therefore live in a different 128-bit namespace than
+    packed-string digests; the two must never share one seen set.
+    """
+
+    __slots__ = ("work", "n")
+
+    def __init__(self, engine: ArrayEngine) -> None:
+        self.work = engine
+        self.n = engine.n
+
+    def parts(self) -> list[bytes]:
+        """The full part buffer of the engine's current configuration."""
+        return self.work.digest_parts()
+
+    @staticmethod
+    def hash(parts: list[bytes]) -> bytes:
+        return blake2b(b"".join(parts), digest_size=16).digest()
+
+
+class _ArrayExpander:
+    """The array-native expansion loop (record protocol of
+    :class:`_DeltaExpander`, flat words instead of objects).
+
+    Moves execute through :meth:`ArrayEngine._exec_move` with the word
+    journal armed; undo is :meth:`ArrayEngine._undo_move` — O(dirty
+    words), with the moved pid's own column section restored from the
+    parent state tuple, so no per-move pre-capture exists at all.
+    Child digests re-encode only the moved pid's part plus the parts of
+    the channels the journal proved dirty.  The clean-move shortcut
+    fires when a move recorded no channel events and left the pid's
+    digest part byte-identical — equivalent to the object expander's
+    clean-snapshot test: every field excluded from the digest part
+    (scan, timers, app columns, uids) can only change alongside a
+    protocol state change, a receive, or a send.
+
+    The engine must hold ``state`` when :meth:`expand` is called and is
+    returned to ``state`` before it returns; callers chain parents via
+    :meth:`ArrayEngine.load_state_diff` exactly as with the object
+    expander.
+
+    Move outcomes are memoized.  A move's full read set is the moving
+    pid's proc section, the consumed head message and its arrival label
+    (handlers forward tokens relative to the label they arrived on),
+    the root scalar block when the mover is the root, and the clock
+    ``now``
+    (timeout, think-time and CS-duration guards all compare against
+    it) — everything else the handlers touch is either static topology
+    or write-only bookkeeping.  Keyed on exactly that read set, a memo
+    entry replays the move's digest effect without executing it: the
+    child pid part verbatim, pops and pushes as byte surgery on the
+    parent's packed channel parts (uids are zeroed in digest words, so
+    fresh-uid draws don't break determinism — and distinct entries draw
+    distinct uids, preserving per-path uid uniqueness).  Only
+    first-sighted configurations execute for real, because the child
+    state tuple and the invariant verdict need the engine.  Since
+    ``now`` is in the key, BFS levels (which share one clock value) hit
+    the memo heavily; depth-first orders merely miss more often —
+    correctness never depends on the hit rate.
+    """
+
+    __slots__ = (
+        "work",
+        "invariant",
+        "digester",
+        "nprocs",
+        "_memo",
+        "_xmemo",
+        "_jc",
+        "_cnt",
+    )
+
+    #: memo verdict for a move that changed nothing digest-visible
+    _CLEAN = object()
+    #: safety valve: distinct read-set groups retained before the memo resets
+    _MEMO_MAX = 200_000
+    #: safety valve: parents retained in the expansion memo before it resets
+    _XMEMO_MAX = 50_000
+
+    #: drivers may skip re-seeking the engine between parents; the
+    #: expander seeks lazily, only when a move must execute for real
+    lazy_seek = True
+
+    def __init__(
+        self,
+        work: ArrayEngine,
+        invariant: Callable,
+        digester: "_ArrayDigester | None" = None,
+    ) -> None:
+        self.work = work
+        self.invariant = invariant
+        self.digester = digester if digester is not None else _ArrayDigester(work)
+        self.nprocs = work.n
+        work.explore_prepare()
+        self._jc = work._jrnl_chans
+        # engine-lifetime memos: stay warm across explore() calls on the
+        # same engine (fork() shares them with clones on purpose).  The
+        # expansion memo caches invariant verdicts, so it only survives
+        # as long as the invariant callable is the same object — the
+        # marker lives inside the shared dict so it travels with it.
+        xmemo = work._explore_xmemo
+        if xmemo.get("__inv__") is not invariant:
+            xmemo.clear()
+            xmemo["__inv__"] = invariant
+        self._memo = work._explore_memo
+        self._xmemo = xmemo
+        self._cnt = [
+            struct.pack("<q", i) for i in range(2 * work._cap + 3)
+        ]
+
+    def root(self) -> tuple:
+        """(digest, parts) of the engine's current configuration."""
+        parts = self.digester.parts()
+        return self.digester.hash(parts), parts
+
+    def _moves(self) -> list[tuple[int, int]]:
+        """Same daemon-choice enumeration as :func:`_moves`, read from
+        the flat channel-length column."""
+        work = self.work
+        ch_len = work._ch_len
+        in_slot = work._in_slot
+        nbr_off = work._nbr_off
+        deg = work._deg
+        out: list = []
+        append = out.append
+        for pid in range(self.nprocs):
+            base = nbr_off[pid]
+            for lbl in range(deg[pid]):
+                if ch_len[in_slot[base + lbl]]:
+                    append((pid, lbl))
+            append((pid, -1))
+        return out
+
+    def expand(self, state, parent_parts, seen: set) -> list:
+        """Expand every move of the parent ``state``; records in move
+        order, ``None`` for known duplicates — see
+        :meth:`_DeltaExpander.expand` for the shared contract.
+
+        Enumeration reads the state tuple, not the engine, so the
+        engine is only seeked (lazily, once) when a move has to execute
+        for real; a fully-memoized parent never touches it.
+
+        Above the per-move memo sits a parent-level expansion memo
+        keyed by the *exact* state tuple: a re-expansion of a
+        configuration already expanded on this engine replays the whole
+        record row from cache.  The key must be the full state, not its
+        digest — digest-equal states may differ in excluded fields
+        (timers, scan cursors, uids) and expand differently, and each
+        search keeps whichever representative it met first.  Cached
+        child tuples are reused across runs, so repeat lookups hit the
+        dictionary's identity fast path.  Entries that were
+        duplicate-pruned at record time carry only their digest; if
+        such a digest is *not* already known to this search, the cached
+        row cannot answer for it and the parent falls back to the
+        executing path (so the memo is sound under any interleaving of
+        calls, it just hits less).
+        """
+        blake = blake2b
+        join = b"".join
+        xmemo = self._xmemo
+        cached = xmemo.get(state)
+        if cached is not None:
+            row: list = []
+            append = row.append
+            local_seen: set = set()
+            complete = True
+            for e in cached:
+                if e is None:
+                    # clean move: child digest == parent digest, and the
+                    # parent's own digest is always in ``seen``
+                    append(None)
+                    continue
+                d = e[0]
+                if d in seen or d in local_seen:
+                    append(None)
+                elif len(e) == 1:
+                    # pruned at record time, but new to this search — no
+                    # cached record exists; recompute the row for real
+                    complete = False
+                    break
+                else:
+                    local_seen.add(d)
+                    append(e)
+            if complete:
+                return row
+        work = self.work
+        invariant = self.invariant
+        exec_move = work._exec_move
+        undo_move = work._undo_move
+        proc_part = work.digest_proc_part
+        chan_part = work.digest_chan_part
+        child_state = work._child_state
+        jrnl_pushes = work._jrnl_pushes
+        seek = work.seek
+        jc = self._jc
+        memo = self._memo
+        if len(memo) > self._MEMO_MAX:
+            memo.clear()
+        clean = self._CLEAN
+        cnt = self._cnt
+        n = self.nprocs
+        t = state[0]
+        procs_t = state[5]
+        root_t = state[4]
+        chans_t = state[6]
+        root_pid = work._root_pid
+        cap = work._cap
+        in_slot = work._in_slot
+        nbr_off = work._nbr_off
+        deg_col = work._deg
+        row = []
+        append = row.append
+        trace: list = []
+        record = trace.append
+        local_seen = set()
+        synced = False
+        for pid in range(n):
+            sec = procs_t[pid]
+            base = nbr_off[pid]
+            # group the memo by the per-pid read set so the wide proc
+            # section tuple is hashed once per parent, not once per move
+            outer = (sec, root_t) if pid == root_pid else sec
+            grp = memo.get(outer)
+            if grp is None:
+                grp = memo[outer] = {}
+            mv = []
+            for lbl in range(deg_col[pid]):
+                slot = in_slot[base + lbl]
+                msgs = chans_t[slot][0]
+                if msgs:
+                    w0, w1 = msgs[0]
+                    mv.append((lbl, slot, w0, w1))
+            mv.append((-1, -1, -1, -1))
+            for lbl, slot, w0, w1 in mv:
+                key = (pid, lbl, t, w0, w1)
+                ent = grp.get(key)
+                if ent is clean:
+                    # no channel events, untouched digest words: the
+                    # child digest is the parent's, always already known
+                    append(None)
+                    record(None)
+                    continue
+                if ent is not None:
+                    part, pushes = ent
+                    cur = parent_parts.copy()
+                    cur[pid] = part
+                    if slot >= 0:
+                        old = cur[n + slot]
+                        cur[n + slot] = cnt[(len(old) >> 3) - 3] + old[24:]
+                    for ps, msg in pushes:
+                        old = cur[n + ps]
+                        k = (len(old) >> 3) - 1
+                        if k >> 1 >= cap:
+                            raise ChannelOverflow(
+                                f"channel {work._ch_src[ps]}->"
+                                f"{work._ch_dst[ps]} exceeded capacity "
+                                f"{cap}; raise channel_capacity or use "
+                                "backend='object'"
+                            )
+                        cur[n + ps] = cnt[k + 2] + old[8:] + msg
+                    digest = blake(join(cur), digest_size=16).digest()
+                    if digest in seen or digest in local_seen:
+                        append(None)
+                        record((digest,))
+                        continue
+                    # first sighting: run the move for real — the child
+                    # state tuple and the verdict need the engine
+                    local_seen.add(digest)
+                    if not synced:
+                        seek(state)
+                        synced = True
+                    exec_move(pid, lbl)
+                    dirty = [slot] if slot >= 0 else []
+                    for ps, _ in pushes:
+                        if ps not in dirty:
+                            dirty.append(ps)
+                    item = (
+                        digest,
+                        _verdict(invariant(work)),
+                        child_state(state, pid, dirty),
+                        cur,
+                    )
+                    append(item)
+                    record(item)
+                    undo_move(pid, state)
+                    continue
+                # memo miss: execute, derive the entry from the journal
+                if not synced:
+                    seek(state)
+                    synced = True
+                exec_move(pid, lbl)
+                part = proc_part(pid)
+                if not jc and part == parent_parts[pid]:
+                    grp[key] = clean
+                    append(None)
+                    record(None)
+                    undo_move(pid, state)
+                    continue
+                grp[key] = (part, jrnl_pushes())
+                dirty = []
+                for ev in jc:
+                    s = ev[0]
+                    if s not in dirty:
+                        dirty.append(s)
+                cur = parent_parts.copy()
+                cur[pid] = part
+                for s in dirty:
+                    cur[n + s] = chan_part(s)
+                digest = blake(join(cur), digest_size=16).digest()
+                if digest in seen or digest in local_seen:
+                    append(None)
+                    record((digest,))
+                    undo_move(pid, state)
+                    continue
+                local_seen.add(digest)
+                item = (
+                    digest,
+                    _verdict(invariant(work)),
+                    child_state(state, pid, dirty),
+                    cur,
+                )
+                append(item)
+                record(item)
+                undo_move(pid, state)
+        if len(xmemo) > self._XMEMO_MAX:
+            xmemo.clear()
+        xmemo[state] = trace
+        return row
+
+
 def _explore_bfs_delta(
     work: Engine,
     invariant: Callable[[Engine], bool | str | None],
     max_depth: int,
     max_configurations: int,
     digester: _PackedDigester | None,
+    expander=None,
 ) -> ExplorationResult:
     """BFS on the delta codec: O(degree) restore/snapshot per transition.
 
@@ -1139,9 +1509,16 @@ def _explore_bfs_delta(
     only the stepped process and its incident channels.  With
     ``digester=None`` (tuple digests) the delta codec still applies but
     digests are recomputed in full — the combination exists for
-    differential testing.
+    differential testing.  A pre-built ``expander`` (the array-native
+    one) replaces the default object delta expander; the driver loop is
+    expander-agnostic.
     """
-    exp = _DeltaExpander(work, invariant, digester)
+    exp = expander if expander is not None else _DeltaExpander(
+        work, invariant, digester
+    )
+    # lazy expanders track the engine's held state themselves and seek
+    # only when a move must actually execute
+    lazy = getattr(exp, "lazy_seek", False)
     root_digest, parts = exp.root()
     seen: set = {root_digest}
     held = work.save_state()
@@ -1152,8 +1529,9 @@ def _explore_bfs_delta(
     for depth in range(1, max_depth + 1):
         nxt: list = []
         for state, parent_parts in frontier:
-            work.load_state_diff(held, state)
-            held = state
+            if not lazy:
+                work.load_state_diff(held, state)
+                held = state
             for item in exp.expand(state, parent_parts, seen):
                 transitions += 1
                 if item is None:
@@ -1269,9 +1647,13 @@ def _explore_dfs_delta(
     max_depth: int,
     max_configurations: int,
     digester: _PackedDigester | None,
+    expander=None,
 ) -> ExplorationResult:
     """DFS on the delta codec (same stack semantics as the reference)."""
-    exp = _DeltaExpander(work, invariant, digester)
+    exp = expander if expander is not None else _DeltaExpander(
+        work, invariant, digester
+    )
+    lazy = getattr(exp, "lazy_seek", False)
     root_digest, parts = exp.root()
     seen: set = {root_digest}
     held = work.save_state()
@@ -1285,8 +1667,9 @@ def _explore_dfs_delta(
         if depth >= max_depth:
             truncated = True
             continue
-        work.load_state_diff(held, state)
-        held = state
+        if not lazy:
+            work.load_state_diff(held, state)
+            held = state
         for item in exp.expand(state, parent_parts, seen):
             transitions += 1
             if item is None:

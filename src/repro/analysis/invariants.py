@@ -58,6 +58,11 @@ def units_in_use(engine: Engine) -> int:
 
 def check_safety(engine: Engine, params: KLParams) -> SafetyReport:
     """Evaluate the three safety clauses on the current configuration."""
+    native = getattr(engine, "safety_violations", None)
+    if native is not None:
+        # the array backend answers straight off its columns (identical
+        # clauses and messages, no per-process facade objects)
+        return SafetyReport(native(params))
     rep = SafetyReport()
     in_use = 0
     seen_uids: dict[int, int] = {}

@@ -63,9 +63,12 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..sim.array_engine import ArrayEngine
 from ..sim.engine import Engine
 from .explore import (
     ExplorationResult,
+    _ArrayDigester,
+    _ArrayExpander,
     _check,
     _DeltaExpander,
     _PackedDigester,
@@ -450,6 +453,8 @@ _POOL_PAYLOAD: Any = None
 
 def _make_expander(engine, invariant, digest_kind: str, method: str):
     """The per-parent expansion loop for one (digest, method) pairing."""
+    if isinstance(engine, ArrayEngine):
+        return _ArrayExpander(engine, invariant, _ArrayDigester(engine))
     digester = _PackedDigester(engine) if digest_kind == "packed" else None
     if method == "snapshot":
         return _SnapshotExpander(engine, invariant, digester)
@@ -634,6 +639,13 @@ def explore_parallel(
         raise ValueError(
             f"explore_parallel requires a snapshot-codec method "
             f"('delta' or 'snapshot'), got {method!r}"
+        )
+    if isinstance(engine, ArrayEngine) and (
+        digest != "packed" or method != "delta"
+    ):
+        raise ValueError(
+            "the array backend parallel-explores with method='delta' and "
+            "digest='packed' only; use backend='object'"
         )
     if min_frontier is None:
         min_frontier = DEFAULT_MIN_FRONTIER

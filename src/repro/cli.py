@@ -37,8 +37,9 @@ Commands
     ``BENCH_kernel.json``, the default), ``--suite explore`` (explored
     states/sec, ``BENCH_explore.json``) or ``--suite all``.
     ``--compare`` diffs fresh numbers against the committed artifacts
-    instead of overwriting them and exits non-zero on a >20%
-    throughput regression.
+    instead of overwriting them; add ``--strict`` to exit non-zero on
+    a >20% throughput regression when the baseline was measured on
+    this host (cross-host diffs stay advisory).
 
 Every scenario-taking command parses its flags into a declarative
 :class:`~repro.spec.ScenarioSpec` and constructs the engine exclusively
@@ -483,9 +484,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true",
         help="diff the fresh numbers against the committed "
              "BENCH_kernel.json / BENCH_explore.json instead of "
-             "overwriting them; exit non-zero on a throughput regression "
-             "beyond --tolerance (warns when the baseline came from "
-             "another host)",
+             "overwriting them; regressions beyond --tolerance are "
+             "reported (and fail the run under --strict)",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="with --compare: exit 1 on a throughput regression — but "
+             "only when the committed artifact carries this host's "
+             "fingerprint (cross-host ratios reflect hardware, not "
+             "code, so they stay advisory)",
     )
     p.add_argument(
         "--tolerance", type=float, default=None, metavar="PCT",
@@ -715,6 +722,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.tolerance is not None and not args.compare:
         print("--tolerance only applies to --compare", file=sys.stderr)
         return 2
+    if args.strict and not args.compare:
+        print("--strict only applies to --compare", file=sys.stderr)
+        return 2
     tolerance_pct = 20.0 if args.tolerance is None else args.tolerance
     if not 0.0 <= tolerance_pct < 100.0:
         print("--tolerance must be a percentage in [0, 100)", file=sys.stderr)
@@ -730,6 +740,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(render_compare_table(cmp))
         for line in cmp.regressions:
             print(f"[compare] REGRESSION {line}", file=sys.stderr)
+        if not args.strict:
+            return True  # advisory: report, don't fail the run
+        if cmp.cross_host and not cmp.ok:
+            # A same-host fingerprint is what makes the thresholds
+            # trustworthy; without it --strict degrades to advisory.
+            print("[compare] note: --strict ignored, baseline host "
+                  "fingerprint differs", file=sys.stderr)
+            return True
         return cmp.ok
 
     ok = True
@@ -871,12 +889,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: commands whose campaign path runs on the array backend — named in
+#: every backend-mismatch error so the fix is one flag away
+_ARRAY_COMMANDS = "demo, converge, wait, bench, explore"
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .analysis import fuzz
 
     spec = _resolve_spec(args, lambda: _campaign_spec(args, cs_duration=2))
     if _dump_spec(args, spec):
         return 0
+    if spec.backend == "array":
+        raise SpecError(
+            "fuzzing replays schedules through the object kernel; "
+            f"backend='array' supports: {_ARRAY_COMMANDS} — rerun with "
+            "--backend object"
+        )
     if not _check_variant_capability(spec.variant, "fuzzable", "fuzzing"):
         return 2
     built = spec.build()
@@ -993,6 +1022,21 @@ def cmd_explore(args: argparse.Namespace) -> int:
         return 2
     if not _check_explore_spec(spec):
         return 2
+    if spec.backend == "array":
+        bad = None
+        if liveness:
+            bad = "--check liveness"
+        elif args.por:
+            bad = "--por"
+        elif args.digest != "packed":
+            bad = f"--digest {args.digest}"
+        if bad is not None:
+            raise SpecError(
+                f"{bad} runs on the object kernel; backend='array' "
+                "covers safety exploration with packed digests "
+                f"(supported commands: {_ARRAY_COMMANDS}) — rerun with "
+                "--backend object"
+            )
     fairness = "weak"
     if spec.fairness is not None:
         spec.fairness.build()  # validate the kind (and the empty args)

@@ -35,8 +35,9 @@ What it cannot represent (lowering raises :class:`LoweringError`):
   even on steps that request nothing);
 * non-batchable schedulers (``FunctionScheduler``, channel-scripted
   ``ScriptedScheduler``) and crash controllers;
-* the explorer's delta codec (``save_delta``/``restore_pid``) — the
-  explorer always runs on the object engine;
+* the explorer's object delta codec (``save_delta``/``restore_pid``)
+  and its ``snapshot``/``fork`` reference expanders — array exploration
+  uses the native word journal described below instead;
 * unbounded channel queues: channels become fixed-capacity ring buffers
   and overflow raises :class:`ChannelOverflow` instead of growing.
 
@@ -54,11 +55,31 @@ guard tail could fire (request intake, CS entry/exit, priority release,
 root timeout).  Steps activated mid-batch by a send are merged into the
 execution order through a position heap, so both paths are
 step-for-step identical to the object engine.
+
+Exploration support: :meth:`ArrayEngine.explore_prepare` arms a
+word-level journal — ``_send`` records ``(slot, old_peak)`` push
+events, ``_exec_move`` records ``(slot, old_head, w0, w1)`` pop events
+(the popped words must be saved because a wrap-around push may
+overwrite the cell), ``_bump`` records counter cells — so
+``_undo_move`` rewinds one explicit move in O(dirty words), taking the
+moved pid's own column section from the parent state tuple.  Digests
+hash packed little-endian int64 words (count-prefixed per part, one
+part per pid and one per channel slot): per-kind protocol summary
+words for processes, ``(w0, w1 if Ctrl else 0)`` pairs for queued
+messages.  This is the same *partition* as the object explorer's
+packed-string digest — token uids and the root's circulation/reset
+totals are excluded on both sides — but the bytes themselves differ,
+so array and object digest namespaces must never be mixed in one seen
+set.  Activity bookkeeping (``_pending``/``_wake_at``/``_ready_at``)
+and the streaming request metrics are allowed to drift while
+exploring; ``load_state`` recomputes the former in full.
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
+import struct
 from collections.abc import Sequence
 from typing import Any, Iterator
 
@@ -123,6 +144,27 @@ class ChannelOverflow(RuntimeError):
     Raise ``channel_capacity`` at lowering time; the object engine's
     unbounded deques remain available via ``backend="object"``.
     """
+
+
+#: cached struct packers for count-framed digest parts, by word count
+_PART_STRUCTS: dict[int, struct.Struct] = {}
+#: digest part of an empty channel (count prefix 0, no words)
+_EMPTY_PART = struct.pack("<q", 0)
+#: one packed ``(w0, w1)`` digest message, no count prefix
+_PK2 = struct.Struct("<2q").pack
+
+
+def _pack_part(words: list[int]) -> bytes:
+    """Pack digest words as little-endian int64, count-prefixed.
+
+    The count prefix keeps variable-length parts (reserved-token label
+    runs, channel queues) injective when parts are concatenated.
+    """
+    k = len(words)
+    s = _PART_STRUCTS.get(k)
+    if s is None:
+        s = _PART_STRUCTS[k] = struct.Struct(f"<{k + 1}q")
+    return s.pack(k, *words)
 
 
 def _pack_ctrl(c: int, r: bool, pt: int, ppr: int) -> tuple[int, int]:
@@ -194,6 +236,10 @@ class _ProcView:
         object.__setattr__(self, "pid", pid)
 
     def __getattr__(self, name: str):
+        if name in ("_e", "pid") or name.startswith("__"):
+            # unset slots during copy/pickle reconstruction, and dunder
+            # protocol probes, must not recurse through the facade
+            raise AttributeError(name)
         e: ArrayEngine = self._e
         p: int = self.pid
         if name == "degree":
@@ -414,6 +460,17 @@ class ArrayEngine:
         self._ready_at = np.zeros(n, dtype=np.int64)
         self._dsts: list[int] = []  # send destinations of the current step
         self._track_dsts = False
+        # exploration word journal (None = off; armed by explore_prepare)
+        self._jrnl_chans: list[tuple] | None = None
+        self._jrnl_sent: list[tuple] | None = None
+        self._jrnl_cnt: list[tuple] | None = None
+        # exploration bookkeeping: the state tuple the engine currently
+        # holds (for lazy seeks), the engine-lifetime move memo and the
+        # parent-level expansion memo (the latter tags the invariant its
+        # cached verdicts belong to under its "__inv__" key)
+        self._held: tuple | None = None
+        self._explore_memo: dict = {}
+        self._explore_xmemo: dict = {}
         # facades
         self.processes = _ProcSeq(self)
         self.network = _NetView(self)
@@ -788,10 +845,14 @@ class ArrayEngine:
         self._buf1[pos] = w1
         self._ch_len[slot] = ln + 1
         self._ch_sent[slot] += 1
-        if ln + 1 > self._ch_peak[slot]:
-            self._ch_peak[slot] = ln + 1
         name = _MT_NAMES[w0 & 3]
         counts = self.sent_by_type
+        jc = self._jrnl_chans
+        if jc is not None:
+            jc.append((slot, self._ch_peak[slot]))
+            self._jrnl_sent.append((name, counts.get(name)))
+        if ln + 1 > self._ch_peak[slot]:
+            self._ch_peak[slot] = ln + 1
         counts[name] = counts.get(name, 0) + 1
         dst = self._ch_dst[slot]
         self._pending[dst] += 1
@@ -805,8 +866,13 @@ class ArrayEngine:
     def _bump(self, p: int, kind: str) -> None:
         self.counters_version += 1
         row = self.counters.get(kind)
+        jn = self._jrnl_cnt
         if row is None:
+            if jn is not None:
+                jn.append((kind, None, 0))
             row = self.counters[kind] = [0] * self.n
+        elif jn is not None:
+            jn.append((kind, p, row[p]))
         row[p] += 1
         if kind == "enter_cs":
             self.total_cs_entries += 1
@@ -1442,6 +1508,509 @@ class ArrayEngine:
             ),
             messages_by_type=self.message_counts(),
         )
+
+    # ------------------------------------------------------------------
+    # Exploration support (word journal, move executor, state codec)
+    # ------------------------------------------------------------------
+    def fork(self) -> "ArrayEngine":
+        """Deep-copied engine sharing no mutable state (Engine mirror).
+
+        Exception: the exploration move memo is *shared* with the clone
+        on purpose.  Entries key on a move's full read set over static
+        configuration the fork preserves verbatim, so they are valid in
+        either engine — and sharing keeps repeated :func:`explore` calls
+        (which fork per call) warm.  Cross-process copies still start
+        cold: ``__getstate__`` drops the memo from pickles.
+        """
+        clone = copy.deepcopy(self)
+        clone._explore_memo = self._explore_memo
+        clone._explore_xmemo = self._explore_xmemo
+        return clone
+
+    def __getstate__(self):
+        st = self.__dict__.copy()
+        # the memos key on identity (sentinels, the invariant callable)
+        # and can be large; clones and pickles start cold — they are
+        # exploration state, not configuration
+        st["_explore_memo"] = {}
+        st["_explore_xmemo"] = {}
+        st["_held"] = None
+        return st
+
+    def seek(self, state: tuple) -> None:
+        """Make the engine hold ``state``, diffing from whatever it
+        holds now (tracked in ``_held`` by every loader)."""
+        held = self._held
+        if held is None:
+            self.load_state(state)
+        elif held is not state:
+            self.load_state_diff(held, state)
+
+    def clear_observers(self) -> None:
+        """No observers on the array backend (lowering forbids them)."""
+
+    def explore_prepare(self) -> None:
+        """Arm the exploration word journal (idempotent).
+
+        Also swaps the numpy ``_ready_at`` column for a plain list —
+        the explorer never takes the batched filter path, and per-send
+        numpy scalar stores would dominate the journal's cost.  After
+        arming, use ``_exec_move``/``_undo_move``/``load_state`` only;
+        ``run()`` bookkeeping is no longer maintained.
+        """
+        if self._jrnl_chans is None:
+            self._jrnl_chans = []
+            self._jrnl_sent = []
+            self._jrnl_cnt = []
+        if isinstance(self._ready_at, np.ndarray):
+            self._ready_at = self._ready_at.tolist()
+        if isinstance(self._buf0, np.ndarray):
+            # plain-list channel words: numpy scalar loads would dominate
+            # the per-move pop/push/digest cost
+            self._buf0 = self._buf0.tolist()
+            self._buf1 = self._buf1.tolist()
+
+    def _exec_move(self, p: int, chan: int) -> None:
+        """One explicit move: receive on in-channel ``chan`` of ``p``
+        (no-op if empty), or a silent step for ``chan == -1`` — the
+        object engine's ``step_pid`` on flat arrays, journal armed."""
+        t = self.now
+        deg = self._deg[p]
+        if chan >= 0 and deg:
+            label = chan % deg
+            slot = self._in_slot[self._nbr_off[p] + label]
+            if self._ch_len[slot]:
+                cap = self._cap
+                head = self._ch_head[slot]
+                pos = slot * cap + head
+                w0 = int(self._buf0[pos])
+                w1 = int(self._buf1[pos])
+                self._jrnl_chans.append((slot, head, w0, w1))
+                self._ch_head[slot] = (head + 1) % cap
+                self._ch_len[slot] -= 1
+                self._ch_delivered[slot] += 1
+                nxt = label + 1
+                self._scan[p] = nxt if nxt < deg else 0
+                self._dispatch(p, label, w0, w1, t)
+        self._on_local(p, t)
+        self.now = t + 1
+
+    def _undo_move(self, p: int, parent: tuple) -> None:
+        """Rewind the last ``_exec_move`` from pid ``p``.
+
+        The moved pid's own column section comes straight from the
+        ``parent`` state tuple (a move never touches another pid's
+        columns); channel words, send totals and counter cells replay
+        the journal in reverse.  Clears the journal.
+        """
+        self.now = parent[0]
+        self.total_cs_entries = parent[1]
+        self._load_proc_section(p, parent[5][p])
+        if p == self._root_pid:
+            (
+                self._root_reset,
+                self._root_stoken,
+                self._root_sprio,
+                self._root_spush,
+                self._root_circulations,
+                self._root_resets,
+            ) = parent[4]
+        jc = self._jrnl_chans
+        if jc:
+            buf0 = self._buf0
+            buf1 = self._buf1
+            cap = self._cap
+            for ev in reversed(jc):
+                slot = ev[0]
+                if len(ev) == 2:  # send: (slot, old_peak)
+                    self._ch_len[slot] -= 1
+                    self._ch_sent[slot] -= 1
+                    self._ch_peak[slot] = ev[1]
+                else:  # receive: (slot, old_head, w0, w1)
+                    head = ev[1]
+                    pos = slot * cap + head
+                    buf0[pos] = ev[2]
+                    buf1[pos] = ev[3]
+                    self._ch_head[slot] = head
+                    self._ch_len[slot] += 1
+                    self._ch_delivered[slot] -= 1
+            jc.clear()
+        js = self._jrnl_sent
+        if js:
+            counts = self.sent_by_type
+            for name, old in reversed(js):
+                if old is None:
+                    del counts[name]
+                else:
+                    counts[name] = old
+            js.clear()
+        jn = self._jrnl_cnt
+        if jn:
+            counters = self.counters
+            for kind, pid, old in reversed(jn):
+                if pid is None:
+                    del counters[kind]
+                else:
+                    counters[kind][pid] = old
+            jn.clear()
+
+    def _jrnl_pushes(self) -> tuple:
+        """``(slot, packed-digest-words)`` per journaled send, in send
+        order — the memoizable digest effect of the last move's pushes
+        (token uids zeroed exactly as :meth:`digest_chan_part` does)."""
+        jc = self._jrnl_chans
+        sends = [ev[0] for ev in jc if len(ev) == 2]
+        if not sends:
+            return ()
+        remaining: dict[int, int] = {}
+        for s in sends:
+            remaining[s] = remaining.get(s, 0) + 1
+        taken: dict[int, int] = {}
+        cap = self._cap
+        buf0 = self._buf0
+        buf1 = self._buf1
+        pk2 = _PK2
+        out = []
+        for s in sends:
+            i = taken.get(s, 0)
+            taken[s] = i + 1
+            pos = s * cap + (
+                self._ch_head[s] + self._ch_len[s] - remaining[s] + i
+            ) % cap
+            w0 = int(buf0[pos])
+            out.append(
+                (s, pk2(w0, int(buf1[pos]) if w0 & 3 == _MT_CTRL else 0))
+            )
+        return tuple(out)
+
+    # -- state tuples ---------------------------------------------------
+    def _proc_section(self, p: int) -> tuple:
+        """Every behavior-affecting per-pid column, as one tuple."""
+        return (
+            self._state[p],
+            self._need[p],
+            tuple(self._rset.get(p, ())),
+            self._prio[p],
+            self._prio_uid[p],
+            self._myc[p],
+            self._succ[p],
+            self._scan[p],
+            self._timer_start[p],
+            self._app_last_exit[p],
+            self._app_done[p],
+            self._cs_since[p],
+            self._cs_len[p],
+            self._scr_i[p],
+            self._open_req[p],
+            self._req_at[p],
+            self._cs_at_req[p],
+        )
+
+    def _load_proc_section(self, p: int, sec: tuple) -> None:
+        (
+            self._state[p],
+            self._need[p],
+            rset,
+            self._prio[p],
+            self._prio_uid[p],
+            self._myc[p],
+            self._succ[p],
+            self._scan[p],
+            self._timer_start[p],
+            self._app_last_exit[p],
+            self._app_done[p],
+            self._cs_since[p],
+            self._cs_len[p],
+            self._scr_i[p],
+            self._open_req[p],
+            self._req_at[p],
+            self._cs_at_req[p],
+        ) = sec
+        if rset:
+            self._rset[p] = list(rset)
+        else:
+            self._rset.pop(p, None)
+
+    def _chan_section(self, slot: int) -> tuple:
+        """One channel's queue words and traffic stats, as one tuple."""
+        cap = self._cap
+        base = slot * cap
+        head = self._ch_head[slot]
+        buf0 = self._buf0
+        buf1 = self._buf1
+        msgs = tuple(
+            (
+                int(buf0[base + (head + off) % cap]),
+                int(buf1[base + (head + off) % cap]),
+            )
+            for off in range(self._ch_len[slot])
+        )
+        return (
+            msgs,
+            self._ch_sent[slot],
+            self._ch_delivered[slot],
+            self._ch_peak[slot],
+        )
+
+    def _load_chan_section(self, slot: int, sec: tuple) -> None:
+        msgs, sent, delivered, peak = sec
+        cap = self._cap
+        base = slot * cap
+        buf0 = self._buf0
+        buf1 = self._buf1
+        for off, (w0, w1) in enumerate(msgs):
+            buf0[base + off] = w0
+            buf1[base + off] = w1
+        self._ch_head[slot] = 0
+        self._ch_len[slot] = len(msgs)
+        self._ch_sent[slot] = sent
+        self._ch_delivered[slot] = delivered
+        self._ch_peak[slot] = peak
+
+    def save_state(self) -> tuple:
+        """Whole-configuration checkpoint as nested tuples.
+
+        Picklable, and structurally shared between parent and child
+        states during exploration (the expander replaces only the
+        sections a move touched), so BFS frontiers, pool payloads and
+        distributed spill files stay compact.
+        """
+        state = (
+            self.now,
+            self.total_cs_entries,
+            tuple((k, tuple(v)) for k, v in self.counters.items()),
+            tuple(self.sent_by_type.items()),
+            (
+                self._root_reset,
+                self._root_stoken,
+                self._root_sprio,
+                self._root_spush,
+                self._root_circulations,
+                self._root_resets,
+            ),
+            tuple(self._proc_section(p) for p in range(self.n)),
+            tuple(self._chan_section(s) for s in range(self._nchan)),
+        )
+        self._held = state
+        return state
+
+    def load_state(self, state: tuple) -> None:
+        """Full restore of a :meth:`save_state` tuple (repairs the
+        activity bookkeeping the explorer let drift)."""
+        self._held = state
+        (
+            self.now,
+            self.total_cs_entries,
+            counters_t,
+            sent_t,
+            root_t,
+            procs_t,
+            chans_t,
+        ) = state
+        counters = self.counters
+        counters.clear()
+        for kind, row in counters_t:
+            counters[kind] = list(row)
+        self.counters_version += 1
+        sent = self.sent_by_type
+        sent.clear()
+        sent.update(sent_t)
+        (
+            self._root_reset,
+            self._root_stoken,
+            self._root_sprio,
+            self._root_spush,
+            self._root_circulations,
+            self._root_resets,
+        ) = root_t
+        for p in range(self.n):
+            self._load_proc_section(p, procs_t[p])
+        pending = [0] * self.n
+        dsts = self._ch_dst
+        for s in range(self._nchan):
+            self._load_chan_section(s, chans_t[s])
+            pending[dsts[s]] += len(chans_t[s][0])
+        self._pending = pending
+        self._recompute_all_wakes()
+
+    def load_state_diff(self, held: tuple, target: tuple) -> None:
+        """Restore ``target`` assuming the engine currently holds
+        ``held`` — sections identical by object identity (structural
+        sharing from a common ancestor) are skipped wholesale."""
+        self._held = target
+        if held is target:
+            return
+        self.now = target[0]
+        self.total_cs_entries = target[1]
+        if held[2] is not target[2]:
+            counters = self.counters
+            counters.clear()
+            for kind, row in target[2]:
+                counters[kind] = list(row)
+        if held[3] is not target[3]:
+            sent = self.sent_by_type
+            sent.clear()
+            sent.update(target[3])
+        if held[4] is not target[4]:
+            (
+                self._root_reset,
+                self._root_stoken,
+                self._root_sprio,
+                self._root_spush,
+                self._root_circulations,
+                self._root_resets,
+            ) = target[4]
+        hp = held[5]
+        tp = target[5]
+        if hp is not tp:
+            for p in range(self.n):
+                if hp[p] is not tp[p]:
+                    self._load_proc_section(p, tp[p])
+        hc = held[6]
+        tc = target[6]
+        if hc is not tc:
+            for s in range(self._nchan):
+                if hc[s] is not tc[s]:
+                    self._load_chan_section(s, tc[s])
+
+    def _child_state(self, parent: tuple, pid: int, dirty: list[int]) -> tuple:
+        """Post-move state sharing every untouched section of ``parent``."""
+        procs_t = parent[5]
+        procs = procs_t[:pid] + (self._proc_section(pid),) + procs_t[pid + 1 :]
+        chans_t = parent[6]
+        if dirty:
+            chans = list(chans_t)
+            for s in dirty:
+                chans[s] = self._chan_section(s)
+            chans_t = tuple(chans)
+        counters_t = (
+            tuple((k, tuple(v)) for k, v in self.counters.items())
+            if self._jrnl_cnt
+            else parent[2]
+        )
+        sent_t = (
+            tuple(self.sent_by_type.items()) if self._jrnl_sent else parent[3]
+        )
+        root_t = (
+            (
+                self._root_reset,
+                self._root_stoken,
+                self._root_sprio,
+                self._root_spush,
+                self._root_circulations,
+                self._root_resets,
+            )
+            if pid == self._root_pid
+            else parent[4]
+        )
+        return (
+            self.now,
+            self.total_cs_entries,
+            counters_t,
+            sent_t,
+            root_t,
+            procs,
+            chans_t,
+        )
+
+    # -- digest parts ---------------------------------------------------
+    def digest_proc_part(self, p: int) -> bytes:
+        """Packed digest words for pid ``p`` — the array encoding of the
+        object explorer's ``state_summary`` partition (uids dropped,
+        reserved-token labels sorted, root circulation totals excluded).
+        """
+        words = [self._state[p], self._need[p]]
+        rset = self._rset.get(p)
+        if rset:
+            words.extend(sorted(lbl for lbl, _ in rset))
+        kind = self._kind[p]
+        if kind >= _K_PRIORITY:
+            words.append(self._prio[p] + 1)
+            if kind == _K_SELFSTAB:
+                words.append(self._myc[p])
+                words.append(self._succ[p])
+            elif kind == _K_SELFSTAB_ROOT:
+                words += (
+                    self._myc[p],
+                    self._succ[p],
+                    int(self._root_reset),
+                    self._root_stoken,
+                    self._root_sprio,
+                    self._root_spush,
+                )
+            elif kind == _K_RING:
+                words.append(self._myc[p])
+            elif kind == _K_RING_ROOT:
+                words += (
+                    self._myc[p],
+                    int(self._root_reset),
+                    self._root_stoken,
+                    self._root_sprio,
+                    self._root_spush,
+                )
+        return _pack_part(words)
+
+    def digest_chan_part(self, slot: int) -> bytes:
+        """Packed digest words for one channel queue: ``(w0, w1)`` per
+        message in queue order, token uids zeroed (Ctrl keeps ``w1`` —
+        it carries the circulation stamp, not a uid)."""
+        ln = self._ch_len[slot]
+        if not ln:
+            return _EMPTY_PART
+        cap = self._cap
+        base = slot * cap
+        head = self._ch_head[slot]
+        buf0 = self._buf0
+        buf1 = self._buf1
+        words = []
+        for off in range(ln):
+            pos = base + (head + off) % cap
+            w0 = int(buf0[pos])
+            words.append(w0)
+            words.append(int(buf1[pos]) if w0 & 3 == _MT_CTRL else 0)
+        return _pack_part(words)
+
+    def digest_parts(self) -> list[bytes]:
+        """All digest parts: proc parts, then channel parts in slot
+        order (one hashable list, same layout the expander maintains
+        incrementally)."""
+        parts = [self.digest_proc_part(p) for p in range(self.n)]
+        for s in range(self._nchan):
+            parts.append(self.digest_chan_part(s))
+        return parts
+
+    def safety_violations(self, params) -> list[str]:
+        """The three k-out-of-ℓ safety clauses, straight off the arrays.
+
+        Same clauses, messages and ordering as
+        :func:`repro.analysis.invariants.check_safety` (which dispatches
+        here), without going through the per-process facade — the
+        explorer evaluates this once per new configuration.
+        """
+        out: list[str] = []
+        in_use = 0
+        seen_uids: dict[int, int] = {}
+        k = params.k
+        state = self._state
+        rset = self._rset
+        for p in range(self.n):
+            if state[p] != _IN:
+                continue
+            reserved = rset.get(p)
+            if not reserved:
+                continue
+            m = len(reserved)
+            in_use += m
+            if m > k:
+                out.append(f"process {p} uses {m} > k={k} units")
+            for _, uid in reserved:
+                prev = seen_uids.get(uid)
+                if prev is not None:
+                    out.append(f"unit {uid} used by both {prev} and {p}")
+                seen_uids[uid] = p
+        if in_use > params.l:
+            out.append(f"{in_use} > l={params.l} units in use")
+        return out
 
     # ------------------------------------------------------------------
     # Configuration codec

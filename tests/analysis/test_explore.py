@@ -486,3 +486,128 @@ class TestExhaustiveSafety:
         )
         assert res.ok
         assert res.configurations > 200
+
+
+# ---------------------------------------------------------------------------
+# Array-backend differential identity (the PR-9 contract)
+# ---------------------------------------------------------------------------
+
+class TestArrayBackendDifferential:
+    """``explore()`` over an :class:`ArrayEngine` must agree with the
+    object engine on the *entire* search outcome — configuration and
+    transition counts, violation, exhaustion and per-depth frontiers —
+    cold, warm (engine-resident memos), pooled and distributed.
+
+    uid discipline: the two builds run sequentially, each after a
+    process-global uid counter reset (see tests/sim/test_array_engine_diff.py).
+    """
+
+    VARIANTS = ("naive", "pusher", "priority", "selfstab", "ring")
+
+    @staticmethod
+    def _spec_dict(variant, topology="path", *, n=5, backend="object"):
+        args = {"n": n}
+        if topology == "random":
+            args["seed"] = 3
+        d = {
+            "topology": {"kind": topology, "args": args},
+            "variant": variant,
+            "k": 2,
+            "l": 3,
+            "cmax": 2,
+            # time-independent workload: the digest-soundness requirement
+            "workload": {"kind": "saturated", "args": {"cs_duration": 0}},
+            "scheduler": {"kind": "round_robin", "args": {}},
+            "seed": 1,
+            "backend": backend,
+        }
+        if variant in ("selfstab", "ring"):
+            d["variant_options"] = {"init": "tokens"}
+        return d
+
+    @classmethod
+    def _built(cls, variant, topology="path", *, n=5, backend="object"):
+        import itertools
+
+        import repro.core.messages as messages
+        from repro.spec import ScenarioSpec
+
+        messages._uid_counter = itertools.count(1)
+        return ScenarioSpec.from_dict(
+            cls._spec_dict(variant, topology, n=n, backend=backend)
+        ).build()
+
+    @staticmethod
+    def _key(res):
+        return (res.configurations, res.transitions, res.exhausted,
+                res.violation, res.frontier_sizes)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("strategy", ["bfs", "dfs"])
+    def test_cold_serial_agreement(self, variant, strategy):
+        kw = dict(max_depth=6, max_configurations=20_000, strategy=strategy)
+        obj = self._built(variant)
+        ref = explore(obj.engine, obj.invariant, **kw)
+        arr = self._built(variant, backend="array")
+        res = explore(arr.engine, arr.invariant, **kw)
+        assert self._key(res) == self._key(ref)
+
+    @pytest.mark.parametrize("topology", ["star", "random"])
+    def test_cold_agreement_other_topologies(self, topology):
+        kw = dict(max_depth=6, max_configurations=20_000)
+        obj = self._built("selfstab", topology)
+        ref = explore(obj.engine, obj.invariant, **kw)
+        arr = self._built("selfstab", topology, backend="array")
+        res = explore(arr.engine, arr.invariant, **kw)
+        assert self._key(res) == self._key(ref)
+
+    def test_warm_memo_replay_and_cross_strategy(self):
+        """Repeat runs on the same engine hit the engine-resident move
+        and expansion memos; warm results must stay identical — even
+        when the second search walks the space in a different order."""
+        kw = dict(max_depth=7, max_configurations=20_000)
+        obj = self._built("selfstab")
+        ref_bfs = explore(obj.engine, obj.invariant, **kw)
+        ref_dfs = explore(obj.engine, obj.invariant, strategy="dfs", **kw)
+        arr = self._built("selfstab", backend="array")
+        cold = explore(arr.engine, arr.invariant, **kw)
+        warm = explore(arr.engine, arr.invariant, **kw)
+        assert self._key(cold) == self._key(warm) == self._key(ref_bfs)
+        # a DFS over memos recorded by the BFS must not inherit its
+        # visit order or representatives
+        warm_dfs = explore(arr.engine, arr.invariant, strategy="dfs", **kw)
+        assert self._key(warm_dfs) == self._key(ref_dfs)
+
+    def test_pool_workers_match_serial(self):
+        kw = dict(max_depth=6, max_configurations=20_000)
+        obj = self._built("selfstab")
+        ref = explore(obj.engine, obj.invariant, **kw)
+        arr = self._built("selfstab", backend="array")
+        res = explore(arr.engine, arr.invariant, workers=2, min_frontier=1,
+                      **kw)
+        assert self._key(res) == self._key(ref)
+
+    def test_distributed_w2_matches_serial(self, tmp_path):
+        from repro.analysis.distributed.owner import explore_owner
+
+        kw = dict(max_depth=6, max_configurations=20_000)
+        obj = self._built("selfstab")
+        ref = explore(obj.engine, obj.invariant, **kw)
+        arr = self._built("selfstab", backend="array")
+        res = explore_owner(arr.engine, arr.invariant, workers=2,
+                            spill_dir=str(tmp_path), **kw)
+        assert (res.configurations, res.transitions, res.violation) == (
+            ref.configurations, ref.transitions, ref.violation)
+
+    def test_xmemo_does_not_leak_across_invariants(self):
+        """Cached expansion rows embed invariant verdicts; swapping the
+        invariant must invalidate them, not replay stale 'holds'."""
+        arr = self._built("selfstab", backend="array")
+        eng = arr.engine
+        ok = explore(eng, lambda e: True, max_depth=5,
+                     max_configurations=20_000)
+        assert ok.violation is None
+        # every child has now >= 1: a leaked cache would miss all of them
+        res = explore(eng, lambda e: e.now == 0 or "clock advanced",
+                      max_depth=5, max_configurations=20_000)
+        assert res.violation is not None

@@ -559,6 +559,63 @@ class TestBenchTolerance:
         assert main(["bench", "--compare", "--tolerance", "-5"]) == 2
 
 
+class TestBenchStrict:
+    """``--compare`` is advisory; ``--strict`` fails the run on a
+    regression, but only against a same-host baseline."""
+
+    @staticmethod
+    def _rows(rate):
+        from repro.analysis.bench import BenchRow
+
+        return [BenchRow(scenario="tiny", variant="priority",
+                         topology="path", n=4, steps=100,
+                         steps_per_sec=rate)]
+
+    def _setup(self, tmp_path, monkeypatch, *, committed=1000.0, fresh=100.0):
+        import repro.analysis.bench as bench
+
+        monkeypatch.chdir(tmp_path)
+        bench.write_bench_json(self._rows(committed), "BENCH_kernel.json")
+        monkeypatch.setattr(bench, "run_kernel_bench",
+                            lambda **kw: self._rows(fresh))
+
+    def test_strict_requires_compare(self, capsys):
+        assert main(["bench", "--strict"]) == 2
+        assert "--strict only applies to --compare" in (
+            capsys.readouterr().err
+        )
+
+    def test_compare_alone_is_advisory(self, tmp_path, capsys, monkeypatch):
+        self._setup(tmp_path, monkeypatch)
+        assert main(["bench", "--compare"]) == 0
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_strict_fails_same_host_regression(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._setup(tmp_path, monkeypatch)
+        assert main(["bench", "--compare", "--strict"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_strict_passes_without_regression(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._setup(tmp_path, monkeypatch, committed=100.0, fresh=110.0)
+        assert main(["bench", "--compare", "--strict"]) == 0
+
+    def test_strict_ignored_cross_host(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        self._setup(tmp_path, monkeypatch)
+        doc = json.loads((tmp_path / "BENCH_kernel.json").read_text())
+        doc["host"]["machine"] = "not-this-machine"
+        (tmp_path / "BENCH_kernel.json").write_text(json.dumps(doc))
+        assert main(["bench", "--compare", "--strict"]) == 0
+        err = capsys.readouterr().err
+        assert "--strict ignored" in err
+        assert "cross-host" in err
+
+
 class TestExploreLiveness:
     """The ``--check liveness`` CLI surface, against both anchors."""
 
@@ -608,3 +665,65 @@ class TestExploreLiveness:
         err = capsys.readouterr().err
         assert rc == 2
         assert "serial" in err or "workers" in err
+
+
+class TestArrayBackendContract:
+    """Unsupported spec/backend combinations die with a ``SpecError``
+    that names the supported surface, not a traceback."""
+
+    def test_fuzz_rejects_array_backend(self, capsys):
+        rc = main(["fuzz", "--backend", "array", "--walks", "1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert "--backend object" in err
+        assert "explore" in err  # names the supported commands
+
+    def test_explore_array_rejects_liveness(self, capsys):
+        rc = main(["explore", "--tree", "path", "--n", "4",
+                   "--backend", "array", "--check", "liveness"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert "--check liveness" in err and "--backend object" in err
+
+    def test_explore_array_rejects_por(self, capsys):
+        rc = main(["explore", "--tree", "path", "--n", "4",
+                   "--backend", "array", "--por"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--por" in err and "--backend object" in err
+
+    def test_explore_array_rejects_tuple_digest(self, capsys):
+        rc = main(["explore", "--tree", "path", "--n", "4",
+                   "--backend", "array", "--digest", "tuple"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--digest tuple" in err and "--backend object" in err
+
+    def test_explore_array_safety_smoke_matches_object(self, capsys):
+        argv = ["explore", "--tree", "path", "--n", "5", "--max-depth", "6"]
+        assert main(argv) == 0
+        obj_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "array"]) == 0
+        arr_out = capsys.readouterr().out
+        assert arr_out == obj_out  # stdout is the CI diff contract
+
+    def test_explore_api_snapshot_and_fork_are_object_only(self):
+        from repro.analysis import explore
+        from repro.spec import ScenarioBuilder
+
+        spec = (
+            ScenarioBuilder()
+            .variant("priority")
+            .topology("path", n=4)
+            .params(k=2, l=3)
+            .workload("saturated", need=1, cs_duration=0)
+            .backend("array")
+            .spec()
+        )
+        built = spec.build()
+        for method in ("snapshot", "fork"):
+            with pytest.raises(ValueError, match="backend='object'"):
+                explore(built.engine, built.invariant,
+                        max_depth=4, method=method)
